@@ -1,0 +1,440 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper's evaluation as testing.B benchmarks:
+//
+//	BenchmarkTable1UseCases       — Table I   (the three LUCID pipelines)
+//	BenchmarkTable2Setup          — Table II  (experiment parameterization)
+//	BenchmarkExp1BootstrapTime    — Fig. 3    (BT scaling, 1..640 services)
+//	BenchmarkExp2LocalNOOP        — Fig. 4    (local NOOP RT, strong+weak)
+//	BenchmarkExp2RemoteNOOP       — Fig. 5    (remote NOOP RT, strong+weak)
+//	BenchmarkExp3InferenceLocal   — Fig. 6    (llama IT, local)
+//	BenchmarkExp3InferenceRemote  — Fig. 6    (llama IT, remote)
+//
+// plus ablation benchmarks for the design decisions DESIGN.md calls out
+// (service-priority scheduling, single-threaded services, load balancing).
+//
+// Reported custom metrics carry the figure series: e.g. Exp 1 reports
+// launch-s, init-s and publish-s per instance; Exp 2/3 report comm-ms,
+// svc-ms, infer-ms per request. Request budgets are reduced relative to
+// the paper (1024 requests/client) to keep `go test -bench=.` tractable;
+// cmd/rpexp runs the full-budget sweeps.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/loadbal"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/usecases"
+	"repro/internal/workflow"
+)
+
+// --- Table I -----------------------------------------------------------------
+
+// BenchmarkTable1UseCases executes a reduced-size instance of each LUCID
+// pipeline end to end, reporting simulated makespans.
+func BenchmarkTable1UseCases(b *testing.B) {
+	cases := []struct {
+		name  string
+		build func(sess *core.Session, coll *metrics.Collector) *workflow.Pipeline
+	}{
+		{"cell-painting", func(sess *core.Session, _ *metrics.Collector) *workflow.Pipeline {
+			return usecases.CellPainting(usecases.CellPaintingConfig{
+				DatasetBytes: 8 << 30, Shards: 4, HPOTrials: 4,
+			}, sess.RNG())
+		}},
+		{"signature-detection", func(sess *core.Session, coll *metrics.Collector) *workflow.Pipeline {
+			return usecases.Signature(usecases.SignatureConfig{
+				Samples: 5, UseLLM: true, LLMQueries: 2, Collector: coll,
+			}, sess.RNG())
+		}},
+		{"uncertainty-quantification", func(sess *core.Session, _ *metrics.Collector) *workflow.Pipeline {
+			return usecases.UQ(usecases.UQConfig{Seeds: 2})
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var sim time.Duration
+			for i := 0; i < b.N; i++ {
+				sess, err := core.NewSession(core.SessionConfig{
+					Seed: uint64(i), Clock: simtime.NewScaled(500000, core.DefaultOrigin),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Cores: 256, GPUs: 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runner, err := workflow.NewRunner(sess, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				coll := metrics.NewCollector()
+				rep, err := runner.Run(context.Background(), c.build(sess, coll))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim += rep.Duration()
+				sess.Close()
+			}
+			b.ReportMetric(sim.Seconds()/float64(b.N), "sim-makespan-s")
+		})
+	}
+}
+
+// --- Table II ------------------------------------------------------------------
+
+// BenchmarkTable2Setup renders the experiment-setup table (trivial; exists
+// so every paper artifact has a bench target).
+func BenchmarkTable2Setup(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.TableII().Render()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+// --- Experiment 1 / Fig. 3 ------------------------------------------------------
+
+// BenchmarkExp1BootstrapTime regenerates the Fig. 3 series: per-instance
+// launch/init/publish bootstrap components for growing instance counts.
+func BenchmarkExp1BootstrapTime(b *testing.B) {
+	for _, n := range []int{1, 8, 40, 160, 320, 640} {
+		b.Run(fmt.Sprintf("instances=%d", n), func(b *testing.B) {
+			var launch, init, publish float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunBT(context.Background(), experiments.BTConfig{
+					Counts: []int{n}, Model: "llama-8b", Scale: 200, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				launch += row.Launch.Mean.Seconds()
+				init += row.Init.Mean.Seconds()
+				publish += row.Publish.Mean.Seconds()
+			}
+			b.ReportMetric(launch/float64(b.N), "launch-s")
+			b.ReportMetric(init/float64(b.N), "init-s")
+			b.ReportMetric(publish/float64(b.N), "publish-s")
+		})
+	}
+}
+
+// --- Experiments 2 and 3 / Figs. 4-6 ---------------------------------------------
+
+func benchRT(b *testing.B, model string, deploy experiments.Deployment, requests, maxTokens int, scale float64) {
+	type point struct {
+		scaling string
+		pair    [2]int
+	}
+	var points []point
+	for _, p := range experiments.StrongPairs() {
+		points = append(points, point{"strong", p})
+	}
+	for _, p := range experiments.WeakPairs() {
+		points = append(points, point{"weak", p})
+	}
+	for _, pt := range points {
+		name := fmt.Sprintf("%s/clients=%d/services=%d", pt.scaling, pt.pair[0], pt.pair[1])
+		b.Run(name, func(b *testing.B) {
+			var comm, svc, infer float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunRT(context.Background(), experiments.RTConfig{
+					Model: model, Deploy: deploy,
+					Pairs:             [][2]int{pt.pair},
+					RequestsPerClient: requests,
+					MaxTokens:         maxTokens,
+					Scale:             scale,
+					Seed:              uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				comm += float64(row.Comm.Mean.Microseconds()) / 1000
+				svc += float64(row.Service.Mean.Microseconds()) / 1000
+				infer += float64(row.Infer.Mean.Microseconds()) / 1000
+			}
+			b.ReportMetric(comm/float64(b.N), "comm-ms")
+			b.ReportMetric(svc/float64(b.N), "svc-ms")
+			b.ReportMetric(infer/float64(b.N), "infer-ms")
+		})
+	}
+}
+
+// BenchmarkExp2LocalNOOP regenerates Fig. 4 (local NOOP response time).
+func BenchmarkExp2LocalNOOP(b *testing.B) {
+	benchRT(b, "noop", experiments.DeployLocal, 64, 0, 1)
+}
+
+// BenchmarkExp2RemoteNOOP regenerates Fig. 5 (remote NOOP response time).
+func BenchmarkExp2RemoteNOOP(b *testing.B) {
+	benchRT(b, "noop", experiments.DeployRemote, 64, 0, 1)
+}
+
+// BenchmarkExp3InferenceLocal regenerates Fig. 6's local configuration
+// (Table II row 3, llama-8b on Delta).
+func BenchmarkExp3InferenceLocal(b *testing.B) {
+	benchRT(b, "llama-8b", experiments.DeployLocal, 4, 128, 1000)
+}
+
+// BenchmarkExp3InferenceRemote regenerates Fig. 6 (remote llama-8b
+// inference from Delta clients to R3 services).
+func BenchmarkExp3InferenceRemote(b *testing.B) {
+	benchRT(b, "llama-8b", experiments.DeployRemote, 4, 128, 1000)
+}
+
+// --- Ablations ------------------------------------------------------------------
+
+// BenchmarkAblationServiceConcurrency compares the paper's single-threaded
+// service against the multi-threaded future-work configuration under the
+// contended 16-clients/1-service point: queueing (the svc-ms metric)
+// should collapse with workers.
+func BenchmarkAblationServiceConcurrency(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var svc float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunRT(context.Background(), experiments.RTConfig{
+					Model: "llama-8b", Deploy: experiments.DeployLocal,
+					Pairs:              [][2]int{{8, 1}},
+					RequestsPerClient:  2,
+					MaxTokens:          64,
+					Scale:              1000,
+					Seed:               uint64(i + 1),
+					ServiceConcurrency: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				svc += float64(res.Rows[0].Service.Mean.Microseconds()) / 1000
+			}
+			b.ReportMetric(svc/float64(b.N), "svc-ms")
+		})
+	}
+}
+
+// BenchmarkAblationLoadBalancing compares round-robin (the paper's
+// rudimentary strategy) against least-pending routing on a skewed
+// candidate set.
+func BenchmarkAblationLoadBalancing(b *testing.B) {
+	eps := make([]proto.Endpoint, 8)
+	depths := make(map[string]int, 8)
+	var mu sync.Mutex
+	for i := range eps {
+		uid := fmt.Sprintf("service.%04d", i)
+		eps[i] = proto.Endpoint{ServiceUID: uid, Model: "llama-8b"}
+		depths[uid] = i * 3 // skewed initial load
+	}
+	depthFn := func(uid string) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return depths[uid]
+	}
+	balancers := map[string]loadbal.Balancer{
+		"round-robin":   loadbal.NewRoundRobin(),
+		"random":        loadbal.NewRandom(rng.New(1)),
+		"least-pending": loadbal.NewLeastPending(depthFn),
+	}
+	for name, bal := range balancers {
+		b.Run(name, func(b *testing.B) {
+			imbalance := 0
+			for i := 0; i < b.N; i++ {
+				ep, err := bal.Pick(eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mu.Lock()
+				depths[ep.ServiceUID]++
+				// track max-min spread as the imbalance signal
+				min, max := 1 << 30, 0
+				for _, d := range depths {
+					if d < min {
+						min = d
+					}
+					if d > max {
+						max = d
+					}
+				}
+				depths[ep.ServiceUID]-- // undo: keep the scenario static per op
+				mu.Unlock()
+				imbalance += max - min
+			}
+			b.ReportMetric(float64(imbalance)/float64(b.N), "spread")
+		})
+	}
+}
+
+// BenchmarkAblationSchedulerPriority measures how long a service waits for
+// placement on a saturated pilot with and without the service-priority
+// extension (paper §III: services must start before compute tasks).
+func BenchmarkAblationSchedulerPriority(b *testing.B) {
+	for _, priority := range []int{0, spec.ServicePriority} {
+		name := "fifo"
+		if priority > 0 {
+			name = "service-priority"
+		}
+		b.Run(name, func(b *testing.B) {
+			var waited int64
+			for i := 0; i < b.N; i++ {
+				plat := platform.New("bench", 1, platform.NodeSpec{Cores: 4, GPUs: 0, MemGB: 64})
+				placed := make(chan scheduler.Placement, 256)
+				sched := scheduler.New(plat.Nodes(), func(p scheduler.Placement) { placed <- p })
+				// fill the node, queue 32 tasks, then the service
+				if err := sched.Submit(scheduler.Request{UID: "filler", Cores: 4}); err != nil {
+					b.Fatal(err)
+				}
+				filler := <-placed
+				for t := 0; t < 32; t++ {
+					_ = sched.Submit(scheduler.Request{UID: fmt.Sprintf("task-%d", t), Cores: 4})
+				}
+				_ = sched.Submit(scheduler.Request{UID: "service", Cores: 4, Priority: priority})
+				// release resources one at a time until the service places
+				sched.Release(filler.Alloc)
+				grants := 0
+				for p := range placed {
+					grants++
+					if p.Req.UID == "service" {
+						break
+					}
+					sched.Release(p.Alloc)
+				}
+				waited += int64(grants)
+				sched.Close()
+			}
+			b.ReportMetric(float64(waited)/float64(b.N), "grants-before-service")
+		})
+	}
+}
+
+// BenchmarkAblationBackfill quantifies the cost of the strict-priority
+// (no-backfill) choice: throughput of small tasks while a large
+// high-priority request blocks the head of the queue.
+func BenchmarkAblationBackfill(b *testing.B) {
+	b.Run("strict-priority", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plat := platform.New("bench", 1, platform.NodeSpec{Cores: 8, GPUs: 0, MemGB: 64})
+			placed := make(chan scheduler.Placement, 64)
+			sched := scheduler.New(plat.Nodes(), func(p scheduler.Placement) { placed <- p })
+			_ = sched.Submit(scheduler.Request{UID: "hold", Cores: 6})
+			hold := <-placed
+			// head blocker needs 8 cores; small tasks of 1 core queue behind
+			_ = sched.Submit(scheduler.Request{UID: "big", Cores: 8, Priority: 100})
+			for t := 0; t < 8; t++ {
+				_ = sched.Submit(scheduler.Request{UID: "small", Cores: 1})
+			}
+			// release: big goes first, then smalls
+			sched.Release(hold.Alloc)
+			for granted := 0; granted < 9; granted++ {
+				p := <-placed
+				sched.Release(p.Alloc)
+			}
+			sched.Close()
+		}
+	})
+}
+
+// BenchmarkAblationPartitionedBootstrap quantifies the paper's §IV-B
+// mitigation for the launch penalty: partitioning a 640-instance
+// bootstrap into ≤160-instance waves keeps per-instance launch time at
+// the base (~2.2 s instead of ~20 s), trading per-instance overhead for
+// wall-clock (waves serialize on the dominant init time).
+func BenchmarkAblationPartitionedBootstrap(b *testing.B) {
+	for _, part := range []int{0, 160} {
+		name := "monolithic-640"
+		if part > 0 {
+			name = fmt.Sprintf("partition=%d", part)
+		}
+		b.Run(name, func(b *testing.B) {
+			var launch, wall float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunBT(context.Background(), experiments.BTConfig{
+					Counts: []int{640}, Model: "llama-8b", Scale: 200,
+					Seed: uint64(i + 1), Partition: part,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				launch += res.Rows[0].Launch.Mean.Seconds()
+				wall += res.Rows[0].Wall.Seconds()
+			}
+			b.ReportMetric(launch/float64(b.N), "launch-s")
+			b.ReportMetric(wall/float64(b.N), "wall-sim-s")
+		})
+	}
+}
+
+// --- micro-benchmarks on the substrates -----------------------------------------
+
+// BenchmarkInferenceRoundTrip measures one full client→service→client
+// round trip on the in-proc transport (noop model, zero-latency link).
+func BenchmarkInferenceRoundTrip(b *testing.B) {
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed: 1, Clock: simtime.NewScaled(100000, core.DefaultOrigin), FastBoot: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	p, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Cores: 256, GPUs: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm := sess.ServiceManager()
+	sm.AddPilot(p)
+	inst, err := sm.Submit(spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{Name: "svc", Cores: 1},
+		Model:           "noop",
+		ProbeInterval:   time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := sm.WaitReady(ctx, inst.UID()); err != nil {
+		b.Fatal(err)
+	}
+	cl, err := sess.Dial(platform.Addr("delta", "", "bench-client"), inst.Endpoint())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cl.Infer(ctx, "bench", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerThroughput measures placements per second through the
+// continuous scheduler.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	plat := platform.New("bench", 16, platform.NodeSpec{Cores: 64, GPUs: 8, MemGB: 256})
+	done := make(chan scheduler.Placement, 4096)
+	sched := scheduler.New(plat.Nodes(), func(p scheduler.Placement) { done <- p })
+	defer sched.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sched.Submit(scheduler.Request{UID: "t", Cores: 1}); err != nil {
+			b.Fatal(err)
+		}
+		p := <-done
+		sched.Release(p.Alloc)
+	}
+}

@@ -1,0 +1,107 @@
+// Command lucid-run executes one of the three LUCID use-case pipelines
+// (§II of the paper) end to end on a simulated Delta pilot and prints the
+// per-stage execution report.
+//
+// Usage:
+//
+//	lucid-run -pipeline cellpainting
+//	lucid-run -pipeline signature -llm
+//	lucid-run -pipeline uq -seeds 3
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/usecases"
+	"repro/internal/workflow"
+)
+
+func main() {
+	name := flag.String("pipeline", "cellpainting", "pipeline: cellpainting|signature|uq")
+	seed := flag.Uint64("seed", 42, "RNG seed")
+	scale := flag.Float64("scale", 100000, "clock compression factor")
+	useLLM := flag.Bool("llm", true, "signature: enable the LLM comparison stage")
+	seeds := flag.Int("seeds", 3, "uq: random seeds per method")
+	trials := flag.Int("trials", 8, "cellpainting: HPO trials")
+	flag.Parse()
+
+	if err := run(*name, *seed, *scale, *useLLM, *seeds, *trials); err != nil {
+		fmt.Fprintf(os.Stderr, "lucid-run: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, seed uint64, scale float64, useLLM bool, seeds, trials int) error {
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed:  seed,
+		Clock: simtime.NewScaled(scale, core.DefaultOrigin),
+	})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	p, err := sess.PilotManager().Submit(spec.PilotDescription{
+		Platform: "delta", Cores: 256, GPUs: 16,
+	})
+	if err != nil {
+		return err
+	}
+	runner, err := workflow.NewRunner(sess, p)
+	if err != nil {
+		return err
+	}
+
+	coll := metrics.NewCollector()
+	var pipe *workflow.Pipeline
+	switch name {
+	case "cellpainting":
+		pipe = usecases.CellPainting(usecases.CellPaintingConfig{
+			DatasetBytes: 16 << 30, // 16 GB demo-scale slice of the 1.6 TB set
+			HPOTrials:    trials,
+		}, sess.RNG())
+	case "signature":
+		pipe = usecases.Signature(usecases.SignatureConfig{
+			UseLLM:    useLLM,
+			Collector: coll,
+		}, sess.RNG())
+	case "uq":
+		pipe = usecases.UQ(usecases.UQConfig{Seeds: seeds})
+	default:
+		return fmt.Errorf("unknown pipeline %q", name)
+	}
+
+	fmt.Printf("running pipeline %q (clock compression %.0fx, seed %d)\n\n", pipe.Name, scale, seed)
+	start := time.Now()
+	rep, err := runner.Run(context.Background(), pipe)
+	if err != nil {
+		return err
+	}
+
+	tab := metrics.Table{
+		Title:  fmt.Sprintf("Pipeline %q — %s simulated, %s wall", pipe.Name, rep.Duration().Round(time.Second), time.Since(start).Round(time.Millisecond)),
+		Header: []string{"stage", "tasks", "services", "sim duration"},
+	}
+	stages := append([]workflow.StageReport{}, rep.Stages...)
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Started.Before(stages[j].Started) })
+	for _, s := range stages {
+		tab.AddRow(s.Stage, fmt.Sprintf("%d", s.Tasks), fmt.Sprintf("%d", s.Services),
+			s.Duration().Round(time.Second).String())
+	}
+	fmt.Print(tab.Render())
+
+	if n := coll.Count("sig.llm.inference"); n > 0 {
+		fmt.Printf("\nLLM signature comparison: %d inferences, %s\n",
+			n, coll.Stats("sig.llm.inference"))
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command rpexp regenerates the paper's tables and figures: Table I (use
+// cases), Table II (experiment setup), Fig. 3 (Exp 1, bootstrap-time
+// scaling), Figs. 4/5 (Exp 2, local/remote NOOP response time) and Fig. 6
+// (Exp 3, llama inference time).
+//
+// Usage:
+//
+//	rpexp -exp all
+//	rpexp -exp 1 -counts 1,8,64,320,640
+//	rpexp -exp 2 -deploy remote -scaling weak
+//	rpexp -exp 3 -deploy local -requests 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/usecases"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: 1|2|3|table1|table2|all")
+	deploy := flag.String("deploy", "both", "deployment for exp 2/3: local|remote|both")
+	scaling := flag.String("scaling", "both", "scaling for exp 2/3: strong|weak|both")
+	counts := flag.String("counts", "", "comma-separated instance counts for exp 1 (default: paper sweep)")
+	requests := flag.Int("requests", 0, "requests per client (default: paper values)")
+	seed := flag.Uint64("seed", 0, "override RNG seed (0: per-experiment defaults)")
+	flag.Parse()
+
+	ctx := context.Background()
+	run := func(name string, fn func() error) {
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "rpexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(s string) bool { return *exp == "all" || *exp == s }
+
+	if want("table1") {
+		run("Table I", func() error {
+			fmt.Print(usecases.TableI().Render())
+			return nil
+		})
+	}
+	if want("table2") {
+		run("Table II", func() error {
+			fmt.Print(experiments.TableII().Render())
+			return nil
+		})
+	}
+	if want("1") {
+		run("Experiment 1 (Fig. 3)", func() error {
+			cfg := experiments.DefaultBTConfig()
+			if *counts != "" {
+				cfg.Counts = parseCounts(*counts)
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			res, err := experiments.RunBT(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table().Render())
+			return nil
+		})
+	}
+	deployments := func() []experiments.Deployment {
+		switch *deploy {
+		case "local":
+			return []experiments.Deployment{experiments.DeployLocal}
+		case "remote":
+			return []experiments.Deployment{experiments.DeployRemote}
+		default:
+			return []experiments.Deployment{experiments.DeployLocal, experiments.DeployRemote}
+		}
+	}
+	scalings := func() []experiments.Scaling {
+		switch *scaling {
+		case "strong":
+			return []experiments.Scaling{experiments.ScalingStrong}
+		case "weak":
+			return []experiments.Scaling{experiments.ScalingWeak}
+		default:
+			return []experiments.Scaling{experiments.ScalingStrong, experiments.ScalingWeak}
+		}
+	}
+	if want("2") {
+		for _, d := range deployments() {
+			for _, sc := range scalings() {
+				d, sc := d, sc
+				run(fmt.Sprintf("Experiment 2 (%s, %s)", d, sc), func() error {
+					cfg := experiments.DefaultExp2Config(d, sc)
+					if *requests > 0 {
+						cfg.RequestsPerClient = *requests
+					}
+					if *seed != 0 {
+						cfg.Seed = *seed
+					}
+					res, err := experiments.RunRT(ctx, cfg)
+					if err != nil {
+						return err
+					}
+					fmt.Print(res.Table().Render())
+					return nil
+				})
+			}
+		}
+	}
+	if want("3") {
+		for _, d := range deployments() {
+			for _, sc := range scalings() {
+				d, sc := d, sc
+				run(fmt.Sprintf("Experiment 3 (%s, %s)", d, sc), func() error {
+					cfg := experiments.DefaultExp3Config(d, sc)
+					if *requests > 0 {
+						cfg.RequestsPerClient = *requests
+					}
+					if *seed != 0 {
+						cfg.Seed = *seed
+					}
+					res, err := experiments.RunRT(ctx, cfg)
+					if err != nil {
+						return err
+					}
+					fmt.Print(res.Table().Render())
+					return nil
+				})
+			}
+		}
+	}
+}
+
+func parseCounts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "rpexp: bad count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}

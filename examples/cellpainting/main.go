@@ -1,0 +1,92 @@
+// Cell Painting (paper §II-A): data pre-processing/augmentation of a
+// cell-painting image dataset runs asynchronously with ViT fine-tuning
+// under hyperparameter optimization — training starts as soon as the first
+// processed shards are staged, while preprocessing continues.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/usecases"
+	"repro/internal/workflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "cellpainting: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed:  7,
+		Clock: simtime.NewScaled(500000, core.DefaultOrigin),
+	})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	p, err := sess.PilotManager().Submit(spec.PilotDescription{
+		Platform: "delta", Cores: 256, GPUs: 16,
+	})
+	if err != nil {
+		return err
+	}
+	runner, err := workflow.NewRunner(sess, p)
+	if err != nil {
+		return err
+	}
+
+	// Demo scale: a 64 GB slice of the ~1.6 TB dataset, 8 shards, 8 HPO
+	// trials (lr × batch × decay × dropout random search).
+	pipe := usecases.CellPainting(usecases.CellPaintingConfig{
+		DatasetBytes: 64 << 30,
+		Shards:       8,
+		HPOTrials:    8,
+	}, sess.RNG())
+
+	fmt.Println("running Cell Painting pipeline (use case II-A) ...")
+	rep, err := runner.Run(context.Background(), pipe)
+	if err != nil {
+		return err
+	}
+
+	stages := append([]workflow.StageReport{}, rep.Stages...)
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Started.Before(stages[j].Started) })
+	for _, s := range stages {
+		fmt.Printf("  stage %-22s tasks=%-3d started=+%-8s duration=%s\n",
+			s.Stage, s.Tasks,
+			s.Started.Sub(rep.Started).Round(time.Second),
+			s.Duration().Round(time.Second))
+	}
+	fmt.Printf("pipeline finished in %s simulated\n", rep.Duration().Round(time.Second))
+
+	// demonstrate the asynchronous coupling the paper motivates
+	prep, _ := rep.StageReport("preprocess-augment")
+	train, _ := rep.StageReport("train-hpo")
+	if train.Started.Before(prep.Finished) {
+		fmt.Printf("training started %s before preprocessing finished (asynchronous coupling)\n",
+			prep.Finished.Sub(train.Started).Round(time.Second))
+	}
+	// show explored hyperparameters
+	fmt.Println("explored hyperparameter configurations:")
+	for _, st := range pipe.Stages {
+		if st.Name != "train-hpo" {
+			continue
+		}
+		for _, tk := range st.Tasks {
+			fmt.Printf("  %s: lr=%s batch=%s decay=%s dropout=%s\n",
+				tk.Name, tk.Metadata["lr"], tk.Metadata["batch"], tk.Metadata["decay"], tk.Metadata["dropout"])
+		}
+	}
+	return nil
+}

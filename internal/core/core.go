@@ -1,0 +1,476 @@
+// Package core is the client-facing runtime facade — the analogue of
+// RADICAL-Pilot's client layer extended with the paper's service
+// capabilities. A Session owns the clock, RNG, platform topology,
+// communication network and metrics; a PilotManager acquires pilots; a
+// TaskManager and a ServiceManager submit TaskDescriptions and
+// ServiceDescriptions through one unified API (Fig. 2 (1)); an Updater
+// publishes every entity state transition on a dedicated channel
+// (Fig. 2 (6)). Remote (e.g. R3-hosted) services register their endpoints
+// directly with the session, so client tasks consume local and remote
+// model instances through the same interface.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/loadbal"
+	"repro/internal/metrics"
+	"repro/internal/msgq"
+	"repro/internal/pilot"
+	"repro/internal/platform"
+	"repro/internal/profile"
+	"repro/internal/proto"
+	"repro/internal/restapi"
+	"repro/internal/rng"
+	"repro/internal/service"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/states"
+)
+
+// DefaultOrigin is the simulated epoch used when no clock is supplied.
+var DefaultOrigin = time.Date(2025, 3, 17, 0, 0, 0, 0, time.UTC)
+
+// UpdatesAddr is the session-level PUB endpoint for state updates.
+const UpdatesAddr = "session//updates"
+
+// SessionConfig parameterizes a Session.
+type SessionConfig struct {
+	// Seed drives all stochastic behaviour; the same seed replays the
+	// same run.
+	Seed uint64
+	// Clock defaults to a 1000x scaled clock at DefaultOrigin.
+	Clock simtime.Clock
+	// Topology defaults to the paper's three platforms (frontier, delta,
+	// r3).
+	Topology *platform.Topology
+	// FastBoot zeroes pilot boot, launch and publish overheads. Use for
+	// runs that measure steady-state behaviour (the paper's Exp 2/3, where
+	// bootstrap is out of scope) on low clock scales where those sleeps
+	// would cost real wall time.
+	FastBoot bool
+}
+
+// Session is one runtime instance.
+type Session struct {
+	uid   string
+	clock simtime.Clock
+	src   *rng.Source
+	topo  *platform.Topology
+	net   *msgq.Network
+	coll  *metrics.Collector
+	prof  *profile.Recorder
+
+	updates msgq.Publisher
+
+	mu       sync.Mutex
+	closed   bool
+	remotes  map[string]proto.Endpoint
+	fastBoot bool
+
+	pm *PilotManager
+	tm *TaskManager
+	sm *ServiceManager
+}
+
+// NewSession assembles a runtime session.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = simtime.NewScaled(1000, DefaultOrigin)
+	}
+	if cfg.Topology == nil {
+		cfg.Topology = platform.DefaultTopology()
+	}
+	src := rng.New(cfg.Seed)
+	net := msgq.NewNetwork(cfg.Clock, src.Derive("net"), cfg.Topology.Resolver())
+	s := &Session{
+		uid:      fmt.Sprintf("session.%08x", src.Derive("uid").Uint64()&0xffffffff),
+		clock:    cfg.Clock,
+		src:      src,
+		topo:     cfg.Topology,
+		net:      net,
+		coll:     metrics.NewCollector(),
+		prof:     profile.NewRecorder(),
+		remotes:  make(map[string]proto.Endpoint),
+		fastBoot: cfg.FastBoot,
+	}
+	pub, err := net.BindPub(UpdatesAddr)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	s.updates = pub
+	s.pm = &PilotManager{sess: s, pilots: make(map[string]*pilot.Pilot)}
+	s.tm = &TaskManager{sess: s}
+	s.sm = &ServiceManager{sess: s, owner: make(map[string]*pilot.Pilot)}
+	return s, nil
+}
+
+// UID returns the session identifier.
+func (s *Session) UID() string { return s.uid }
+
+// Clock returns the session clock.
+func (s *Session) Clock() simtime.Clock { return s.clock }
+
+// RNG returns the session's root RNG source.
+func (s *Session) RNG() *rng.Source { return s.src }
+
+// Network returns the session's communication network.
+func (s *Session) Network() *msgq.Network { return s.net }
+
+// Topology returns the platform topology.
+func (s *Session) Topology() *platform.Topology { return s.topo }
+
+// Metrics returns the session-wide metrics collector.
+func (s *Session) Metrics() *metrics.Collector { return s.coll }
+
+// Profile returns the session profile recorder (the RADICAL-Analytics
+// analogue): every entity state transition is recorded with its clock
+// timestamp and can be exported as CSV.
+func (s *Session) Profile() *profile.Recorder { return s.prof }
+
+// PilotManager returns the session's pilot manager.
+func (s *Session) PilotManager() *PilotManager { return s.pm }
+
+// TaskManager returns the session's task manager.
+func (s *Session) TaskManager() *TaskManager { return s.tm }
+
+// ServiceManager returns the session's service manager.
+func (s *Session) ServiceManager() *ServiceManager { return s.sm }
+
+// SubscribeUpdates attaches to the Updater's state-update channel,
+// optionally filtered by entity topics ("pilot", "task", "service").
+func (s *Session) SubscribeUpdates(buffer int, topics ...string) (*msgq.Subscription, error) {
+	return s.net.Subscribe("client", UpdatesAddr, buffer, topics...)
+}
+
+// publishState is the Updater: it broadcasts one state transition on the
+// session's update channel and records it in the session profile.
+func (s *Session) publishState(entity string) states.Callback {
+	record := s.prof.Callback(entity)
+	return func(uid string, from, to states.State, at time.Time) {
+		record(uid, from, to, at)
+		env, err := proto.NewEnvelope(proto.KindStateUpdate, 0, uid, "", at, proto.StateUpdate{
+			EntityUID: uid, Entity: entity, State: string(to), At: at,
+		})
+		if err != nil {
+			return
+		}
+		s.updates.Publish(entity, env)
+	}
+}
+
+// RegisterRemote adds a remote (externally managed, e.g. R3-hosted)
+// service endpoint to the session. Remote models "are usually persistent
+// on dedicated resources and do not need to be bootstrapped" (§IV).
+func (s *Session) RegisterRemote(ep proto.Endpoint) {
+	s.mu.Lock()
+	s.remotes[ep.ServiceUID] = ep
+	s.mu.Unlock()
+}
+
+// RemoteEndpoints returns registered remote endpoints (all models when
+// model is empty).
+func (s *Session) RemoteEndpoints(model string) []proto.Endpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []proto.Endpoint
+	for _, ep := range s.remotes {
+		if model == "" || ep.Model == model {
+			out = append(out, ep)
+		}
+	}
+	sortEndpoints(out)
+	return out
+}
+
+// Dial connects a client address to a service endpoint, dispatching on
+// the endpoint protocol: msgq endpoints get an in-network client, REST
+// endpoints (remote R3-style deployments) get an HTTP-backed caller. Both
+// satisfy service.Caller, so client tasks are agnostic to locality.
+func (s *Session) Dial(clientAddr string, ep proto.Endpoint) (service.Caller, error) {
+	if ep.Protocol == "rest" {
+		return restapi.NewCaller(ep, s.clock)
+	}
+	return service.Dial(s.net, s.clock, clientAddr, ep)
+}
+
+// Pool returns a load-balanced Caller over all endpoints of model,
+// re-resolved per request across local pilots and remote registrations.
+func (s *Session) Pool(clientAddr, model string, bal loadbal.Balancer) (*service.Pool, error) {
+	return service.NewPool(s.net, s.clock, clientAddr, bal, func() []proto.Endpoint {
+		return s.sm.Endpoints(model)
+	})
+}
+
+// Close shuts the session down: pilots, services, network.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.pm.shutdownAll()
+	s.net.Close()
+}
+
+func sortEndpoints(eps []proto.Endpoint) {
+	for i := 1; i < len(eps); i++ {
+		for j := i; j > 0 && eps[j].ServiceUID < eps[j-1].ServiceUID; j-- {
+			eps[j], eps[j-1] = eps[j-1], eps[j]
+		}
+	}
+}
+
+// --- PilotManager -----------------------------------------------------------
+
+// PilotManager acquires and tracks pilots.
+type PilotManager struct {
+	sess *Session
+
+	mu     sync.Mutex
+	seq    int
+	pilots map[string]*pilot.Pilot
+}
+
+// Submit launches a pilot on the described platform.
+func (pm *PilotManager) Submit(desc spec.PilotDescription) (*pilot.Pilot, error) {
+	plat := pm.sess.topo.Platform(desc.Platform)
+	if plat == nil {
+		return nil, fmt.Errorf("core: unknown platform %q", desc.Platform)
+	}
+	pm.mu.Lock()
+	pm.seq++
+	seq := pm.seq
+	pm.mu.Unlock()
+	if desc.UID == "" {
+		desc.UID = fmt.Sprintf("pilot.%s.%04d", desc.Platform, seq)
+	}
+	cfg := pilot.Config{
+		Clock:         pm.sess.clock,
+		Src:           pm.sess.src.Derive(fmt.Sprintf("pilot.%s.%d", desc.Platform, seq)),
+		Net:           pm.sess.net,
+		Platform:      plat,
+		StateCallback: pm.sess.publishState("task"),
+	}
+	if pm.sess.fastBoot {
+		cfg.BootTime = rng.ConstDuration(0)
+		cfg.PublishOverhead = rng.ConstDuration(0)
+		cfg.LaunchModel = &platform.LaunchModel{}
+	}
+	p, err := pilot.Launch(cfg, desc)
+	if err != nil {
+		return nil, err
+	}
+	pm.mu.Lock()
+	pm.pilots[p.UID()] = p
+	pm.mu.Unlock()
+	return p, nil
+}
+
+// Get returns a pilot by UID.
+func (pm *PilotManager) Get(uid string) (*pilot.Pilot, bool) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	p, ok := pm.pilots[uid]
+	return p, ok
+}
+
+// List returns all pilots.
+func (pm *PilotManager) List() []*pilot.Pilot {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	out := make([]*pilot.Pilot, 0, len(pm.pilots))
+	for _, p := range pm.pilots {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (pm *PilotManager) shutdownAll() {
+	for _, p := range pm.List() {
+		if p.State() == states.PilotActive {
+			_ = p.Shutdown()
+		}
+	}
+}
+
+// --- TaskManager -------------------------------------------------------------
+
+// TaskManager submits compute tasks across the session's pilots.
+type TaskManager struct {
+	sess *Session
+
+	mu     sync.Mutex
+	pilots []*pilot.Pilot
+	rr     int
+	owner  sync.Map // task UID → *pilot.Pilot
+}
+
+// AddPilot attaches a pilot to the task manager.
+func (tm *TaskManager) AddPilot(p *pilot.Pilot) {
+	tm.mu.Lock()
+	tm.pilots = append(tm.pilots, p)
+	tm.mu.Unlock()
+}
+
+// Submit dispatches descriptions round-robin over attached pilots.
+func (tm *TaskManager) Submit(ctx context.Context, descs ...spec.TaskDescription) ([]*pilot.Task, error) {
+	tm.mu.Lock()
+	if len(tm.pilots) == 0 {
+		tm.mu.Unlock()
+		return nil, errors.New("core: task manager has no pilots")
+	}
+	pilots := append([]*pilot.Pilot{}, tm.pilots...)
+	start := tm.rr
+	tm.rr += len(descs)
+	tm.mu.Unlock()
+
+	tasks := make([]*pilot.Task, 0, len(descs))
+	for i, d := range descs {
+		p := pilots[(start+i)%len(pilots)]
+		t, err := p.SubmitTask(ctx, d)
+		if err != nil {
+			return tasks, err
+		}
+		tm.owner.Store(t.UID(), p)
+		tasks = append(tasks, t)
+	}
+	return tasks, nil
+}
+
+// Wait blocks until the listed tasks finish; with none listed it waits for
+// every task on every attached pilot.
+func (tm *TaskManager) Wait(ctx context.Context, tasks ...*pilot.Task) error {
+	if len(tasks) == 0 {
+		tm.mu.Lock()
+		pilots := append([]*pilot.Pilot{}, tm.pilots...)
+		tm.mu.Unlock()
+		for _, p := range pilots {
+			if err := p.WaitTasks(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var firstErr error
+	for _, t := range tasks {
+		v, ok := tm.owner.Load(t.UID())
+		if !ok {
+			return fmt.Errorf("core: task %s not owned by this manager", t.UID())
+		}
+		if err := v.(*pilot.Pilot).WaitTasks(ctx, t.UID()); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// --- ServiceManager -----------------------------------------------------------
+
+// ServiceManager submits service tasks across pilots and aggregates
+// endpoint discovery over local pilots and remote registrations.
+type ServiceManager struct {
+	sess *Session
+
+	mu     sync.Mutex
+	pilots []*pilot.Pilot
+	rr     int
+	owner  map[string]*pilot.Pilot // service UID → hosting pilot
+}
+
+// AddPilot attaches a pilot to the service manager.
+func (sm *ServiceManager) AddPilot(p *pilot.Pilot) {
+	sm.mu.Lock()
+	sm.pilots = append(sm.pilots, p)
+	sm.mu.Unlock()
+}
+
+// Submit dispatches one service description to the next pilot.
+func (sm *ServiceManager) Submit(d spec.ServiceDescription) (*service.Instance, error) {
+	sm.mu.Lock()
+	if len(sm.pilots) == 0 {
+		sm.mu.Unlock()
+		return nil, errors.New("core: service manager has no pilots")
+	}
+	p := sm.pilots[sm.rr%len(sm.pilots)]
+	sm.rr++
+	sm.mu.Unlock()
+
+	inst, err := p.Services().Submit(d)
+	if err != nil {
+		return nil, err
+	}
+	sm.mu.Lock()
+	sm.owner[inst.UID()] = p
+	sm.mu.Unlock()
+	return inst, nil
+}
+
+// WaitReady blocks until the listed services are ACTIVE.
+func (sm *ServiceManager) WaitReady(ctx context.Context, uids ...string) error {
+	for _, uid := range uids {
+		sm.mu.Lock()
+		p, ok := sm.owner[uid]
+		sm.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("core: service %s not owned by this manager", uid)
+		}
+		if err := p.Services().WaitReady(ctx, uid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Terminate stops a managed service.
+func (sm *ServiceManager) Terminate(uid string, drain bool) error {
+	sm.mu.Lock()
+	p, ok := sm.owner[uid]
+	sm.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: service %s not owned by this manager", uid)
+	}
+	return p.Services().Terminate(uid, drain)
+}
+
+// Get returns a managed instance.
+func (sm *ServiceManager) Get(uid string) (*service.Instance, bool) {
+	sm.mu.Lock()
+	p, ok := sm.owner[uid]
+	sm.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return p.Services().Get(uid)
+}
+
+// Endpoints returns every known endpoint for model (local pilots plus
+// remote registrations), in deterministic order.
+func (sm *ServiceManager) Endpoints(model string) []proto.Endpoint {
+	sm.mu.Lock()
+	pilots := append([]*pilot.Pilot{}, sm.pilots...)
+	sm.mu.Unlock()
+	var out []proto.Endpoint
+	for _, p := range pilots {
+		out = append(out, p.Registry().ByModel(model)...)
+	}
+	out = append(out, sm.sess.RemoteEndpoints(model)...)
+	sortEndpoints(out)
+	return out
+}
+
+// QueueDepth reports a managed service's live queue depth (remote
+// endpoints report 0: their depth is not observable from the client side).
+func (sm *ServiceManager) QueueDepth(uid string) int {
+	if inst, ok := sm.Get(uid); ok {
+		return inst.QueueDepth()
+	}
+	return 0
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/states"
+)
+
+func newSession(t *testing.T, scale float64) *Session {
+	t.Helper()
+	s, err := NewSession(SessionConfig{
+		Seed:  42,
+		Clock: simtime.NewScaled(scale, DefaultOrigin),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func deltaPilotDesc() spec.PilotDescription {
+	return spec.PilotDescription{Platform: "delta", Cores: 256, GPUs: 16}
+}
+
+func TestSessionDefaults(t *testing.T) {
+	s, err := NewSession(SessionConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.UID() == "" || s.Clock() == nil || s.Topology() == nil || s.Network() == nil {
+		t.Fatal("session accessors incomplete")
+	}
+	if s.Topology().Platform("frontier") == nil {
+		t.Fatal("default topology missing frontier")
+	}
+}
+
+func TestPilotManagerSubmitAndGet(t *testing.T) {
+	s := newSession(t, 100000)
+	p, err := s.PilotManager().Submit(deltaPilotDesc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.PilotManager().Get(p.UID()); !ok || got != p {
+		t.Fatal("Get did not return the pilot")
+	}
+	if len(s.PilotManager().List()) != 1 {
+		t.Fatal("List size wrong")
+	}
+}
+
+func TestPilotManagerUnknownPlatform(t *testing.T) {
+	s := newSession(t, 100000)
+	if _, err := s.PilotManager().Submit(spec.PilotDescription{Platform: "mars", Nodes: 1}); err == nil {
+		t.Fatal("accepted unknown platform")
+	}
+}
+
+func TestTaskManagerNoPilots(t *testing.T) {
+	s := newSession(t, 100000)
+	if _, err := s.TaskManager().Submit(context.Background(), spec.TaskDescription{
+		Name: "t", Cores: 1, Duration: rng.ConstDuration(time.Second),
+	}); err == nil {
+		t.Fatal("Submit without pilots succeeded")
+	}
+}
+
+func TestEndToEndTaskExecution(t *testing.T) {
+	s := newSession(t, 100000)
+	p, err := s.PilotManager().Submit(deltaPilotDesc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := s.TaskManager()
+	tm.AddPilot(p)
+	descs := make([]spec.TaskDescription, 8)
+	for i := range descs {
+		descs[i] = spec.TaskDescription{Name: "sim", Cores: 8, Duration: rng.ConstDuration(10 * time.Second)}
+	}
+	tasks, err := tm.Submit(context.Background(), descs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tm.Wait(ctx, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if task.State() != states.TaskDone {
+			t.Fatalf("task %s = %s", task.UID(), task.State())
+		}
+	}
+}
+
+func TestEndToEndServiceInference(t *testing.T) {
+	s := newSession(t, 1000)
+	p, err := s.PilotManager().Submit(deltaPilotDesc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := s.ServiceManager()
+	sm.AddPilot(p)
+	inst, err := sm.Submit(spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{Name: "llm", GPUs: 1},
+		Model:           "llama-8b",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := sm.WaitReady(ctx, inst.UID()); err != nil {
+		t.Fatal(err)
+	}
+	eps := sm.Endpoints("llama-8b")
+	if len(eps) != 1 {
+		t.Fatalf("endpoints = %d", len(eps))
+	}
+	client, err := s.Dial(platform.Addr("delta", "", "client.0001"), eps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	reply, rt, err := client.Infer(ctx, "hypothesize a radiation signature", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.OutputTokens < 1 || rt.Total() <= 0 {
+		t.Fatalf("reply = %+v rt = %+v", reply, rt)
+	}
+	if err := sm.Terminate(inst.UID(), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceManagerRoundRobinAcrossPilots(t *testing.T) {
+	s := newSession(t, 100000)
+	p1, err := s.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := s.ServiceManager()
+	sm.AddPilot(p1)
+	sm.AddPilot(p2)
+	a, _ := sm.Submit(spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{Name: "a", Cores: 1}, Model: "noop"})
+	b, _ := sm.Submit(spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{Name: "b", Cores: 1}, Model: "noop"})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sm.WaitReady(ctx, a.UID(), b.UID()); err != nil {
+		t.Fatal(err)
+	}
+	// one service per pilot registry
+	if len(p1.Registry().All()) != 1 || len(p2.Registry().All()) != 1 {
+		t.Fatalf("distribution = %d/%d, want 1/1", len(p1.Registry().All()), len(p2.Registry().All()))
+	}
+}
+
+func TestRemoteEndpointRegistration(t *testing.T) {
+	s := newSession(t, 100000)
+	s.RegisterRemote(proto.Endpoint{ServiceUID: "r3.svc.1", Model: "llama-8b", Address: "r3/r3-node0000/svc.1", Protocol: "msgq"})
+	s.RegisterRemote(proto.Endpoint{ServiceUID: "r3.svc.2", Model: "noop", Address: "r3/r3-node0000/svc.2", Protocol: "msgq"})
+	if got := len(s.RemoteEndpoints("")); got != 2 {
+		t.Fatalf("all remotes = %d", got)
+	}
+	if got := len(s.RemoteEndpoints("llama-8b")); got != 1 {
+		t.Fatalf("llama remotes = %d", got)
+	}
+	// merged discovery through the ServiceManager
+	if got := len(s.ServiceManager().Endpoints("llama-8b")); got != 1 {
+		t.Fatalf("merged endpoints = %d", got)
+	}
+}
+
+func TestUpdaterPublishesStateTransitions(t *testing.T) {
+	s := newSession(t, 100000)
+	sub, err := s.SubscribeUpdates(256, "task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+	p, err := s.PilotManager().Submit(deltaPilotDesc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := s.TaskManager()
+	tm.AddPilot(p)
+	tasks, _ := tm.Submit(context.Background(), spec.TaskDescription{
+		Name: "watched", Cores: 1, Duration: rng.ConstDuration(time.Second),
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tm.Wait(ctx, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	sawDone := false
+	deadline := time.After(5 * time.Second)
+	for !sawDone {
+		select {
+		case env := <-sub.C:
+			var up proto.StateUpdate
+			if err := env.Decode(proto.KindStateUpdate, &up); err != nil {
+				t.Fatal(err)
+			}
+			if up.EntityUID == tasks[0].UID() && up.State == string(states.TaskDone) {
+				sawDone = true
+			}
+		case <-deadline:
+			t.Fatal("never observed DONE on the update channel")
+		}
+	}
+}
+
+func TestSessionCloseShutsPilots(t *testing.T) {
+	s := newSession(t, 100000)
+	p, err := s.PilotManager().Submit(deltaPilotDesc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if p.State() != states.PilotDone {
+		t.Fatalf("pilot state after session close = %s", p.State())
+	}
+}
+
+func TestSessionProfileRecordsTaskLifecycle(t *testing.T) {
+	s := newSession(t, 100000)
+	p, err := s.PilotManager().Submit(deltaPilotDesc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := s.TaskManager()
+	tm.AddPilot(p)
+	tasks, err := tm.Submit(context.Background(), spec.TaskDescription{
+		Name: "profiled", Cores: 1, Duration: rng.ConstDuration(7 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tm.Wait(ctx, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	prof := s.Profile()
+	if prof.Len() == 0 {
+		t.Fatal("profile recorded nothing")
+	}
+	ds := prof.Durations("task", states.TaskExecuting, states.TaskStagingOutput)
+	found := false
+	for _, d := range ds {
+		if d >= 7*time.Second {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no execution span ≥ 7s in profile: %v", ds)
+	}
+}
+
+func TestSessionDeterministicUID(t *testing.T) {
+	a, _ := NewSession(SessionConfig{Seed: 9, Clock: simtime.NewScaled(1000, DefaultOrigin)})
+	defer a.Close()
+	b, _ := NewSession(SessionConfig{Seed: 9, Clock: simtime.NewScaled(1000, DefaultOrigin)})
+	defer b.Close()
+	if a.UID() != b.UID() {
+		t.Fatal("same seed produced different session UIDs")
+	}
+}

@@ -1,0 +1,294 @@
+// Package hpo is the hyperparameter-optimization substrate of the Cell
+// Painting pipeline — the Optuna analogue the paper names: "The training
+// is iterative, driven by hyperparameter optimization using the Optuna
+// framework." It implements the ask/tell protocol with two samplers
+// (random search and a TPE-flavoured good/bad density-ratio sampler) and
+// median pruning of unpromising trials.
+package hpo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Param is one dimension of the search space.
+type Param struct {
+	// Name identifies the hyperparameter.
+	Name string
+	// Choices are the candidate values (categorical/log-grid search space,
+	// matching the pipeline's lr/batch/decay/dropout grids).
+	Choices []float64
+}
+
+// Space is a named search space.
+type Space []Param
+
+// Validate checks the space for emptiness.
+func (s Space) Validate() error {
+	if len(s) == 0 {
+		return errors.New("hpo: empty search space")
+	}
+	for _, p := range s {
+		if p.Name == "" || len(p.Choices) == 0 {
+			return fmt.Errorf("hpo: parameter %q has no choices", p.Name)
+		}
+	}
+	return nil
+}
+
+// Trial is one sampled configuration.
+type Trial struct {
+	ID     int
+	Params map[string]float64
+	// Value is the reported objective (lower is better); NaN until told.
+	Value float64
+	// State is "running", "complete" or "pruned".
+	State string
+}
+
+// Sampler proposes configurations.
+type Sampler interface {
+	Sample(space Space, history []Trial, src *rng.Source) map[string]float64
+}
+
+// RandomSampler draws each parameter uniformly from its choices.
+type RandomSampler struct{}
+
+// Sample implements Sampler.
+func (RandomSampler) Sample(space Space, _ []Trial, src *rng.Source) map[string]float64 {
+	out := make(map[string]float64, len(space))
+	for _, p := range space {
+		out[p.Name] = p.Choices[src.Intn(len(p.Choices))]
+	}
+	return out
+}
+
+// TPESampler is a simplified Tree-structured Parzen Estimator: completed
+// trials are split into good (best gamma fraction) and bad; each
+// parameter choice is sampled proportionally to the smoothed ratio of its
+// frequency among good versus bad trials. Falls back to random until
+// enough history exists.
+type TPESampler struct {
+	// Gamma is the good fraction (default 0.25).
+	Gamma float64
+	// MinHistory is the trial count before TPE engages (default 8).
+	MinHistory int
+}
+
+// Sample implements Sampler.
+func (t TPESampler) Sample(space Space, history []Trial, src *rng.Source) map[string]float64 {
+	gamma := t.Gamma
+	if gamma <= 0 || gamma >= 1 {
+		gamma = 0.25
+	}
+	minHist := t.MinHistory
+	if minHist <= 0 {
+		minHist = 8
+	}
+	var done []Trial
+	for _, tr := range history {
+		if tr.State == "complete" && !math.IsNaN(tr.Value) {
+			done = append(done, tr)
+		}
+	}
+	if len(done) < minHist {
+		return RandomSampler{}.Sample(space, history, src)
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].Value < done[j].Value })
+	nGood := int(math.Ceil(gamma * float64(len(done))))
+	good, bad := done[:nGood], done[nGood:]
+
+	out := make(map[string]float64, len(space))
+	for _, p := range space {
+		weights := make([]float64, len(p.Choices))
+		for i, c := range p.Choices {
+			g := countChoice(good, p.Name, c) + 1.0 // Laplace smoothing
+			b := countChoice(bad, p.Name, c) + 1.0
+			weights[i] = g / b
+		}
+		out[p.Name] = p.Choices[weightedPick(weights, src)]
+	}
+	return out
+}
+
+func countChoice(trials []Trial, name string, c float64) float64 {
+	n := 0.0
+	for _, tr := range trials {
+		if v, ok := tr.Params[name]; ok && v == c {
+			n++
+		}
+	}
+	return n
+}
+
+func weightedPick(weights []float64, src *rng.Source) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	r := src.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Study coordinates trials. It is safe for concurrent ask/tell, matching
+// the pipeline's concurrently executing training tasks.
+type Study struct {
+	space   Space
+	sampler Sampler
+	src     *rng.Source
+
+	mu     sync.Mutex
+	nextID int
+	trials map[int]*Trial
+	// prune medians: intermediate reports per trial
+	reports map[int][]float64
+}
+
+// NewStudy validates the space and builds a Study. sampler defaults to
+// TPE.
+func NewStudy(space Space, sampler Sampler, src *rng.Source) (*Study, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("hpo: nil rng source")
+	}
+	if sampler == nil {
+		sampler = TPESampler{}
+	}
+	return &Study{
+		space:   space,
+		sampler: sampler,
+		src:     src,
+		trials:  make(map[int]*Trial),
+		reports: make(map[int][]float64),
+	}, nil
+}
+
+// Ask samples a new trial.
+func (s *Study) Ask() Trial {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist := s.historyLocked()
+	params := s.sampler.Sample(s.space, hist, s.src)
+	s.nextID++
+	tr := &Trial{ID: s.nextID, Params: params, Value: math.NaN(), State: "running"}
+	s.trials[tr.ID] = tr
+	return *tr
+}
+
+// Tell reports a trial's final objective value.
+func (s *Study) Tell(id int, value float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.trials[id]
+	if !ok {
+		return fmt.Errorf("hpo: unknown trial %d", id)
+	}
+	if tr.State != "running" {
+		return fmt.Errorf("hpo: trial %d already %s", id, tr.State)
+	}
+	tr.Value = value
+	tr.State = "complete"
+	return nil
+}
+
+// Report records an intermediate value and returns true if the trial
+// should be pruned: the value is worse than the median of other trials'
+// reports at the same step (Optuna's MedianPruner).
+func (s *Study) Report(id int, step int, value float64) (prune bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.trials[id]
+	if !ok {
+		return false, fmt.Errorf("hpo: unknown trial %d", id)
+	}
+	if tr.State != "running" {
+		return false, fmt.Errorf("hpo: trial %d already %s", id, tr.State)
+	}
+	// collect other trials' value at this step
+	var peers []float64
+	for otherID, reports := range s.reports {
+		if otherID == id {
+			continue
+		}
+		if step < len(reports) {
+			peers = append(peers, reports[step])
+		}
+	}
+	reports := s.reports[id]
+	for len(reports) <= step {
+		reports = append(reports, math.NaN())
+	}
+	reports[step] = value
+	s.reports[id] = reports
+
+	if len(peers) < 2 {
+		return false, nil
+	}
+	sort.Float64s(peers)
+	median := peers[len(peers)/2]
+	return value > median, nil
+}
+
+// Prune marks a trial pruned.
+func (s *Study) Prune(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.trials[id]
+	if !ok {
+		return fmt.Errorf("hpo: unknown trial %d", id)
+	}
+	if tr.State != "running" {
+		return fmt.Errorf("hpo: trial %d already %s", id, tr.State)
+	}
+	tr.State = "pruned"
+	return nil
+}
+
+// Best returns the completed trial with the lowest value.
+func (s *Study) Best() (Trial, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Trial
+	for _, tr := range s.trials {
+		if tr.State != "complete" {
+			continue
+		}
+		if best == nil || tr.Value < best.Value {
+			best = tr
+		}
+	}
+	if best == nil {
+		return Trial{}, errors.New("hpo: no completed trials")
+	}
+	return *best, nil
+}
+
+// Trials returns all trials sorted by ID.
+func (s *Study) Trials() []Trial {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.historyLocked()
+	return out
+}
+
+func (s *Study) historyLocked() []Trial {
+	out := make([]Trial, 0, len(s.trials))
+	for _, tr := range s.trials {
+		out = append(out, *tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

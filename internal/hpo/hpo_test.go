@@ -1,0 +1,208 @@
+package hpo
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func space() Space {
+	return Space{
+		{Name: "lr", Choices: []float64{1e-5, 3e-5, 1e-4, 3e-4}},
+		{Name: "batch", Choices: []float64{16, 32, 64, 128}},
+		{Name: "dropout", Choices: []float64{0, 0.1, 0.2, 0.3}},
+	}
+}
+
+// objective is a deterministic surrogate: best at lr=1e-4, batch=64,
+// dropout=0.1.
+func objective(p map[string]float64) float64 {
+	loss := 0.0
+	loss += math.Abs(math.Log10(p["lr"]) - math.Log10(1e-4))
+	loss += math.Abs(p["batch"]-64) / 64
+	loss += math.Abs(p["dropout"] - 0.1)
+	return loss
+}
+
+func TestSpaceValidation(t *testing.T) {
+	if err := (Space{}).Validate(); err == nil {
+		t.Fatal("accepted empty space")
+	}
+	if err := (Space{{Name: "x"}}).Validate(); err == nil {
+		t.Fatal("accepted choiceless param")
+	}
+	if _, err := NewStudy(Space{}, nil, rng.New(1)); err == nil {
+		t.Fatal("NewStudy accepted bad space")
+	}
+	if _, err := NewStudy(space(), nil, nil); err == nil {
+		t.Fatal("NewStudy accepted nil source")
+	}
+}
+
+func TestAskTellBest(t *testing.T) {
+	st, err := NewStudy(space(), RandomSampler{}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tr := st.Ask()
+		if tr.State != "running" || len(tr.Params) != 3 {
+			t.Fatalf("trial = %+v", tr)
+		}
+		if err := st.Tell(tr.ID, objective(tr.Params)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best, err := st.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.State != "complete" || math.IsNaN(best.Value) {
+		t.Fatalf("best = %+v", best)
+	}
+	// best of 20 random draws over 64 configs should be decent
+	if best.Value > 2.0 {
+		t.Fatalf("best value %v implausibly bad", best.Value)
+	}
+}
+
+func TestTellErrors(t *testing.T) {
+	st, _ := NewStudy(space(), RandomSampler{}, rng.New(1))
+	if err := st.Tell(999, 1); err == nil {
+		t.Fatal("Tell accepted unknown trial")
+	}
+	tr := st.Ask()
+	_ = st.Tell(tr.ID, 1)
+	if err := st.Tell(tr.ID, 2); err == nil {
+		t.Fatal("double Tell accepted")
+	}
+}
+
+func TestBestNoCompleted(t *testing.T) {
+	st, _ := NewStudy(space(), RandomSampler{}, rng.New(1))
+	st.Ask()
+	if _, err := st.Best(); err == nil {
+		t.Fatal("Best succeeded with no completed trials")
+	}
+}
+
+func TestTPEBeatsRandomOnAverage(t *testing.T) {
+	// run both samplers for the same budget across several seeds and
+	// compare the mean best objective: TPE must not lose
+	run := func(s Sampler, seed uint64) float64 {
+		st, _ := NewStudy(space(), s, rng.New(seed))
+		for i := 0; i < 48; i++ {
+			tr := st.Ask()
+			_ = st.Tell(tr.ID, objective(tr.Params))
+		}
+		best, _ := st.Best()
+		return best.Value
+	}
+	var sumRand, sumTPE float64
+	const seeds = 12
+	for s := uint64(0); s < seeds; s++ {
+		sumRand += run(RandomSampler{}, s+1)
+		sumTPE += run(TPESampler{}, s+1)
+	}
+	if sumTPE > sumRand*1.05 {
+		t.Fatalf("TPE mean best %.3f worse than random %.3f", sumTPE/seeds, sumRand/seeds)
+	}
+}
+
+func TestTPEFallsBackToRandomEarly(t *testing.T) {
+	st, _ := NewStudy(space(), TPESampler{MinHistory: 100}, rng.New(3))
+	tr := st.Ask() // far below MinHistory: must still work (random path)
+	if len(tr.Params) != 3 {
+		t.Fatalf("params = %v", tr.Params)
+	}
+}
+
+func TestMedianPruning(t *testing.T) {
+	st, _ := NewStudy(space(), RandomSampler{}, rng.New(4))
+	// two baseline trials report good values at step 0
+	a, b := st.Ask(), st.Ask()
+	if _, err := st.Report(a.ID, 0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Report(b.ID, 0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	// a third trial reporting much worse must be advised to prune
+	c := st.Ask()
+	prune, err := st.Report(c.ID, 0, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prune {
+		t.Fatal("bad trial not advised to prune")
+	}
+	if err := st.Prune(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	trials := st.Trials()
+	if trials[2].State != "pruned" {
+		t.Fatalf("trial c state = %s", trials[2].State)
+	}
+	// pruned trials cannot be told
+	if err := st.Tell(c.ID, 1); err == nil {
+		t.Fatal("Tell accepted on pruned trial")
+	}
+}
+
+func TestReportErrors(t *testing.T) {
+	st, _ := NewStudy(space(), RandomSampler{}, rng.New(5))
+	if _, err := st.Report(42, 0, 1); err == nil {
+		t.Fatal("Report accepted unknown trial")
+	}
+	if err := st.Prune(42); err == nil {
+		t.Fatal("Prune accepted unknown trial")
+	}
+}
+
+func TestConcurrentAskTell(t *testing.T) {
+	st, _ := NewStudy(space(), TPESampler{}, rng.New(6))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				tr := st.Ask()
+				if err := st.Tell(tr.ID, objective(tr.Params)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(st.Trials()); got != 200 {
+		t.Fatalf("trials = %d, want 200", got)
+	}
+	ids := map[int]bool{}
+	for _, tr := range st.Trials() {
+		if ids[tr.ID] {
+			t.Fatalf("duplicate trial ID %d", tr.ID)
+		}
+		ids[tr.ID] = true
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() []Trial {
+		st, _ := NewStudy(space(), TPESampler{}, rng.New(7))
+		for i := 0; i < 20; i++ {
+			tr := st.Ask()
+			_ = st.Tell(tr.ID, objective(tr.Params))
+		}
+		return st.Trials()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Value != b[i].Value {
+			t.Fatalf("trial %d diverged across identical runs", i)
+		}
+	}
+}

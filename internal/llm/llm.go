@@ -1,0 +1,232 @@
+// Package llm simulates the ML models the paper serves through its runtime
+// services. The paper hosts Meta Llama 3 8B with Ollama and also uses a
+// NOOP model that replies instantly (Exp 2); this package reproduces both
+// as calibrated performance models: a load/initialization phase (the
+// dominant `init` component of bootstrap time in Fig. 3) and a token-rate
+// inference phase (the dominant `inference` component of response time in
+// Fig. 6).
+//
+// Substitution note (see DESIGN.md): we do not run a real 8B-parameter
+// network — the experiments characterize runtime overheads, which depend
+// on *when* and *for how long* the model computes, not on the text it
+// produces. The simulated model spends the same (distribution-sampled)
+// wall-clock time in the same code path and produces deterministic
+// pseudo-text.
+package llm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Spec is the static performance profile of one model.
+type Spec struct {
+	// Name identifies the model (e.g. "llama-8b", "noop").
+	Name string
+	// Params is a human-readable parameter count ("8B").
+	Params string
+	// MemGB is the accelerator memory footprint of one instance.
+	MemGB float64
+	// LoadTime is the time to load weights and initialize the runtime
+	// (paper Fig. 3 `init`).
+	LoadTime rng.DurationDist
+	// PromptTokensPerSec is the prompt-evaluation throughput.
+	PromptTokensPerSec float64
+	// GenTokensPerSec is the autoregressive generation throughput.
+	GenTokensPerSec float64
+	// RateJitter is the relative standard deviation applied per request to
+	// both throughputs (thermal/contention noise).
+	RateJitter float64
+	// DefaultMaxTokens bounds generation when the request does not.
+	DefaultMaxTokens int
+	// Noop marks the instant-reply model of Exp 2.
+	Noop bool
+}
+
+// Catalog returns the specs of all known models, keyed by name.
+func Catalog() map[string]Spec {
+	specs := []Spec{
+		{
+			// Calibrated to the paper's Fig. 3: init dominates bootstrap at
+			// roughly half a minute per instance, and Fig. 6: inference of a
+			// chat-length reply takes seconds.
+			Name: "llama-8b", Params: "8B", MemGB: 16,
+			LoadTime:           rng.NormalDuration(26*time.Second, 4*time.Second),
+			PromptTokensPerSec: 800, GenTokensPerSec: 35, RateJitter: 0.10,
+			DefaultMaxTokens: 128,
+		},
+		{
+			Name: "llama-70b", Params: "70B", MemGB: 80,
+			LoadTime:           rng.NormalDuration(95*time.Second, 10*time.Second),
+			PromptTokensPerSec: 250, GenTokensPerSec: 9, RateJitter: 0.10,
+			DefaultMaxTokens: 128,
+		},
+		{
+			Name: "mistral-7b", Params: "7B", MemGB: 15,
+			LoadTime:           rng.NormalDuration(24*time.Second, 4*time.Second),
+			PromptTokensPerSec: 850, GenTokensPerSec: 38, RateJitter: 0.10,
+			DefaultMaxTokens: 128,
+		},
+		{
+			// ViT for the Cell Painting pipeline (use case II-A): inference
+			// here is image classification, modelled as a fixed per-batch
+			// compute time via the generation rate.
+			Name: "vit-base", Params: "86M", MemGB: 2,
+			LoadTime:           rng.NormalDuration(6*time.Second, time.Second),
+			PromptTokensPerSec: 5000, GenTokensPerSec: 2000, RateJitter: 0.15,
+			DefaultMaxTokens: 16,
+		},
+		{
+			// The paper's Exp 2 NOOP model: "a NOOP model, which will
+			// immediately reply without performing any actual inference."
+			Name: "noop", Params: "0", MemGB: 0, Noop: true,
+		},
+	}
+	m := make(map[string]Spec, len(specs))
+	for _, s := range specs {
+		m[s.Name] = s
+	}
+	return m
+}
+
+// Lookup returns the named spec from the catalog.
+func Lookup(name string) (Spec, error) {
+	s, ok := Catalog()[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("llm: unknown model %q", name)
+	}
+	return s, nil
+}
+
+// Instance is one loaded model. Create with NewInstance, then Load.
+type Instance struct {
+	spec   Spec
+	clock  simtime.Clock
+	src    *rng.Source
+	loaded bool
+}
+
+// NewInstance binds a spec to a clock and a deterministic RNG stream.
+func NewInstance(spec Spec, clock simtime.Clock, src *rng.Source) *Instance {
+	return &Instance{spec: spec, clock: clock, src: src}
+}
+
+// Spec returns the instance's model spec.
+func (m *Instance) Spec() Spec { return m.spec }
+
+// Loaded reports whether Load completed.
+func (m *Instance) Loaded() bool { return m.loaded }
+
+// Load blocks for the model's load/initialization time. It is the `init`
+// phase of the paper's bootstrap measurement.
+func (m *Instance) Load() time.Duration {
+	d := m.spec.LoadTime.Sample(m.src)
+	if d > 0 {
+		m.clock.Sleep(d)
+	}
+	m.loaded = true
+	return d
+}
+
+// Result is the outcome of one inference.
+type Result struct {
+	Text         string
+	PromptTokens int
+	OutputTokens int
+	Duration     time.Duration
+}
+
+// Infer runs one inference: it blocks for the modelled duration and
+// returns deterministic pseudo-text. maxTokens <= 0 uses the spec default.
+// Calling Infer on an unloaded non-noop instance is a programming error
+// and panics, mirroring a crash of an unready service.
+func (m *Instance) Infer(prompt string, maxTokens int) Result {
+	if m.spec.Noop {
+		return Result{Text: "", PromptTokens: 0, OutputTokens: 0}
+	}
+	if !m.loaded {
+		panic(fmt.Sprintf("llm: Infer on unloaded model %s", m.spec.Name))
+	}
+	if maxTokens <= 0 {
+		maxTokens = m.spec.DefaultMaxTokens
+	}
+	ptok := CountTokens(prompt)
+	otok := m.outputLength(maxTokens)
+
+	jitter := func(rate float64) float64 {
+		if m.spec.RateJitter <= 0 {
+			return rate
+		}
+		f := m.src.Normal(1, m.spec.RateJitter)
+		if f < 0.2 {
+			f = 0.2
+		}
+		return rate * f
+	}
+	var d time.Duration
+	if r := jitter(m.spec.PromptTokensPerSec); r > 0 {
+		d += time.Duration(float64(ptok) / r * float64(time.Second))
+	}
+	if r := jitter(m.spec.GenTokensPerSec); r > 0 {
+		d += time.Duration(float64(otok) / r * float64(time.Second))
+	}
+	if d > 0 {
+		m.clock.Sleep(d)
+	}
+	return Result{
+		Text:         GenerateText(m.src, m.spec.Name, otok),
+		PromptTokens: ptok,
+		OutputTokens: otok,
+		Duration:     d,
+	}
+}
+
+// outputLength draws the reply length: around 3/4 of the budget with
+// spread, clamped to [1, maxTokens].
+func (m *Instance) outputLength(maxTokens int) int {
+	mean := 0.75 * float64(maxTokens)
+	n := int(m.src.Normal(mean, mean/4))
+	if n < 1 {
+		n = 1
+	}
+	if n > maxTokens {
+		n = maxTokens
+	}
+	return n
+}
+
+// CountTokens approximates tokenization: whitespace-split words count ~1.3
+// tokens each (subword splitting), matching common LLM tokenizer density.
+func CountTokens(text string) int {
+	words := len(strings.Fields(text))
+	if words == 0 {
+		return 0
+	}
+	return (words*13 + 9) / 10
+}
+
+// vocabulary for deterministic pseudo-text generation.
+var vocabulary = []string{
+	"radiation", "dose", "cell", "pathway", "gene", "signature", "variant",
+	"response", "model", "inference", "workflow", "pilot", "service", "task",
+	"analysis", "protein", "expression", "cluster", "sample", "annotation",
+}
+
+// GenerateText produces deterministic pseudo-text of n tokens for the
+// given model name and RNG stream.
+func GenerateText(src *rng.Source, model string, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("[" + model + "]")
+	for i := 0; i < n; i++ {
+		sb.WriteByte(' ')
+		sb.WriteString(vocabulary[src.Intn(len(vocabulary))])
+	}
+	return sb.String()
+}

@@ -1,0 +1,217 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+var origin = time.Date(2025, 3, 17, 0, 0, 0, 0, time.UTC)
+
+func scaled() simtime.Clock { return simtime.NewScaled(100000, origin) }
+
+func TestCatalogContainsPaperModels(t *testing.T) {
+	c := Catalog()
+	for _, name := range []string{"llama-8b", "noop", "mistral-7b", "llama-70b", "vit-base"} {
+		if _, ok := c[name]; !ok {
+			t.Errorf("catalog missing %q", name)
+		}
+	}
+	if !c["noop"].Noop {
+		t.Fatal("noop spec not flagged Noop")
+	}
+	if c["llama-8b"].MemGB <= 0 {
+		t.Fatal("llama-8b has no memory footprint")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("llama-8b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("gpt-5"); err == nil {
+		t.Fatal("Lookup accepted unknown model")
+	}
+}
+
+func TestLoadTimeCalibration(t *testing.T) {
+	// llama-8b init must land in the tens of seconds (Fig. 3 `init`
+	// dominates launch at ~2s and publish at sub-second).
+	spec, _ := Lookup("llama-8b")
+	src := rng.New(5)
+	const n = 200
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += spec.LoadTime.Sample(src)
+	}
+	mean := sum / n
+	if mean < 15*time.Second || mean > 40*time.Second {
+		t.Fatalf("llama-8b load mean = %v, want tens of seconds", mean)
+	}
+}
+
+func TestInstanceLoadBlocksOnClock(t *testing.T) {
+	spec, _ := Lookup("llama-8b")
+	clock := simtime.NewScaled(100000, origin) // 26s → ~260µs real
+	m := NewInstance(spec, clock, rng.New(1))
+	if m.Loaded() {
+		t.Fatal("fresh instance claims loaded")
+	}
+	d := m.Load()
+	if !m.Loaded() {
+		t.Fatal("Load did not mark instance loaded")
+	}
+	if d < 10*time.Second || d > 45*time.Second {
+		t.Fatalf("load duration %v outside calibrated band", d)
+	}
+}
+
+func TestInferUnloadedPanics(t *testing.T) {
+	spec, _ := Lookup("llama-8b")
+	m := NewInstance(spec, scaled(), rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Infer on unloaded model did not panic")
+		}
+	}()
+	m.Infer("hello", 4)
+}
+
+func TestNoopInferInstantWithoutLoad(t *testing.T) {
+	spec, _ := Lookup("noop")
+	m := NewInstance(spec, simtime.NewVirtual(origin), rng.New(1))
+	// virtual clock, never advanced: any Sleep would hang, so returning at
+	// all proves zero duration.
+	done := make(chan Result, 1)
+	go func() { done <- m.Infer("anything", 100) }()
+	select {
+	case res := <-done:
+		if res.OutputTokens != 0 || res.Text != "" {
+			t.Fatalf("noop result = %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("noop inference blocked")
+	}
+}
+
+func TestNoopLoadIsInstant(t *testing.T) {
+	spec, _ := Lookup("noop")
+	m := NewInstance(spec, simtime.NewVirtual(origin), rng.New(1))
+	done := make(chan time.Duration, 1)
+	go func() { done <- m.Load() }()
+	select {
+	case d := <-done:
+		if d != 0 {
+			t.Fatalf("noop load = %v", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("noop load blocked")
+	}
+}
+
+func TestInferDurationScalesWithTokens(t *testing.T) {
+	spec, _ := Lookup("llama-8b")
+	spec.RateJitter = 0 // deterministic rates for the comparison
+	clock := scaled()
+	m := NewInstance(spec, clock, rng.New(2))
+	m.Load()
+	short := m.Infer("one two three", 8)
+	long := m.Infer("one two three", 512)
+	if long.Duration <= short.Duration {
+		t.Fatalf("512-token budget (%v) not slower than 8 (%v)", long.Duration, short.Duration)
+	}
+	// generation dominates: 8B at 35 tok/s → 128 default tokens ≈ seconds
+	if long.Duration < 500*time.Millisecond {
+		t.Fatalf("long inference took %v, want ≥ 0.5s", long.Duration)
+	}
+}
+
+func TestInferTokenAccounting(t *testing.T) {
+	spec, _ := Lookup("llama-8b")
+	m := NewInstance(spec, scaled(), rng.New(3))
+	m.Load()
+	res := m.Infer("the quick brown fox jumps", 64)
+	if res.PromptTokens != CountTokens("the quick brown fox jumps") {
+		t.Fatalf("prompt tokens = %d", res.PromptTokens)
+	}
+	if res.OutputTokens < 1 || res.OutputTokens > 64 {
+		t.Fatalf("output tokens = %d, want in [1,64]", res.OutputTokens)
+	}
+	if got := CountTokens(res.Text); got < res.OutputTokens {
+		t.Fatalf("text has %d tokens, fewer than claimed %d", got, res.OutputTokens)
+	}
+}
+
+func TestInferDefaultMaxTokens(t *testing.T) {
+	spec, _ := Lookup("llama-8b")
+	m := NewInstance(spec, scaled(), rng.New(4))
+	m.Load()
+	res := m.Infer("hi", 0)
+	if res.OutputTokens > spec.DefaultMaxTokens {
+		t.Fatalf("output %d exceeds default budget %d", res.OutputTokens, spec.DefaultMaxTokens)
+	}
+}
+
+func TestInferDeterministicGivenSeed(t *testing.T) {
+	spec, _ := Lookup("llama-8b")
+	run := func() Result {
+		m := NewInstance(spec, scaled(), rng.New(77))
+		m.Load()
+		return m.Infer("same prompt", 32)
+	}
+	a, b := run(), run()
+	if a.Text != b.Text || a.OutputTokens != b.OutputTokens || a.Duration != b.Duration {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestCountTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"   ", 0},
+		{"hello", 2},                  // ceil(1*1.3)
+		{"hello world", 3},            // ceil(2*1.3)
+		{"a b c d e f g h i j", 13},   // 10 words
+	}
+	for _, c := range cases {
+		if got := CountTokens(c.in); got != c.want {
+			t.Errorf("CountTokens(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGenerateText(t *testing.T) {
+	src := rng.New(9)
+	txt := GenerateText(src, "llama-8b", 10)
+	if !strings.HasPrefix(txt, "[llama-8b]") {
+		t.Fatalf("text = %q", txt)
+	}
+	if words := len(strings.Fields(txt)); words != 11 { // tag + 10 tokens
+		t.Fatalf("generated %d fields, want 11", words)
+	}
+	if GenerateText(src, "m", 0) != "" {
+		t.Fatal("zero-token generation non-empty")
+	}
+}
+
+func TestOutputLengthProperty(t *testing.T) {
+	// Property: output length always lands in [1, maxTokens].
+	spec, _ := Lookup("llama-8b")
+	m := NewInstance(spec, scaled(), rng.New(10))
+	m.Load()
+	f := func(budget uint8) bool {
+		max := int(budget%200) + 1
+		n := m.outputLength(max)
+		return n >= 1 && n <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package loadbal distributes client inference requests across service
+// instances. The paper's prototype employs "only a rudimentary load
+// balancing" (round-robin); its future work calls for "dynamically
+// rerouting requests to less used service instances". Both ends of that
+// spectrum are implemented here — round-robin, uniform random, and
+// least-pending (queue-depth-aware) — and compared by the ablation
+// benchmark BenchmarkAblationLoadBalancing.
+package loadbal
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// ErrNoEndpoints is returned when Pick is called with no candidates.
+var ErrNoEndpoints = errors.New("loadbal: no endpoints")
+
+// Balancer picks one endpoint out of the candidate set.
+type Balancer interface {
+	Pick(eps []proto.Endpoint) (proto.Endpoint, error)
+}
+
+// RoundRobin cycles through candidates in order — the paper's rudimentary
+// strategy.
+type RoundRobin struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// NewRoundRobin returns a round-robin balancer.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Pick implements Balancer.
+func (b *RoundRobin) Pick(eps []proto.Endpoint) (proto.Endpoint, error) {
+	if len(eps) == 0 {
+		return proto.Endpoint{}, ErrNoEndpoints
+	}
+	b.mu.Lock()
+	i := b.n % uint64(len(eps))
+	b.n++
+	b.mu.Unlock()
+	return eps[i], nil
+}
+
+// Random picks uniformly at random.
+type Random struct{ src *rng.Source }
+
+// NewRandom returns a random balancer over src.
+func NewRandom(src *rng.Source) *Random { return &Random{src: src} }
+
+// Pick implements Balancer.
+func (b *Random) Pick(eps []proto.Endpoint) (proto.Endpoint, error) {
+	if len(eps) == 0 {
+		return proto.Endpoint{}, ErrNoEndpoints
+	}
+	return eps[b.src.Intn(len(eps))], nil
+}
+
+// DepthFunc reports the live queue depth of a service.
+type DepthFunc func(serviceUID string) int
+
+// LeastPending routes to the endpoint with the shallowest queue — the
+// "less used service instances" strategy of the paper's future work. Ties
+// break round-robin to avoid thundering on one instance.
+type LeastPending struct {
+	depth DepthFunc
+	mu    sync.Mutex
+	n     uint64
+}
+
+// NewLeastPending returns a queue-depth-aware balancer.
+func NewLeastPending(depth DepthFunc) *LeastPending {
+	return &LeastPending{depth: depth}
+}
+
+// Pick implements Balancer.
+func (b *LeastPending) Pick(eps []proto.Endpoint) (proto.Endpoint, error) {
+	if len(eps) == 0 {
+		return proto.Endpoint{}, ErrNoEndpoints
+	}
+	b.mu.Lock()
+	offset := b.n
+	b.n++
+	b.mu.Unlock()
+	best := -1
+	bestDepth := 0
+	for i := range eps {
+		j := (int(offset) + i) % len(eps)
+		d := b.depth(eps[j].ServiceUID)
+		if best == -1 || d < bestDepth {
+			best, bestDepth = j, d
+		}
+	}
+	return eps[best], nil
+}

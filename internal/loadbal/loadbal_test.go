@@ -1,0 +1,143 @@
+package loadbal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+func endpoints(n int) []proto.Endpoint {
+	eps := make([]proto.Endpoint, n)
+	for i := range eps {
+		eps[i] = proto.Endpoint{ServiceUID: fmt.Sprintf("service.%04d", i), Model: "llama-8b"}
+	}
+	return eps
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	b := NewRoundRobin()
+	eps := endpoints(3)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 3; i++ {
+			ep, err := b.Pick(eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ep.ServiceUID != eps[i].ServiceUID {
+				t.Fatalf("round %d pick %d = %s", round, i, ep.ServiceUID)
+			}
+		}
+	}
+}
+
+func TestRoundRobinEmpty(t *testing.T) {
+	b := NewRoundRobin()
+	if _, err := b.Pick(nil); !errors.Is(err, ErrNoEndpoints) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRoundRobinFairnessProperty(t *testing.T) {
+	// Property: over k*n picks on n endpoints, every endpoint is picked
+	// exactly k times.
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		k := int(kRaw%8) + 1
+		b := NewRoundRobin()
+		eps := endpoints(n)
+		counts := map[string]int{}
+		for i := 0; i < k*n; i++ {
+			ep, err := b.Pick(eps)
+			if err != nil {
+				return false
+			}
+			counts[ep.ServiceUID]++
+		}
+		for _, c := range counts {
+			if c != k {
+				return false
+			}
+		}
+		return len(counts) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomCoverage(t *testing.T) {
+	b := NewRandom(rng.New(3))
+	eps := endpoints(4)
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		ep, err := b.Pick(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[ep.ServiceUID]++
+	}
+	for uid, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("endpoint %s picked %d/4000, want ≈1000", uid, c)
+		}
+	}
+}
+
+func TestRandomEmpty(t *testing.T) {
+	b := NewRandom(rng.New(1))
+	if _, err := b.Pick(nil); !errors.Is(err, ErrNoEndpoints) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLeastPendingPicksShallowest(t *testing.T) {
+	depths := map[string]int{
+		"service.0000": 5,
+		"service.0001": 1,
+		"service.0002": 3,
+	}
+	b := NewLeastPending(func(uid string) int { return depths[uid] })
+	ep, err := b.Pick(endpoints(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.ServiceUID != "service.0001" {
+		t.Fatalf("picked %s, want the shallowest queue", ep.ServiceUID)
+	}
+}
+
+func TestLeastPendingTieBreaksAcrossCalls(t *testing.T) {
+	b := NewLeastPending(func(string) int { return 0 })
+	eps := endpoints(4)
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		ep, _ := b.Pick(eps)
+		seen[ep.ServiceUID] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all-ties picks concentrated on %d endpoint(s)", len(seen))
+	}
+}
+
+func TestLeastPendingEmpty(t *testing.T) {
+	b := NewLeastPending(func(string) int { return 0 })
+	if _, err := b.Pick(nil); !errors.Is(err, ErrNoEndpoints) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLeastPendingAdaptsToChangingDepths(t *testing.T) {
+	depth := map[string]int{"service.0000": 0, "service.0001": 0}
+	b := NewLeastPending(func(uid string) int { return depth[uid] })
+	eps := endpoints(2)
+	first, _ := b.Pick(eps)
+	depth[first.ServiceUID] = 10
+	second, _ := b.Pick(eps)
+	if second.ServiceUID == first.ServiceUID {
+		t.Fatal("balancer kept routing to the loaded instance")
+	}
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCSV(t *testing.T) {
+	c := NewCollector()
+	c.Add("bt.launch", 2*time.Second)
+	c.Add("bt.launch", 3*time.Second)
+	c.Add("bt.init", 26*time.Second)
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "series,sample_idx,seconds" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d, want 4", len(lines))
+	}
+	// series sorted: bt.init before bt.launch
+	if !strings.HasPrefix(lines[1], "bt.init,0,26.0") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "bt.launch,1,3.0") {
+		t.Fatalf("last row = %q", lines[3])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCollector().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "series,sample_idx,seconds\n" {
+		t.Fatalf("empty export = %q", buf.String())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n--
+	if f.n < 0 {
+		return 0, errWrite
+	}
+	return len(p), nil
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "synthetic write failure" }
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	c := NewCollector()
+	c.Add("x", time.Second)
+	if err := c.WriteCSV(&failWriter{n: 0}); err == nil {
+		t.Fatal("header write failure swallowed")
+	}
+	if err := c.WriteCSV(&failWriter{n: 1}); err == nil {
+		t.Fatal("row write failure swallowed")
+	}
+}

@@ -1,0 +1,291 @@
+package msgq
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// inprocServer is a REQ/REP endpoint on a Network.
+type inprocServer struct {
+	net     *Network
+	addr    string
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Bind registers a REQ/REP server at addr. Requests are served
+// concurrently; serialization (e.g. the paper's single-threaded services)
+// is the handler's responsibility.
+func (n *Network) Bind(addr string, h Handler) (Server, error) {
+	if h == nil {
+		return nil, fmt.Errorf("msgq: bind %s: nil handler", addr)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.reps[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	s := &inprocServer{net: n, addr: addr, handler: h}
+	n.reps[addr] = s
+	return s, nil
+}
+
+// Addr implements Server.
+func (s *inprocServer) Addr() string { return s.addr }
+
+// Close implements Server.
+func (s *inprocServer) Close() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if closed {
+		return nil
+	}
+	s.net.mu.Lock()
+	delete(s.net.reps, s.addr)
+	s.net.mu.Unlock()
+	return nil
+}
+
+func (s *inprocServer) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// inprocClient is a connected REQ/REP client.
+type inprocClient struct {
+	net     *Network
+	from    string
+	to      string
+	profile LinkProfile
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Dial connects a client at address from to the server bound at to. The
+// link profile is resolved once at dial time, mirroring a connected socket.
+func (n *Network) Dial(from, to string) (Client, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.reps[to]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownAddr, to)
+	}
+	return &inprocClient{net: n, from: from, to: to, profile: n.resolve(from, to)}, nil
+}
+
+// Request implements Client. The calling goroutine pays the request hop,
+// the handler execution, and the reply hop — matching the synchronous
+// REQ/REP round trip the paper's response-time metric measures.
+func (c *inprocClient) Request(ctx context.Context, env proto.Envelope) (proto.Envelope, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return proto.Envelope{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return proto.Envelope{}, err
+	}
+
+	c.net.mu.Lock()
+	srv, ok := c.net.reps[c.to]
+	c.net.mu.Unlock()
+	if !ok || srv.isClosed() {
+		return proto.Envelope{}, fmt.Errorf("%w: %s", ErrUnknownAddr, c.to)
+	}
+
+	type result struct {
+		env proto.Envelope
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		c.net.hop(c.profile, env) // request traversal
+		if srv.isClosed() {
+			done <- result{err: ErrClosed}
+			return
+		}
+		reply := srv.handler(env)
+		c.net.hop(c.profile, reply) // reply traversal
+		done <- result{env: reply}
+	}()
+	select {
+	case r := <-done:
+		return r.env, r.err
+	case <-ctx.Done():
+		return proto.Envelope{}, ctx.Err()
+	}
+}
+
+// Close implements Client.
+func (c *inprocClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
+
+// --- PUB/SUB --------------------------------------------------------------
+
+// Publisher broadcasts envelopes to topic subscribers.
+type Publisher interface {
+	Publish(topic string, env proto.Envelope)
+	Addr() string
+	Close() error
+}
+
+// Subscription receives published envelopes for its topics.
+type Subscription struct {
+	C      <-chan proto.Envelope
+	cancel func()
+}
+
+// Cancel removes the subscription and closes C.
+func (s *Subscription) Cancel() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+}
+
+type subscriber struct {
+	id     uint64
+	topics map[string]bool // empty set = all topics
+	ch     chan proto.Envelope
+	from   string
+}
+
+type inprocPublisher struct {
+	net  *Network
+	addr string
+
+	mu     sync.Mutex
+	closed bool
+	nextID uint64
+	subs   map[uint64]*subscriber
+}
+
+// BindPub registers a PUB endpoint at addr.
+func (n *Network) BindPub(addr string) (Publisher, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.pubs[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	p := &inprocPublisher{net: n, addr: addr, subs: make(map[uint64]*subscriber)}
+	n.pubs[addr] = p
+	return p, nil
+}
+
+// Subscribe attaches to the PUB endpoint at addr, receiving envelopes whose
+// topic is in topics (all topics when none given). buffer sizes the
+// delivery channel; slow subscribers drop messages rather than block the
+// publisher, matching PUB/SUB semantics.
+func (n *Network) Subscribe(from, addr string, buffer int, topics ...string) (*Subscription, error) {
+	n.mu.Lock()
+	p, ok := n.pubs[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownAddr, addr)
+	}
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ts := make(map[string]bool, len(topics))
+	for _, t := range topics {
+		ts[t] = true
+	}
+	sub := &subscriber{topics: ts, ch: make(chan proto.Envelope, buffer), from: from}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.nextID++
+	sub.id = p.nextID
+	p.subs[sub.id] = sub
+	p.mu.Unlock()
+	return &Subscription{
+		C: sub.ch,
+		cancel: func() {
+			p.mu.Lock()
+			if _, ok := p.subs[sub.id]; ok {
+				delete(p.subs, sub.id)
+				close(sub.ch)
+			}
+			p.mu.Unlock()
+		},
+	}, nil
+}
+
+// Publish implements Publisher. Delivery is asynchronous per subscriber,
+// paying one link-latency hop.
+func (p *inprocPublisher) Publish(topic string, env proto.Envelope) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	targets := make([]*subscriber, 0, len(p.subs))
+	for _, s := range p.subs {
+		if len(s.topics) == 0 || s.topics[topic] {
+			targets = append(targets, s)
+		}
+	}
+	p.mu.Unlock()
+	for _, s := range targets {
+		s := s
+		profile := p.net.resolve(p.addr, s.from)
+		go func() {
+			p.net.hop(profile, env)
+			p.mu.Lock()
+			_, live := p.subs[s.id]
+			p.mu.Unlock()
+			if !live {
+				return
+			}
+			select {
+			case s.ch <- env:
+			default: // slow subscriber: drop
+			}
+		}()
+	}
+}
+
+// Addr implements Publisher.
+func (p *inprocPublisher) Addr() string { return p.addr }
+
+// Close implements Publisher.
+func (p *inprocPublisher) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for id, s := range p.subs {
+		delete(p.subs, id)
+		close(s.ch)
+	}
+	p.mu.Unlock()
+	p.net.mu.Lock()
+	delete(p.net.pubs, p.addr)
+	p.net.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package msgq is the communication substrate of the runtime — the Go
+// analogue of the ZeroMQ infrastructure RADICAL-Pilot uses for API calls
+// between services and clients. It offers two socket patterns (REQ/REP and
+// PUB/SUB) over two transports:
+//
+//   - An in-process transport with injected, distribution-sampled link
+//     latency driven by the session clock. This is how the experiments
+//     reproduce the paper's measured interconnects (Delta inter-node
+//     0.063 ms ± 0.014 ms; Delta↔R3 0.47 ms ± 0.04 ms) deterministically.
+//   - A TCP transport speaking length-prefixed proto frames, used for the
+//     genuinely remote REST/R3 scenarios and to demonstrate that the
+//     runtime works over real sockets.
+package msgq
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Common errors.
+var (
+	ErrClosed      = errors.New("msgq: endpoint closed")
+	ErrUnknownAddr = errors.New("msgq: unknown address")
+	ErrAddrInUse   = errors.New("msgq: address already bound")
+)
+
+// Handler serves one request and returns the reply envelope.
+type Handler func(proto.Envelope) proto.Envelope
+
+// Server is a bound REQ/REP endpoint.
+type Server interface {
+	Addr() string
+	Close() error
+}
+
+// Client is a connected REQ/REP endpoint.
+type Client interface {
+	// Request sends env and blocks for the matching reply or ctx expiry.
+	Request(ctx context.Context, env proto.Envelope) (proto.Envelope, error)
+	Close() error
+}
+
+// LinkProfile describes one directed network link.
+type LinkProfile struct {
+	// Latency is sampled once per message hop (request and reply each pay
+	// one sample), modelling one-way packet latency.
+	Latency rng.DurationDist
+	// BytesPerSec caps throughput; zero means unbounded. Transfer time is
+	// added on top of latency for the message's encoded size.
+	BytesPerSec float64
+}
+
+// Resolver maps a (client address, server address) pair to the link profile
+// connecting them. The platform package supplies resolvers that encode
+// local vs remote topology.
+type Resolver func(from, to string) LinkProfile
+
+// Network is the in-process transport: a set of named endpoints connected
+// by latency-modelled links, all timed on a shared Clock.
+type Network struct {
+	clock   simtime.Clock
+	src     *rng.Source
+	resolve Resolver
+
+	mu     sync.Mutex
+	closed bool
+	reps   map[string]*inprocServer
+	pubs   map[string]*inprocPublisher
+}
+
+// NewNetwork returns an empty in-process network. resolve may be nil, in
+// which case all links are zero-latency and unbounded.
+func NewNetwork(clock simtime.Clock, src *rng.Source, resolve Resolver) *Network {
+	if resolve == nil {
+		resolve = func(_, _ string) LinkProfile { return LinkProfile{} }
+	}
+	return &Network{
+		clock:   clock,
+		src:     src,
+		resolve: resolve,
+		reps:    make(map[string]*inprocServer),
+		pubs:    make(map[string]*inprocPublisher),
+	}
+}
+
+// Clock returns the network's clock.
+func (n *Network) Clock() simtime.Clock { return n.clock }
+
+// Close shuts down every endpoint.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	reps := make([]*inprocServer, 0, len(n.reps))
+	for _, s := range n.reps {
+		reps = append(reps, s)
+	}
+	pubs := make([]*inprocPublisher, 0, len(n.pubs))
+	for _, p := range n.pubs {
+		pubs = append(pubs, p)
+	}
+	n.mu.Unlock()
+	for _, s := range reps {
+		_ = s.Close()
+	}
+	for _, p := range pubs {
+		_ = p.Close()
+	}
+	return nil
+}
+
+// hop simulates the network traversal of env over profile: one latency
+// sample plus serialization time for the encoded size.
+func (n *Network) hop(profile LinkProfile, env proto.Envelope) {
+	d := profile.Latency.Sample(n.src)
+	if profile.BytesPerSec > 0 {
+		size := len(env.Body) + 64 // envelope header overhead estimate
+		d += time.Duration(float64(size) / profile.BytesPerSec * float64(time.Second))
+	}
+	if d > 0 {
+		n.clock.Sleep(d)
+	}
+}

@@ -1,0 +1,413 @@
+// Package pilot implements the pilot-job abstraction: acquiring a resource
+// slice from a platform via a (simulated) batch system and running an
+// agent on it. The agent owns the per-pilot runtime components of the
+// paper's Fig. 2 — Stager, Scheduler, Executor, plus the ServiceManager
+// extension — and drives tasks and service tasks through their state
+// models.
+package pilot
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/msgq"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/scheduler"
+	"repro/internal/service"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/stager"
+	"repro/internal/states"
+)
+
+// Errors.
+var (
+	ErrInsufficient = errors.New("pilot: platform cannot satisfy the pilot request")
+	ErrUnknownTask  = errors.New("pilot: unknown task")
+	ErrNotActive    = errors.New("pilot: not active")
+)
+
+// Config wires a Pilot.
+type Config struct {
+	Clock simtime.Clock
+	Src   *rng.Source
+	Net   *msgq.Network
+	// Platform is the machine to acquire resources from.
+	Platform *platform.Platform
+	// BootTime models the batch system's pilot startup (queue wait
+	// excluded); defaults to N(10s, 2s).
+	BootTime rng.DurationDist
+	// PublishOverhead overrides the endpoint-publication overhead of the
+	// pilot's registry (zero-valued: registry default).
+	PublishOverhead rng.DurationDist
+	// LaunchModel overrides the platform's launch model (nil: platform
+	// default). Experiment harnesses that do not measure bootstrap use a
+	// zero model to skip launch sleeps.
+	LaunchModel *platform.LaunchModel
+	// StateCallback, when set, observes every task/service/pilot state
+	// transition (the Updater hook).
+	StateCallback states.Callback
+}
+
+// Pilot is one acquired resource slice plus its agent.
+type Pilot struct {
+	cfg     Config
+	desc    spec.PilotDescription
+	machine *states.Machine
+
+	// agent components
+	nodes  []*platform.Node // the pilot's virtual node view
+	allocs []*platform.Allocation
+	sched  *scheduler.Scheduler
+	router *scheduler.Router
+	exec   *executor.Executor
+	stage  *stager.Manager
+	svcMgr *service.Manager
+	reg    *service.Registry
+
+	mu    sync.Mutex
+	seq   int
+	tasks map[string]*Task
+}
+
+// Task is one managed compute task.
+type Task struct {
+	desc    spec.TaskDescription
+	machine *states.Machine
+
+	mu     sync.Mutex
+	result executor.Result
+}
+
+// UID returns the task UID.
+func (t *Task) UID() string { return t.machine.UID() }
+
+// State returns the task's current state.
+func (t *Task) State() states.State { return t.machine.Current() }
+
+// Description returns the submitted description.
+func (t *Task) Description() spec.TaskDescription { return t.desc }
+
+// Result returns the execution result (valid once DONE or FAILED).
+func (t *Task) Result() executor.Result {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.result
+}
+
+// Launch validates desc, acquires nodes from the platform (simulating the
+// batch system), boots the agent, and returns an ACTIVE pilot.
+func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil || cfg.Src == nil || cfg.Net == nil || cfg.Platform == nil {
+		return nil, errors.New("pilot: incomplete config")
+	}
+	if cfg.BootTime.IsZero() {
+		cfg.BootTime = rng.NormalDuration(10*time.Second, 2*time.Second)
+	}
+	if desc.UID == "" {
+		desc.UID = fmt.Sprintf("pilot.%s.%04d", desc.Platform, cfg.Src.Intn(10000))
+	}
+
+	p := &Pilot{
+		cfg:     cfg,
+		desc:    desc,
+		machine: states.NewMachine(desc.UID, states.PilotModel(), cfg.Clock),
+		tasks:   make(map[string]*Task),
+	}
+	if cfg.StateCallback != nil {
+		p.machine.OnTransition(cfg.StateCallback)
+	}
+	if err := p.machine.To(states.PilotLaunching); err != nil {
+		return nil, err
+	}
+
+	if err := p.acquire(); err != nil {
+		_ = p.machine.Fail()
+		return nil, err
+	}
+
+	// batch-system bootstrap
+	if d := cfg.BootTime.Sample(cfg.Src); d > 0 {
+		cfg.Clock.Sleep(d)
+	}
+
+	// assemble the agent
+	launch := cfg.Platform.Launch
+	if cfg.LaunchModel != nil {
+		launch = *cfg.LaunchModel
+	}
+	p.router = scheduler.NewRouter()
+	p.sched = scheduler.New(p.nodes, func(pl scheduler.Placement) { p.router.Route(pl) })
+	p.exec = executor.New(cfg.Clock, cfg.Src.Derive(desc.UID+".exec"), launch)
+	p.stage = stager.NewManager(cfg.Clock, cfg.Src.Derive(desc.UID+".stage"))
+	p.reg = service.NewRegistry(cfg.Clock, cfg.Src.Derive(desc.UID+".reg"), cfg.PublishOverhead)
+	svcMgr, err := service.NewManager(service.Config{
+		Clock: cfg.Clock, Src: cfg.Src.Derive(desc.UID + ".svc"), Net: cfg.Net,
+		Sched: p.sched, Router: p.router, Exec: p.exec, Stage: p.stage,
+		Registry: p.reg, Platform: cfg.Platform.Name(),
+		UIDPrefix: desc.UID + ".",
+	})
+	if err != nil {
+		p.release()
+		_ = p.machine.Fail()
+		return nil, err
+	}
+	p.svcMgr = svcMgr
+
+	if err := p.machine.To(states.PilotActive); err != nil {
+		p.release()
+		return nil, err
+	}
+	return p, nil
+}
+
+// acquire reserves whole nodes on the platform and builds the pilot's
+// virtual node view.
+func (p *Pilot) acquire() error {
+	plat := p.cfg.Platform
+	var nodeSpec platform.NodeSpec
+	if ns := plat.Nodes(); len(ns) > 0 {
+		nodeSpec = ns[0].Spec()
+	}
+	need := p.desc.Nodes
+	if need == 0 {
+		need = nodesFor(p.desc, nodeSpec)
+	}
+	if need <= 0 {
+		return ErrInsufficient
+	}
+	for _, n := range plat.Nodes() {
+		if len(p.allocs) == need {
+			break
+		}
+		sp := n.Spec()
+		if a := n.TryAlloc(sp.Cores, sp.GPUs, sp.MemGB); a != nil {
+			p.allocs = append(p.allocs, a)
+			p.nodes = append(p.nodes, platform.NewNode(n.Name(), sp))
+		}
+	}
+	if len(p.allocs) < need {
+		p.release()
+		return fmt.Errorf("%w: got %d/%d nodes on %s", ErrInsufficient, len(p.allocs), need, plat.Name())
+	}
+	return nil
+}
+
+// nodesFor converts a cores/GPUs request into whole nodes.
+func nodesFor(d spec.PilotDescription, ns platform.NodeSpec) int {
+	need := 0
+	if d.Cores > 0 && ns.Cores > 0 {
+		n := (d.Cores + ns.Cores - 1) / ns.Cores
+		if n > need {
+			need = n
+		}
+	}
+	if d.GPUs > 0 && ns.GPUs > 0 {
+		n := (d.GPUs + ns.GPUs - 1) / ns.GPUs
+		if n > need {
+			need = n
+		}
+	}
+	return need
+}
+
+func (p *Pilot) release() {
+	for _, a := range p.allocs {
+		a.Release()
+	}
+	p.allocs = nil
+}
+
+// UID returns the pilot UID.
+func (p *Pilot) UID() string { return p.machine.UID() }
+
+// State returns the pilot's lifecycle state.
+func (p *Pilot) State() states.State { return p.machine.Current() }
+
+// Description returns the pilot description.
+func (p *Pilot) Description() spec.PilotDescription { return p.desc }
+
+// Nodes returns the pilot's virtual nodes.
+func (p *Pilot) Nodes() []*platform.Node { return p.nodes }
+
+// Services returns the pilot's ServiceManager.
+func (p *Pilot) Services() *service.Manager { return p.svcMgr }
+
+// Registry returns the pilot's endpoint registry.
+func (p *Pilot) Registry() *service.Registry { return p.reg }
+
+// Stage returns the pilot's data manager.
+func (p *Pilot) Stage() *stager.Manager { return p.stage }
+
+// Executor returns the pilot's executor (exposed for metrics).
+func (p *Pilot) Executor() *executor.Executor { return p.exec }
+
+// SubmitTask validates d and drives it through the task lifecycle
+// asynchronously.
+func (p *Pilot) SubmitTask(ctx context.Context, d spec.TaskDescription) (*Task, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if p.machine.Current() != states.PilotActive {
+		return nil, fmt.Errorf("%w: pilot %s in %s", ErrNotActive, p.UID(), p.machine.Current())
+	}
+	p.mu.Lock()
+	p.seq++
+	if d.UID == "" {
+		d.UID = fmt.Sprintf("%s.task.%06d", p.machine.UID(), p.seq)
+	}
+	t := &Task{desc: d, machine: states.NewMachine(d.UID, states.TaskModel(), p.cfg.Clock)}
+	if p.cfg.StateCallback != nil {
+		t.machine.OnTransition(p.cfg.StateCallback)
+	}
+	p.tasks[d.UID] = t
+	p.mu.Unlock()
+
+	go p.runTask(ctx, t)
+	return t, nil
+}
+
+// runTask drives one task: TMGR_SCHEDULING → STAGING_INPUT →
+// AGENT_SCHEDULING → AGENT_EXECUTING → STAGING_OUTPUT → DONE.
+func (p *Pilot) runTask(ctx context.Context, t *Task) {
+	fail := func(err error) {
+		t.mu.Lock()
+		t.result.Err = err
+		t.mu.Unlock()
+		_ = t.machine.Fail()
+	}
+	d := t.desc
+	if err := t.machine.To(states.TaskTmgrScheduling); err != nil {
+		fail(err)
+		return
+	}
+	if err := t.machine.To(states.TaskStagingInput); err != nil {
+		fail(err)
+		return
+	}
+	if len(d.InputStaging) > 0 {
+		if _, err := p.stage.StageAll(d.InputStaging); err != nil {
+			fail(err)
+			return
+		}
+	}
+	if err := t.machine.To(states.TaskScheduling); err != nil {
+		fail(err)
+		return
+	}
+	placed := p.router.Expect(d.UID)
+	if err := p.sched.Submit(scheduler.Request{
+		UID: d.UID, Cores: d.Cores, GPUs: d.GPUs, MemGB: d.MemGB, Priority: d.Priority,
+	}); err != nil {
+		p.router.Cancel(d.UID)
+		fail(err)
+		return
+	}
+	var pl scheduler.Placement
+	select {
+	case pl = <-placed:
+	case <-ctx.Done():
+		p.router.Cancel(d.UID)
+		fail(ctx.Err())
+		return
+	}
+	if err := t.machine.To(states.TaskExecuting); err != nil {
+		pl.Alloc.Release()
+		fail(err)
+		return
+	}
+	res := p.exec.Execute(ctx, p.sched, pl, d)
+	t.mu.Lock()
+	t.result = res
+	t.mu.Unlock()
+	if res.Err != nil {
+		fail(res.Err)
+		return
+	}
+	if err := t.machine.To(states.TaskStagingOutput); err != nil {
+		fail(err)
+		return
+	}
+	if len(d.OutputStaging) > 0 {
+		if _, err := p.stage.StageAll(d.OutputStaging); err != nil {
+			fail(err)
+			return
+		}
+	}
+	if err := t.machine.To(states.TaskDone); err != nil {
+		fail(err)
+	}
+}
+
+// Task returns a managed task by UID.
+func (p *Pilot) Task(uid string) (*Task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.tasks[uid]
+	return t, ok
+}
+
+// Tasks returns every managed task.
+func (p *Pilot) Tasks() []*Task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Task, 0, len(p.tasks))
+	for _, t := range p.tasks {
+		out = append(out, t)
+	}
+	return out
+}
+
+// WaitTasks blocks until every listed task (all tasks when none listed)
+// reaches a final state, or ctx expires. It returns the first failure.
+func (p *Pilot) WaitTasks(ctx context.Context, uids ...string) error {
+	if len(uids) == 0 {
+		for _, t := range p.Tasks() {
+			uids = append(uids, t.UID())
+		}
+	}
+	var firstErr error
+	for _, uid := range uids {
+		t, ok := p.Task(uid)
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownTask, uid)
+		}
+		for !t.machine.IsFinal() {
+			ch := t.machine.WaitChan()
+			if t.machine.IsFinal() {
+				break
+			}
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if t.State() == states.TaskFailed && firstErr == nil {
+			firstErr = t.Result().Err
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pilot: task %s failed", uid)
+			}
+		}
+	}
+	return firstErr
+}
+
+// Shutdown terminates the agent and releases the pilot's resources.
+func (p *Pilot) Shutdown() error {
+	if p.machine.Current() != states.PilotActive {
+		return fmt.Errorf("%w: %s", ErrNotActive, p.machine.Current())
+	}
+	p.svcMgr.Close()
+	p.sched.Close()
+	p.release()
+	return p.machine.To(states.PilotDone)
+}

@@ -1,0 +1,311 @@
+package pilot
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msgq"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/states"
+)
+
+var origin = time.Date(2025, 3, 17, 0, 0, 0, 0, time.UTC)
+
+func newPilot(t *testing.T, scale float64, desc spec.PilotDescription) (*Pilot, *platform.Platform) {
+	t.Helper()
+	clock := simtime.NewScaled(scale, origin)
+	src := rng.New(11)
+	plat := platform.NewDelta()
+	topo := platform.NewTopology(plat)
+	net := msgq.NewNetwork(clock, src.Derive("net"), topo.Resolver())
+	p, err := Launch(Config{Clock: clock, Src: src, Net: net, Platform: plat}, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.State() == states.PilotActive {
+			_ = p.Shutdown()
+		}
+		net.Close()
+	})
+	return p, plat
+}
+
+func deltaPilot() spec.PilotDescription {
+	return spec.PilotDescription{Platform: "delta", Cores: 256, GPUs: 16}
+}
+
+func TestLaunchAcquiresWholeNodes(t *testing.T) {
+	p, plat := newPilot(t, 100000, deltaPilot())
+	if p.State() != states.PilotActive {
+		t.Fatalf("state = %s", p.State())
+	}
+	if len(p.Nodes()) != 4 {
+		t.Fatalf("pilot nodes = %d, want 4 (256 cores / 64 per node)", len(p.Nodes()))
+	}
+	if plat.FreeCores() != 0 || plat.FreeGPUs() != 0 {
+		t.Fatal("platform resources not reserved by pilot")
+	}
+}
+
+func TestLaunchByNodeCount(t *testing.T) {
+	p, plat := newPilot(t, 100000, spec.PilotDescription{Platform: "delta", Nodes: 2})
+	if len(p.Nodes()) != 2 {
+		t.Fatalf("pilot nodes = %d", len(p.Nodes()))
+	}
+	if plat.FreeCores() != 128 {
+		t.Fatalf("platform free cores = %d, want 128", plat.FreeCores())
+	}
+}
+
+func TestLaunchInsufficient(t *testing.T) {
+	clock := simtime.NewScaled(100000, origin)
+	src := rng.New(1)
+	plat := platform.NewDelta()
+	net := msgq.NewNetwork(clock, src, nil)
+	defer net.Close()
+	_, err := Launch(Config{Clock: clock, Src: src, Net: net, Platform: plat},
+		spec.PilotDescription{Platform: "delta", Nodes: 99})
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+	if plat.FreeCores() != plat.TotalCores() {
+		t.Fatal("failed launch leaked node allocations")
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	clock := simtime.NewScaled(1000, origin)
+	src := rng.New(1)
+	plat := platform.NewDelta()
+	net := msgq.NewNetwork(clock, src, nil)
+	defer net.Close()
+	if _, err := Launch(Config{Clock: clock, Src: src, Net: net, Platform: plat},
+		spec.PilotDescription{}); err == nil {
+		t.Fatal("accepted empty pilot description")
+	}
+	if _, err := Launch(Config{}, deltaPilot()); err == nil {
+		t.Fatal("accepted empty config")
+	}
+}
+
+func TestShutdownReleasesPlatform(t *testing.T) {
+	p, plat := newPilot(t, 100000, deltaPilot())
+	if err := p.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != states.PilotDone {
+		t.Fatalf("state = %s", p.State())
+	}
+	if plat.FreeCores() != plat.TotalCores() || plat.FreeGPUs() != plat.TotalGPUs() {
+		t.Fatal("shutdown did not release platform resources")
+	}
+	if err := p.Shutdown(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double shutdown = %v", err)
+	}
+}
+
+func TestTaskLifecycle(t *testing.T) {
+	p, _ := newPilot(t, 100000, deltaPilot())
+	task, err := p.SubmitTask(context.Background(), spec.TaskDescription{
+		Name: "sim", Cores: 4, Duration: rng.ConstDuration(30 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := p.WaitTasks(ctx, task.UID()); err != nil {
+		t.Fatal(err)
+	}
+	if task.State() != states.TaskDone {
+		t.Fatalf("state = %s", task.State())
+	}
+	res := task.Result()
+	if res.ExecTime < 20*time.Second || res.LaunchTime <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestTaskFuncPayload(t *testing.T) {
+	p, _ := newPilot(t, 100000, deltaPilot())
+	var ran bool
+	task, _ := p.SubmitTask(context.Background(), spec.TaskDescription{
+		Name: "fn", Cores: 1,
+		Func: func(ctx context.Context) error { ran = true; return nil },
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := p.WaitTasks(ctx, task.UID()); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("function payload did not run")
+	}
+}
+
+func TestTaskFailurePropagates(t *testing.T) {
+	p, _ := newPilot(t, 100000, deltaPilot())
+	boom := errors.New("boom")
+	task, _ := p.SubmitTask(context.Background(), spec.TaskDescription{
+		Name: "bad", Cores: 1,
+		Func: func(ctx context.Context) error { return boom },
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	err := p.WaitTasks(ctx, task.UID())
+	if !errors.Is(err, boom) {
+		t.Fatalf("WaitTasks = %v, want boom", err)
+	}
+	if task.State() != states.TaskFailed {
+		t.Fatalf("state = %s", task.State())
+	}
+}
+
+func TestTaskWithStaging(t *testing.T) {
+	p, _ := newPilot(t, 100000, deltaPilot())
+	task, _ := p.SubmitTask(context.Background(), spec.TaskDescription{
+		Name: "staged", Cores: 1, Duration: rng.ConstDuration(time.Second),
+		InputStaging: []spec.StagingDirective{
+			{Source: "delta:/raw/a", Target: "delta:/sandbox/a", Bytes: 1 << 20, Mode: spec.StageCopy},
+		},
+		OutputStaging: []spec.StagingDirective{
+			{Source: "delta:/sandbox/out", Target: "delta:/results/out", Bytes: 1 << 10, Mode: spec.StageCopy},
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := p.WaitTasks(ctx, task.UID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Stage().Lookup("delta:/results/out"); !ok {
+		t.Fatal("output staging did not register the result object")
+	}
+}
+
+func TestManyTasksConcurrent(t *testing.T) {
+	p, _ := newPilot(t, 100000, deltaPilot())
+	const n = 64
+	uids := make([]string, n)
+	for i := 0; i < n; i++ {
+		task, err := p.SubmitTask(context.Background(), spec.TaskDescription{
+			Name: "bulk", Cores: 4, Duration: rng.ConstDuration(5 * time.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		uids[i] = task.UID()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := p.WaitTasks(ctx, uids...); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Executor().Completed(); got != n {
+		t.Fatalf("completed = %d, want %d", got, n)
+	}
+	// all resources back
+	for _, node := range p.Nodes() {
+		if node.FreeCores() != node.Spec().Cores {
+			t.Fatalf("node %s leaked cores", node.Name())
+		}
+	}
+}
+
+func TestServiceViaPilot(t *testing.T) {
+	p, _ := newPilot(t, 100000, deltaPilot())
+	inst, err := p.Services().Submit(spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{Name: "svc", GPUs: 1},
+		Model:           "llama-8b",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Services().WaitReady(ctx, inst.UID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Registry().Lookup(inst.UID()); !ok {
+		t.Fatal("service endpoint not registered via pilot agent")
+	}
+}
+
+func TestStateCallbackObservesTransitions(t *testing.T) {
+	clock := simtime.NewScaled(100000, origin)
+	src := rng.New(11)
+	plat := platform.NewDelta()
+	net := msgq.NewNetwork(clock, src, nil)
+	defer net.Close()
+	var mu sync.Mutex
+	var seen []states.State
+	cb := func(uid string, from, to states.State, at time.Time) {
+		mu.Lock()
+		seen = append(seen, to)
+		mu.Unlock()
+	}
+	p, err := Launch(Config{Clock: clock, Src: src, Net: net, Platform: plat, StateCallback: cb}, deltaPilot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown() //nolint:errcheck
+	task, _ := p.SubmitTask(context.Background(), spec.TaskDescription{
+		Name: "cb", Cores: 1, Duration: rng.ConstDuration(time.Second),
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	_ = p.WaitTasks(ctx, task.UID())
+	mu.Lock()
+	defer mu.Unlock()
+	var gotDone bool
+	for _, s := range seen {
+		if s == states.TaskDone {
+			gotDone = true
+		}
+	}
+	if !gotDone {
+		t.Fatalf("callback never saw DONE; saw %v", seen)
+	}
+}
+
+func TestWaitTasksAllWhenUnspecified(t *testing.T) {
+	p, _ := newPilot(t, 100000, deltaPilot())
+	for i := 0; i < 4; i++ {
+		_, _ = p.SubmitTask(context.Background(), spec.TaskDescription{
+			Name: "t", Cores: 1, Duration: rng.ConstDuration(time.Second),
+		})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.WaitTasks(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range p.Tasks() {
+		if task.State() != states.TaskDone {
+			t.Fatalf("task %s = %s", task.UID(), task.State())
+		}
+	}
+}
+
+func TestWaitTasksUnknown(t *testing.T) {
+	p, _ := newPilot(t, 100000, deltaPilot())
+	if err := p.WaitTasks(context.Background(), "task.404"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSubmitTaskAfterShutdown(t *testing.T) {
+	p, _ := newPilot(t, 100000, deltaPilot())
+	_ = p.Shutdown()
+	if _, err := p.SubmitTask(context.Background(), spec.TaskDescription{
+		Name: "late", Cores: 1, Duration: rng.ConstDuration(time.Second),
+	}); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package platform
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// This file is the platform catalog: constructors for the three machines
+// of the paper's evaluation (Table II), parameterized with the latencies
+// the paper reports and launch models calibrated to reproduce the Fig. 3
+// shape.
+
+// Paper §IV-C measured latencies.
+const (
+	// DeltaInterNodeLatency: "inter-node-latency: 0.063 ms +/- 0.014 ms".
+	DeltaInterNodeLatencyMean = 63 * time.Microsecond
+	DeltaInterNodeLatencyStd  = 14 * time.Microsecond
+	// DeltaToR3Latency: "node-to-node-latency: 0.47 ms +/- 0.04 ms".
+	DeltaToR3LatencyMean = 470 * time.Microsecond
+	DeltaToR3LatencyStd  = 40 * time.Microsecond
+)
+
+// FrontierLaunchSaturation is the concurrency beyond which Fig. 3 shows a
+// growing system-level (MPI startup) launch overhead.
+const FrontierLaunchSaturation = 160
+
+func localLatency(mean, std time.Duration) rng.DurationDist {
+	return rng.NormalDuration(mean, std)
+}
+
+// NewFrontier models an OLCF Frontier partition large enough for the
+// paper's Exp 1 pilot: 640 GPUs = 80 nodes × 8 GPUs (AMD MI250X GCDs), 64
+// cores and 512 GB per node. The launch model produces near-constant
+// per-instance launch overhead up to 160 concurrent launches and a
+// super-linear penalty beyond, as observed in Fig. 3.
+func NewFrontier() *Platform {
+	p := New("frontier", 80, NodeSpec{Cores: 64, GPUs: 8, MemGB: 512})
+	p.IntraNodeLatency = localLatency(5*time.Microsecond, 1*time.Microsecond)
+	p.LocalLatency = localLatency(70*time.Microsecond, 15*time.Microsecond)
+	p.WANLatency["r3"] = rng.NormalDuration(DeltaToR3LatencyMean, DeltaToR3LatencyStd)
+	p.Launch = LaunchModel{
+		Base:       rng.NormalDuration(2200*time.Millisecond, 300*time.Millisecond),
+		Saturation: FrontierLaunchSaturation,
+		PenaltyExp: 1.6,
+	}
+	return p
+}
+
+// NewDelta models the NCSA Delta partition of Exp 2/3: a 256-core /
+// 16-GPU pilot is 4 nodes × 64 cores × 4 A100s, 256 GB per node.
+func NewDelta() *Platform {
+	p := New("delta", 4, NodeSpec{Cores: 64, GPUs: 4, MemGB: 256})
+	p.IntraNodeLatency = localLatency(5*time.Microsecond, 1*time.Microsecond)
+	p.LocalLatency = localLatency(DeltaInterNodeLatencyMean, DeltaInterNodeLatencyStd)
+	p.WANLatency["r3"] = rng.NormalDuration(DeltaToR3LatencyMean, DeltaToR3LatencyStd)
+	p.Launch = LaunchModel{
+		Base:       rng.NormalDuration(1800*time.Millisecond, 250*time.Millisecond),
+		Saturation: 64,
+		PenaltyExp: 1.5,
+	}
+	return p
+}
+
+// NewR3 models the R3 cloud server that hosts the remote, persistent model
+// services: one large node with enough GPUs for the 16-service sweeps.
+// Remote services are persistent (the paper does not measure their BT), so
+// the launch model is nominal.
+func NewR3() *Platform {
+	p := New("r3", 1, NodeSpec{Cores: 128, GPUs: 16, MemGB: 1024})
+	p.IntraNodeLatency = localLatency(5*time.Microsecond, 1*time.Microsecond)
+	p.LocalLatency = localLatency(20*time.Microsecond, 4*time.Microsecond)
+	p.WANLatency["delta"] = rng.NormalDuration(DeltaToR3LatencyMean, DeltaToR3LatencyStd)
+	p.WANLatency["frontier"] = rng.NormalDuration(DeltaToR3LatencyMean, DeltaToR3LatencyStd)
+	p.Launch = LaunchModel{
+		Base:       rng.NormalDuration(500*time.Millisecond, 100*time.Millisecond),
+		Saturation: 0,
+	}
+	return p
+}
+
+// DefaultTopology wires the three paper platforms into one topology with
+// the Delta↔R3 WAN latency as the default wide-area link.
+func DefaultTopology() *Topology {
+	t := NewTopology(NewFrontier(), NewDelta(), NewR3())
+	t.DefaultWAN = rng.NormalDuration(DeltaToR3LatencyMean, DeltaToR3LatencyStd)
+	return t
+}

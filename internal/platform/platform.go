@@ -1,0 +1,362 @@
+// Package platform models the computing platforms of the paper's
+// evaluation: OLCF Frontier (local bootstrap scaling, Exp 1), NCSA Delta
+// (local NOOP/llama scaling, Exp 2/3), and R3, a cloud server hosting
+// remote model services. A platform is a set of nodes with cores, GPUs and
+// memory, an interconnect latency distribution, WAN latency distributions
+// to other platforms, and a launch-overhead model reproducing the paper's
+// observed system-level startup behaviour.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/msgq"
+	"repro/internal/rng"
+)
+
+// NodeSpec describes the hardware of one node type.
+type NodeSpec struct {
+	Cores int
+	GPUs  int
+	MemGB float64
+}
+
+// Node is one allocatable machine. All methods are safe for concurrent
+// use.
+type Node struct {
+	name string
+	spec NodeSpec
+
+	mu        sync.Mutex
+	coreUsed  []bool
+	gpuUsed   []bool
+	memUsedGB float64
+}
+
+// NewNode returns an idle node.
+func NewNode(name string, spec NodeSpec) *Node {
+	return &Node{
+		name:     name,
+		spec:     spec,
+		coreUsed: make([]bool, spec.Cores),
+		gpuUsed:  make([]bool, spec.GPUs),
+	}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Spec returns the node hardware description.
+func (n *Node) Spec() NodeSpec { return n.spec }
+
+// FreeCores returns the number of unallocated cores.
+func (n *Node) FreeCores() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return countFree(n.coreUsed)
+}
+
+// FreeGPUs returns the number of unallocated GPUs.
+func (n *Node) FreeGPUs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return countFree(n.gpuUsed)
+}
+
+// FreeMemGB returns the unallocated memory.
+func (n *Node) FreeMemGB() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.spec.MemGB - n.memUsedGB
+}
+
+func countFree(used []bool) int {
+	free := 0
+	for _, u := range used {
+		if !u {
+			free++
+		}
+	}
+	return free
+}
+
+// Allocation records resources held on one node. Release it exactly once.
+type Allocation struct {
+	node  *Node
+	Cores []int
+	GPUs  []int
+	MemGB float64
+
+	releaseOnce sync.Once
+}
+
+// Node returns the node the allocation lives on.
+func (a *Allocation) Node() *Node { return a.node }
+
+// Release returns the allocation's resources to the node. Safe to call
+// more than once; only the first call has effect.
+func (a *Allocation) Release() {
+	a.releaseOnce.Do(func() {
+		a.node.mu.Lock()
+		defer a.node.mu.Unlock()
+		for _, c := range a.Cores {
+			a.node.coreUsed[c] = false
+		}
+		for _, g := range a.GPUs {
+			a.node.gpuUsed[g] = false
+		}
+		a.node.memUsedGB -= a.MemGB
+	})
+}
+
+// TryAlloc attempts to allocate cores, gpus and memGB on the node,
+// returning nil when the node cannot satisfy the request. Slot indices are
+// assigned lowest-first, which keeps placements deterministic.
+func (n *Node) TryAlloc(cores, gpus int, memGB float64) *Allocation {
+	if cores < 0 || gpus < 0 || memGB < 0 {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if countFree(n.coreUsed) < cores || countFree(n.gpuUsed) < gpus {
+		return nil
+	}
+	if n.spec.MemGB-n.memUsedGB < memGB {
+		return nil
+	}
+	a := &Allocation{node: n, MemGB: memGB}
+	for i := 0; i < len(n.coreUsed) && len(a.Cores) < cores; i++ {
+		if !n.coreUsed[i] {
+			n.coreUsed[i] = true
+			a.Cores = append(a.Cores, i)
+		}
+	}
+	for i := 0; i < len(n.gpuUsed) && len(a.GPUs) < gpus; i++ {
+		if !n.gpuUsed[i] {
+			n.gpuUsed[i] = true
+			a.GPUs = append(a.GPUs, i)
+		}
+	}
+	n.memUsedGB += memGB
+	return a
+}
+
+// LaunchModel reproduces the paper's Fig. 3 launch-time behaviour: launch
+// overhead per service instance is roughly constant up to Saturation
+// concurrent launches, beyond which a system-level (MPI startup) penalty
+// grows super-linearly with concurrency.
+type LaunchModel struct {
+	// Base is the per-instance launch overhead at low concurrency.
+	Base rng.DurationDist
+	// Saturation is the concurrency beyond which the penalty applies
+	// (observed ~160 on Frontier).
+	Saturation int
+	// PenaltyExp shapes the super-linear growth factor
+	// (concurrency/Saturation)^PenaltyExp applied to the base mean.
+	PenaltyExp float64
+}
+
+// Sample draws the launch overhead for one instance when `concurrent`
+// instances are being launched together.
+func (m LaunchModel) Sample(src *rng.Source, concurrent int) time.Duration {
+	return m.Base.Sample(src) + m.Penalty(concurrent)
+}
+
+// Penalty returns the system-level startup penalty added to the base
+// launch overhead when `concurrent` instances launch together.
+func (m LaunchModel) Penalty(concurrent int) time.Duration {
+	if m.Saturation <= 0 || concurrent <= m.Saturation {
+		return 0
+	}
+	factor := math.Pow(float64(concurrent)/float64(m.Saturation), m.PenaltyExp)
+	return time.Duration(float64(m.Base.Mean()) * (factor - 1))
+}
+
+// Platform is a named set of nodes plus its latency topology.
+type Platform struct {
+	name  string
+	nodes []*Node
+
+	// LocalLatency is the one-way node-to-node latency inside the
+	// platform.
+	LocalLatency rng.DurationDist
+	// IntraNodeLatency is the one-way latency between endpoints on the
+	// same node (loopback / shared memory).
+	IntraNodeLatency rng.DurationDist
+	// WANLatency maps a remote platform name to the one-way latency of
+	// the wide-area link.
+	WANLatency map[string]rng.DurationDist
+	// Launch models service/task launch overhead.
+	Launch LaunchModel
+}
+
+// New assembles a platform of n identical nodes.
+func New(name string, n int, spec NodeSpec) *Platform {
+	if n <= 0 {
+		panic(fmt.Sprintf("platform: %s with %d nodes", name, n))
+	}
+	p := &Platform{
+		name:       name,
+		WANLatency: make(map[string]rng.DurationDist),
+	}
+	for i := 0; i < n; i++ {
+		p.nodes = append(p.nodes, NewNode(fmt.Sprintf("%s-node%04d", name, i), spec))
+	}
+	return p
+}
+
+// Name returns the platform name.
+func (p *Platform) Name() string { return p.name }
+
+// Nodes returns the platform's nodes (the slice is shared; nodes are
+// individually thread-safe).
+func (p *Platform) Nodes() []*Node { return p.nodes }
+
+// Node returns the named node, or nil.
+func (p *Platform) Node(name string) *Node {
+	for _, n := range p.nodes {
+		if n.name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// TotalCores returns the core count across all nodes.
+func (p *Platform) TotalCores() int {
+	total := 0
+	for _, n := range p.nodes {
+		total += n.spec.Cores
+	}
+	return total
+}
+
+// TotalGPUs returns the GPU count across all nodes.
+func (p *Platform) TotalGPUs() int {
+	total := 0
+	for _, n := range p.nodes {
+		total += n.spec.GPUs
+	}
+	return total
+}
+
+// FreeGPUs returns currently unallocated GPUs across all nodes.
+func (p *Platform) FreeGPUs() int {
+	total := 0
+	for _, n := range p.nodes {
+		total += n.FreeGPUs()
+	}
+	return total
+}
+
+// FreeCores returns currently unallocated cores across all nodes.
+func (p *Platform) FreeCores() int {
+	total := 0
+	for _, n := range p.nodes {
+		total += n.FreeCores()
+	}
+	return total
+}
+
+// Utilization returns the fraction of cores and GPUs currently allocated.
+func (p *Platform) Utilization() (cores, gpus float64) {
+	tc, tg := p.TotalCores(), p.TotalGPUs()
+	if tc > 0 {
+		cores = 1 - float64(p.FreeCores())/float64(tc)
+	}
+	if tg > 0 {
+		gpus = 1 - float64(p.FreeGPUs())/float64(tg)
+	}
+	return cores, gpus
+}
+
+// --- address scheme -------------------------------------------------------
+
+// Addr formats a transport address "platform/node/entity". Node may be
+// empty for platform-level endpoints (e.g. the client session).
+func Addr(platform, node, entity string) string {
+	if node == "" {
+		return platform + "//" + entity
+	}
+	return platform + "/" + node + "/" + entity
+}
+
+// ParseAddr splits an address produced by Addr.
+func ParseAddr(addr string) (platform, node, entity string, err error) {
+	parts := strings.SplitN(addr, "/", 3)
+	if len(parts) != 3 {
+		return "", "", "", fmt.Errorf("platform: malformed address %q", addr)
+	}
+	return parts[0], parts[1], parts[2], nil
+}
+
+// --- topology resolver -----------------------------------------------------
+
+// Topology resolves link profiles between addressed endpoints across a set
+// of platforms.
+type Topology struct {
+	platforms map[string]*Platform
+	// DefaultWAN is used between platforms with no explicit WAN entry.
+	DefaultWAN rng.DurationDist
+}
+
+// NewTopology indexes the given platforms.
+func NewTopology(platforms ...*Platform) *Topology {
+	t := &Topology{platforms: make(map[string]*Platform, len(platforms))}
+	for _, p := range platforms {
+		t.platforms[p.name] = p
+	}
+	return t
+}
+
+// Platform returns the named platform, or nil.
+func (t *Topology) Platform(name string) *Platform { return t.platforms[name] }
+
+// PlatformNames returns the sorted platform names.
+func (t *Topology) PlatformNames() []string {
+	names := make([]string, 0, len(t.platforms))
+	for n := range t.platforms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resolver returns a msgq.Resolver implementing the topology: same node →
+// intra-node latency; same platform → local latency; different platforms →
+// WAN latency (source platform's entry for the target, else DefaultWAN).
+func (t *Topology) Resolver() msgq.Resolver {
+	return func(from, to string) msgq.LinkProfile {
+		fp, fn, _, errF := ParseAddr(from)
+		tp, tn, _, errT := ParseAddr(to)
+		if errF != nil || errT != nil {
+			return msgq.LinkProfile{} // unaddressed endpoints: free link
+		}
+		if fp == tp {
+			p := t.platforms[fp]
+			if p == nil {
+				return msgq.LinkProfile{}
+			}
+			if fn == tn && fn != "" {
+				return msgq.LinkProfile{Latency: p.IntraNodeLatency}
+			}
+			return msgq.LinkProfile{Latency: p.LocalLatency}
+		}
+		if p := t.platforms[fp]; p != nil {
+			if d, ok := p.WANLatency[tp]; ok {
+				return msgq.LinkProfile{Latency: d}
+			}
+		}
+		if p := t.platforms[tp]; p != nil {
+			if d, ok := p.WANLatency[fp]; ok {
+				return msgq.LinkProfile{Latency: d}
+			}
+		}
+		return msgq.LinkProfile{Latency: t.DefaultWAN}
+	}
+}

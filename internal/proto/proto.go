@@ -1,0 +1,229 @@
+// Package proto defines the wire protocol of the runtime: message
+// envelopes, typed payloads, and length-prefixed framing for stream
+// transports. It is the Go analogue of RADICAL-Pilot's ZeroMQ message
+// schema: every client↔agent and task↔service exchange in this repository
+// is one of these messages.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Kind discriminates envelope payloads.
+type Kind string
+
+// Message kinds. The set mirrors the channels in the paper's Fig. 2:
+// submission (1), scheduling (2), execution (3), service API calls (4/5),
+// and state/information updates (6).
+const (
+	KindSubmit        Kind = "submit"         // client → manager: new descriptions
+	KindSchedule      Kind = "schedule"       // manager → scheduler: placement request
+	KindExecute       Kind = "execute"        // scheduler → executor: launch order
+	KindRequest       Kind = "request"        // task → service: API call
+	KindReply         Kind = "reply"          // service → task: API response
+	KindControl       Kind = "control"        // manager → service: control command
+	KindStateUpdate   Kind = "state_update"   // any → updater: entity state change
+	KindEndpoint      Kind = "endpoint"       // service → registry: endpoint publication
+	KindHeartbeat     Kind = "heartbeat"      // service → manager: liveness
+	KindRegister      Kind = "register"       // component → session: registration
+	KindStageRequest  Kind = "stage_request"  // manager → stager: data movement
+	KindStageComplete Kind = "stage_complete" // stager → manager: staging done
+	KindError         Kind = "error"          // any → any: failure report
+)
+
+// Envelope is the single message type carried by every channel.
+type Envelope struct {
+	Kind Kind   `json:"kind"`
+	ID   uint64 `json:"id"`             // per-sender sequence number
+	From string `json:"from"`           // sender UID
+	To   string `json:"to,omitempty"`   // recipient UID (empty: topic/broadcast)
+	Sent time.Time `json:"sent"`        // clock time at send
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// NewEnvelope marshals body into a fresh envelope. It panics only if body
+// is unmarshalable (a programming error, since all payloads are local
+// structs).
+func NewEnvelope(kind Kind, id uint64, from, to string, sent time.Time, body any) (Envelope, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("proto: marshal %s body: %w", kind, err)
+	}
+	return Envelope{Kind: kind, ID: id, From: from, To: to, Sent: sent, Body: raw}, nil
+}
+
+// Decode unmarshals the envelope body into out, validating the kind first.
+func (e Envelope) Decode(want Kind, out any) error {
+	if e.Kind != want {
+		return fmt.Errorf("proto: decode kind %q as %q", e.Kind, want)
+	}
+	if err := json.Unmarshal(e.Body, out); err != nil {
+		return fmt.Errorf("proto: decode %s body: %w", e.Kind, err)
+	}
+	return nil
+}
+
+// InferenceRequest is the payload of a KindRequest message: one API call
+// from a client task to a model service (paper §IV: a prompt sent via the
+// service interface).
+type InferenceRequest struct {
+	RequestUID string `json:"request_uid"`
+	ClientUID  string `json:"client_uid"`
+	Model      string `json:"model"`       // model name, e.g. "llama-8b" or "noop"
+	Prompt     string `json:"prompt"`
+	MaxTokens  int    `json:"max_tokens,omitempty"`
+	// SentAt is the client clock time immediately before the request
+	// entered the transport; used for RT decomposition.
+	SentAt time.Time `json:"sent_at"`
+}
+
+// Timing carries the service-side timestamps used to decompose response
+// time into the paper's communication / service / inference components.
+type Timing struct {
+	ReceivedAt   time.Time `json:"received_at"`   // request hit the service socket
+	DequeuedAt   time.Time `json:"dequeued_at"`   // request left the service queue
+	InferStartAt time.Time `json:"infer_start_at"`
+	InferEndAt   time.Time `json:"infer_end_at"`
+	RepliedAt    time.Time `json:"replied_at"` // reply entered the transport
+}
+
+// QueueTime returns how long the request waited in the service queue.
+func (t Timing) QueueTime() time.Duration { return t.DequeuedAt.Sub(t.ReceivedAt) }
+
+// ServiceTime returns the service-side handling time excluding inference:
+// parse/queue/deserialize plus reply formation (paper Exp 2 "service").
+func (t Timing) ServiceTime() time.Duration {
+	return t.RepliedAt.Sub(t.ReceivedAt) - t.InferTime()
+}
+
+// InferTime returns the pure model inference duration (paper "inference").
+func (t Timing) InferTime() time.Duration { return t.InferEndAt.Sub(t.InferStartAt) }
+
+// InferenceReply is the payload of a KindReply message.
+type InferenceReply struct {
+	RequestUID string `json:"request_uid"`
+	ServiceUID string `json:"service_uid"`
+	Model      string `json:"model"`
+	Text       string `json:"text"`
+	PromptTokens int  `json:"prompt_tokens"`
+	OutputTokens int  `json:"output_tokens"`
+	Timing     Timing `json:"timing"`
+	Err        string `json:"err,omitempty"`
+}
+
+// ControlCommand names a service control operation.
+type ControlCommand string
+
+// Control commands supported by the service control channel.
+const (
+	CtlPrepare   ControlCommand = "prepare"   // pre-load / warm the capability
+	CtlDrain     ControlCommand = "drain"     // stop accepting, finish queue
+	CtlTerminate ControlCommand = "terminate" // stop now
+	CtlPing      ControlCommand = "ping"      // liveness probe
+)
+
+// Control is the payload of a KindControl message.
+type Control struct {
+	Command ControlCommand `json:"command"`
+	Target  string         `json:"target"` // service UID
+	Args    map[string]string `json:"args,omitempty"`
+}
+
+// Endpoint is the payload of a KindEndpoint message: a service publishing
+// where it can be reached (paper Exp 1 "publish" component).
+type Endpoint struct {
+	ServiceUID string    `json:"service_uid"`
+	Model      string    `json:"model"`
+	Address    string    `json:"address"`  // transport address (msgq or URL)
+	Protocol   string    `json:"protocol"` // "msgq" | "rest"
+	Node       string    `json:"node,omitempty"`
+	PublishedAt time.Time `json:"published_at"`
+}
+
+// StateUpdate is the payload of a KindStateUpdate message.
+type StateUpdate struct {
+	EntityUID string    `json:"entity_uid"`
+	Entity    string    `json:"entity"` // "pilot" | "task" | "service"
+	State     string    `json:"state"`
+	At        time.Time `json:"at"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// Heartbeat is the payload of a KindHeartbeat message.
+type Heartbeat struct {
+	ServiceUID string    `json:"service_uid"`
+	At         time.Time `json:"at"`
+	QueueDepth int       `json:"queue_depth"`
+	Busy       bool      `json:"busy"`
+}
+
+// StageRequest is the payload of a KindStageRequest message.
+type StageRequest struct {
+	TaskUID   string `json:"task_uid"`
+	Source    string `json:"source"`
+	Target    string `json:"target"`
+	Bytes     int64  `json:"bytes"`
+	Direction string `json:"direction"` // "in" | "out"
+	Mode      string `json:"mode"`      // "copy" | "link" | "transfer"
+}
+
+// ErrorBody is the payload of a KindError message.
+type ErrorBody struct {
+	Origin string `json:"origin"`
+	Msg    string `json:"msg"`
+}
+
+// --- framing -------------------------------------------------------------
+
+// MaxFrameSize bounds a single framed message (16 MiB). Larger frames are
+// rejected to protect against corrupt length prefixes.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("proto: frame exceeds maximum size")
+
+// WriteFrame writes env as a length-prefixed JSON frame.
+func WriteFrame(w io.Writer, env Envelope) error {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("proto: marshal envelope: %w", err)
+	}
+	if len(raw) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("proto: write frame header: %w", err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		return fmt.Errorf("proto: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed JSON frame.
+func ReadFrame(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, err // preserve io.EOF for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return Envelope{}, ErrFrameTooLarge
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return Envelope{}, fmt.Errorf("proto: read frame body: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return Envelope{}, fmt.Errorf("proto: unmarshal envelope: %w", err)
+	}
+	return env, nil
+}

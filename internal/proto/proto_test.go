@@ -1,0 +1,181 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2025, 3, 17, 12, 0, 0, 0, time.UTC)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	req := InferenceRequest{
+		RequestUID: "req.0001", ClientUID: "task.0002",
+		Model: "llama-8b", Prompt: "hello", MaxTokens: 16, SentAt: t0,
+	}
+	env, err := NewEnvelope(KindRequest, 7, "task.0002", "service.0001", t0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != KindRequest || env.ID != 7 || env.From != "task.0002" {
+		t.Fatalf("envelope header mismatch: %+v", env)
+	}
+	var got InferenceRequest
+	if err := env.Decode(KindRequest, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("decoded %+v, want %+v", got, req)
+	}
+}
+
+func TestDecodeWrongKind(t *testing.T) {
+	env, _ := NewEnvelope(KindReply, 1, "a", "b", t0, InferenceReply{})
+	var req InferenceRequest
+	if err := env.Decode(KindRequest, &req); err == nil {
+		t.Fatal("Decode accepted mismatched kind")
+	}
+}
+
+func TestDecodeBadBody(t *testing.T) {
+	env := Envelope{Kind: KindRequest, Body: []byte(`{"max_tokens":"nope"}`)}
+	var req InferenceRequest
+	if err := env.Decode(KindRequest, &req); err == nil {
+		t.Fatal("Decode accepted malformed body")
+	}
+}
+
+func TestNewEnvelopeUnmarshalable(t *testing.T) {
+	if _, err := NewEnvelope(KindRequest, 1, "a", "b", t0, make(chan int)); err == nil {
+		t.Fatal("NewEnvelope accepted unmarshalable body")
+	}
+}
+
+func TestTimingDecomposition(t *testing.T) {
+	tm := Timing{
+		ReceivedAt:   t0,
+		DequeuedAt:   t0.Add(10 * time.Millisecond),
+		InferStartAt: t0.Add(12 * time.Millisecond),
+		InferEndAt:   t0.Add(1012 * time.Millisecond),
+		RepliedAt:    t0.Add(1015 * time.Millisecond),
+	}
+	if q := tm.QueueTime(); q != 10*time.Millisecond {
+		t.Fatalf("QueueTime = %v", q)
+	}
+	if it := tm.InferTime(); it != time.Second {
+		t.Fatalf("InferTime = %v", it)
+	}
+	if st := tm.ServiceTime(); st != 15*time.Millisecond {
+		t.Fatalf("ServiceTime = %v, want 15ms", st)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	env, _ := NewEnvelope(KindHeartbeat, 3, "service.0001", "", t0,
+		Heartbeat{ServiceUID: "service.0001", At: t0, QueueDepth: 4, Busy: true})
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindHeartbeat || got.ID != 3 || got.From != "service.0001" {
+		t.Fatalf("frame round trip mismatch: %+v", got)
+	}
+	var hb Heartbeat
+	if err := got.Decode(KindHeartbeat, &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.QueueDepth != 4 || !hb.Busy {
+		t.Fatalf("heartbeat body mismatch: %+v", hb)
+	}
+}
+
+func TestFrameMultipleSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(0); i < 10; i++ {
+		env, _ := NewEnvelope(KindControl, i, "mgr", "svc", t0, Control{Command: CtlPing, Target: "svc"})
+		if err := WriteFrame(&buf, env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		env, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.ID != i {
+			t.Fatalf("frame %d read out of order as %d", i, env.ID)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("trailing read err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	env, _ := NewEnvelope(KindPingOrError(), 1, "a", "b", t0, ErrorBody{Origin: "x", Msg: "y"})
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("ReadFrame accepted truncated body")
+	}
+}
+
+// KindPingOrError exists to exercise KindError in tests.
+func KindPingOrError() Kind { return KindError }
+
+func TestReadFrameGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("ReadFrame accepted garbage JSON")
+	}
+}
+
+func TestFramePropertyRoundTrip(t *testing.T) {
+	f := func(id uint64, from, to, prompt string) bool {
+		env, err := NewEnvelope(KindRequest, id, from, to, t0, InferenceRequest{Prompt: prompt})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, env); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		var body InferenceRequest
+		if err := got.Decode(KindRequest, &body); err != nil {
+			return false
+		}
+		return got.ID == id && got.From == from && got.To == to && body.Prompt == prompt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

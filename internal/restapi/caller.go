@@ -1,0 +1,67 @@
+package restapi
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/service"
+	"repro/internal/simtime"
+)
+
+// Caller adapts the REST client to the service.Caller interface, so
+// remote REST-exposed model instances (the R3 deployment) are
+// interchangeable with msgq-connected local services from the client
+// task's perspective.
+type Caller struct {
+	ep     proto.Endpoint
+	client *Client
+	clock  simtime.Clock
+
+	seq uint64
+}
+
+var _ service.Caller = (*Caller)(nil)
+
+// NewCaller builds a Caller for a REST endpoint (ep.Address is the base
+// URL, ep.Protocol must be "rest").
+func NewCaller(ep proto.Endpoint, clock simtime.Clock) (*Caller, error) {
+	if ep.Protocol != "rest" {
+		return nil, fmt.Errorf("restapi: endpoint %s has protocol %q, want rest", ep.ServiceUID, ep.Protocol)
+	}
+	return &Caller{ep: ep, client: NewClient(ep.Address), clock: clock}, nil
+}
+
+// Endpoint returns the wrapped endpoint.
+func (c *Caller) Endpoint() proto.Endpoint { return c.ep }
+
+// Infer implements service.Caller over HTTP.
+func (c *Caller) Infer(ctx context.Context, prompt string, maxTokens int) (proto.InferenceReply, metrics.Breakdown, error) {
+	c.seq++
+	start := c.clock.Now()
+	resp, err := c.client.Generate(ctx, GenerateRequest{
+		Model:     c.ep.Model,
+		Prompt:    prompt,
+		MaxTokens: maxTokens,
+		RequestID: fmt.Sprintf("%s.rest.%06d", c.ep.ServiceUID, c.seq),
+	})
+	total := c.clock.Now().Sub(start)
+	if err != nil {
+		return proto.InferenceReply{}, metrics.Breakdown{}, err
+	}
+	reply := proto.InferenceReply{
+		RequestUID:   fmt.Sprintf("%s.rest.%06d", c.ep.ServiceUID, c.seq),
+		ServiceUID:   resp.ServiceUID,
+		Model:        resp.Model,
+		Text:         resp.Response,
+		PromptTokens: resp.PromptTokens,
+		OutputTokens: resp.OutputTokens,
+		Timing:       resp.Timing,
+	}
+	return reply, service.DecomposeRT(total, resp.Timing), nil
+}
+
+// Close implements service.Caller (HTTP clients hold no persistent
+// state).
+func (c *Caller) Close() error { return nil }

@@ -1,0 +1,147 @@
+package restapi
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/rng"
+	"repro/internal/serving"
+	"repro/internal/simtime"
+)
+
+var origin = time.Date(2025, 3, 17, 0, 0, 0, 0, time.UTC)
+
+func newGateway(t *testing.T, model string) (*Gateway, *serving.Server) {
+	t.Helper()
+	spec, err := llm.Lookup(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simtime.NewScaled(100000, origin)
+	src := rng.New(5)
+	srv, err := serving.New(serving.Config{
+		UID:     "r3.service.0001",
+		Backend: serving.LLMBackend{M: llm.NewInstance(spec, clock, src.Derive("m"))},
+		Clock:   clock,
+		Src:     src.Derive("s"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGateway(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, srv
+}
+
+func TestGenerateOverHTTP(t *testing.T) {
+	g, _ := newGateway(t, "llama-8b")
+	c := NewClient(g.URL())
+	resp, err := c.Generate(context.Background(), GenerateRequest{
+		Model: "llama-8b", Prompt: "what genes respond to radiation", MaxTokens: 32,
+		RequestID: "req.1", ClientID: "client.1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "llama-8b" || resp.OutputTokens < 1 || !strings.HasPrefix(resp.Response, "[llama-8b]") {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Timing.InferTime() <= 0 {
+		t.Fatal("no inference timing over REST")
+	}
+}
+
+func TestGenerateConcurrent(t *testing.T) {
+	g, srv := newGateway(t, "noop")
+	c := NewClient(g.URL())
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Generate(context.Background(), GenerateRequest{Model: "noop", Prompt: "x"})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Processed() != 16 {
+		t.Fatalf("processed = %d", srv.Processed())
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	g, _ := newGateway(t, "noop")
+	c := NewClient(g.URL())
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ready || h.ServiceUID != "r3.service.0001" || h.Model != "noop" {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestGenerateAgainstStoppedServer(t *testing.T) {
+	g, srv := newGateway(t, "noop")
+	srv.Stop()
+	c := NewClient(g.URL())
+	if _, err := c.Generate(context.Background(), GenerateRequest{Model: "noop", Prompt: "x"}); err == nil {
+		t.Fatal("Generate succeeded against stopped server")
+	}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Ready {
+		t.Fatal("stopped server reports ready")
+	}
+}
+
+func TestEndpointRecord(t *testing.T) {
+	g, _ := newGateway(t, "llama-8b")
+	ep := g.Endpoint()
+	if ep.Protocol != "rest" || ep.Model != "llama-8b" || !strings.HasPrefix(ep.Address, "http://") {
+		t.Fatalf("endpoint = %+v", ep)
+	}
+}
+
+func TestMalformedRequestRejected(t *testing.T) {
+	g, _ := newGateway(t, "noop")
+	c := NewClient(g.URL())
+	// direct malformed POST
+	resp, err := c.hc.Post(g.URL()+"/api/generate", "application/json", strings.NewReader("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1")
+	if _, err := c.Generate(context.Background(), GenerateRequest{Model: "noop"}); err == nil {
+		t.Fatal("Generate against dead server succeeded")
+	}
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("Health against dead server succeeded")
+	}
+}

@@ -1,0 +1,48 @@
+package scheduler
+
+import "sync"
+
+// Router dispatches placements to per-UID waiters. A pilot agent creates
+// one Router and installs Route as the scheduler's PlaceFn; managers call
+// Expect before submitting so the placement callback finds its consumer.
+type Router struct {
+	mu    sync.Mutex
+	chans map[string]chan Placement
+}
+
+// NewRouter returns an empty Router.
+func NewRouter() *Router {
+	return &Router{chans: make(map[string]chan Placement)}
+}
+
+// Expect registers interest in the placement of uid. It must be called
+// before (or concurrently with) the scheduler granting the placement.
+func (r *Router) Expect(uid string) <-chan Placement {
+	ch := make(chan Placement, 1)
+	r.mu.Lock()
+	r.chans[uid] = ch
+	r.mu.Unlock()
+	return ch
+}
+
+// Cancel removes interest in uid (e.g. submission failed).
+func (r *Router) Cancel(uid string) {
+	r.mu.Lock()
+	delete(r.chans, uid)
+	r.mu.Unlock()
+}
+
+// Route delivers p to its waiter and reports whether one existed. Use as
+// the scheduler's PlaceFn (or as part of a composite one).
+func (r *Router) Route(p Placement) bool {
+	r.mu.Lock()
+	ch, ok := r.chans[p.Req.UID]
+	if ok {
+		delete(r.chans, p.Req.UID)
+	}
+	r.mu.Unlock()
+	if ok {
+		ch <- p
+	}
+	return ok
+}

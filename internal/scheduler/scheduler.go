@@ -1,0 +1,222 @@
+// Package scheduler implements the agent-side continuous scheduler of the
+// runtime. It binds tasks and service tasks to node resources (cores,
+// GPUs, memory) within a pilot's allocation, honouring the priority
+// relation the paper's extended Scheduler enacts between services and
+// tasks: "We extended the existing Scheduler to enact priority relations
+// between services and tasks" — in workflows, services often have to start
+// before any computing task (§III).
+//
+// The algorithm is first-fit over the pilot's nodes with a priority-queue
+// wait pool: higher priority first, FIFO within a priority class.
+// Placement retries happen continuously as resources are released.
+package scheduler
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/platform"
+)
+
+// Request asks for resources for one entity.
+type Request struct {
+	// UID identifies the task or service.
+	UID string
+	// Cores, GPUs, MemGB are the per-node resource demand.
+	Cores int
+	GPUs  int
+	MemGB float64
+	// Priority orders the wait pool: higher first. The ServiceManager
+	// submits services with a raised priority.
+	Priority int
+}
+
+// Placement is a granted request.
+type Placement struct {
+	Req   Request
+	Alloc *platform.Allocation
+}
+
+// PlaceFn receives each successful placement. It is called from a
+// dedicated scheduler goroutine: implementations may block briefly but
+// must not call back into the scheduler synchronously except Release.
+type PlaceFn func(Placement)
+
+// Scheduler performs continuous first-fit scheduling over a fixed node
+// set.
+type Scheduler struct {
+	nodes []*platform.Node
+	place PlaceFn
+
+	mu      sync.Mutex
+	waiting waitHeap
+	seq     uint64
+	closed  bool
+	kick    chan struct{}
+	done    chan struct{}
+
+	scheduled int
+	failed    int
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("scheduler: closed")
+
+// ErrUnsatisfiable is returned when a request can never fit on any node.
+type ErrUnsatisfiable struct{ Req Request }
+
+// Error implements error.
+func (e ErrUnsatisfiable) Error() string {
+	return fmt.Sprintf("scheduler: request %s (%d cores, %d gpus, %.1f GB) exceeds every node",
+		e.Req.UID, e.Req.Cores, e.Req.GPUs, e.Req.MemGB)
+}
+
+type waitItem struct {
+	req Request
+	seq uint64
+}
+
+type waitHeap []waitItem
+
+func (h waitHeap) Len() int { return len(h) }
+func (h waitHeap) Less(i, j int) bool {
+	if h[i].req.Priority != h[j].req.Priority {
+		return h[i].req.Priority > h[j].req.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *waitHeap) Push(x any)        { *h = append(*h, x.(waitItem)) }
+func (h *waitHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// New starts a scheduler over nodes, delivering placements to place.
+func New(nodes []*platform.Node, place PlaceFn) *Scheduler {
+	s := &Scheduler{
+		nodes: nodes,
+		place: place,
+		kick:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// Submit enqueues a request. It returns ErrUnsatisfiable immediately when
+// no node in the pilot could ever satisfy the request.
+func (s *Scheduler) Submit(req Request) error {
+	if !s.satisfiable(req) {
+		s.mu.Lock()
+		s.failed++
+		s.mu.Unlock()
+		return ErrUnsatisfiable{Req: req}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.seq++
+	heap.Push(&s.waiting, waitItem{req: req, seq: s.seq})
+	s.mu.Unlock()
+	s.poke()
+	return nil
+}
+
+// satisfiable reports whether some node's total capacity covers req.
+func (s *Scheduler) satisfiable(req Request) bool {
+	for _, n := range s.nodes {
+		sp := n.Spec()
+		if sp.Cores >= req.Cores && sp.GPUs >= req.GPUs && sp.MemGB >= req.MemGB {
+			return true
+		}
+	}
+	return false
+}
+
+// Release returns an allocation to its node and re-kicks scheduling.
+func (s *Scheduler) Release(a *platform.Allocation) {
+	a.Release()
+	s.poke()
+}
+
+// Waiting returns the wait-pool depth.
+func (s *Scheduler) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiting.Len()
+}
+
+// Scheduled returns the count of granted placements.
+func (s *Scheduler) Scheduled() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheduled
+}
+
+// Close stops the scheduler. Waiting requests are dropped.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+}
+
+func (s *Scheduler) poke() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Scheduler) loop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+			s.schedule()
+		}
+	}
+}
+
+// schedule drains as much of the wait pool as currently fits. Priority
+// order is strict: a large high-priority request at the head blocks lower
+// priority work (no backfill) so that services cannot be starved by a
+// stream of small tasks — the readiness guarantee of §III outweighs
+// utilization here. The ablation benchmark BenchmarkAblationBackfill
+// quantifies the trade-off.
+func (s *Scheduler) schedule() {
+	for {
+		s.mu.Lock()
+		if s.closed || s.waiting.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		it := s.waiting[0]
+		alloc := s.tryPlace(it.req)
+		if alloc == nil {
+			s.mu.Unlock()
+			return // head does not fit: wait for a release
+		}
+		heap.Pop(&s.waiting)
+		s.scheduled++
+		s.mu.Unlock()
+		s.place(Placement{Req: it.req, Alloc: alloc})
+	}
+}
+
+// tryPlace attempts first-fit placement of req.
+func (s *Scheduler) tryPlace(req Request) *platform.Allocation {
+	for _, n := range s.nodes {
+		if a := n.TryAlloc(req.Cores, req.GPUs, req.MemGB); a != nil {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,544 @@
+// Package service implements the paper's central contribution: the
+// service-oriented runtime extension. It provides the ServiceManager that
+// complements the existing TaskManager (Fig. 2), the Service base
+// behaviour (a managed process exposing a well-defined API with readiness
+// and liveness management), endpoint publication, control channels, and
+// the priority relation that starts services before compute tasks.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/msgq"
+	"repro/internal/platform"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/scheduler"
+	"repro/internal/serving"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/stager"
+	"repro/internal/states"
+)
+
+// Manager errors.
+var (
+	ErrUnknownService = errors.New("service: unknown service")
+	ErrNotActive      = errors.New("service: not active")
+)
+
+// Config wires a Manager into a pilot agent.
+type Config struct {
+	Clock    simtime.Clock
+	Src      *rng.Source
+	Net      *msgq.Network
+	Sched    *scheduler.Scheduler
+	Router   *scheduler.Router
+	Exec     *executor.Executor
+	Stage    *stager.Manager
+	Registry *Registry
+	// Platform is the hosting platform's name (address prefix).
+	Platform string
+	// UIDPrefix namespaces generated service UIDs (e.g. the owning pilot
+	// UID) so services of different pilots never collide in session-level
+	// maps and transport addresses.
+	UIDPrefix string
+	// DefaultProbeInterval is used when a description leaves ProbeInterval
+	// zero. Default 5s.
+	DefaultProbeInterval time.Duration
+	// DefaultStartTimeout bounds bootstrap when a description leaves
+	// StartTimeout zero. Default 10m.
+	DefaultStartTimeout time.Duration
+}
+
+// Manager is the ServiceManager: it owns the lifecycle of every service
+// task on one pilot.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	seq      int
+	services map[string]*Instance
+	closed   bool
+}
+
+// NewManager validates cfg and returns an empty Manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Clock == nil || cfg.Src == nil || cfg.Net == nil || cfg.Sched == nil ||
+		cfg.Router == nil || cfg.Exec == nil || cfg.Registry == nil {
+		return nil, errors.New("service: incomplete manager config")
+	}
+	if cfg.DefaultProbeInterval <= 0 {
+		cfg.DefaultProbeInterval = 5 * time.Second
+	}
+	if cfg.DefaultStartTimeout <= 0 {
+		cfg.DefaultStartTimeout = 10 * time.Minute
+	}
+	return &Manager{cfg: cfg, services: make(map[string]*Instance)}, nil
+}
+
+// Instance is one managed service task.
+type Instance struct {
+	desc    spec.ServiceDescription
+	machine *states.Machine
+	mgr     *Manager
+
+	mu       sync.Mutex
+	server   *serving.Server
+	endpoint proto.Endpoint
+	alloc    interface{ Release() }
+	apiSrv   msgq.Server
+	ctlSrv   msgq.Server
+	probe    simtime.Ticker
+	probeStop chan struct{}
+	killed   bool
+	failErr  error
+
+	// bootstrap components (Fig. 3)
+	launchTime  time.Duration
+	initTime    time.Duration
+	publishTime time.Duration
+}
+
+// UID returns the service UID.
+func (s *Instance) UID() string { return s.machine.UID() }
+
+// Description returns the submitted description.
+func (s *Instance) Description() spec.ServiceDescription { return s.desc }
+
+// State returns the current lifecycle state.
+func (s *Instance) State() states.State { return s.machine.Current() }
+
+// Endpoint returns the published endpoint (zero before publication).
+func (s *Instance) Endpoint() proto.Endpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.endpoint
+}
+
+// Err returns the failure cause, if the service failed.
+func (s *Instance) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failErr
+}
+
+// Bootstrap returns the measured BT components: launch (placement to
+// process up), init (model load), publish (endpoint communication). Valid
+// once the service is ACTIVE.
+func (s *Instance) Bootstrap() metrics.Breakdown {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return metrics.Breakdown{Components: map[string]time.Duration{
+		"launch":  s.launchTime,
+		"init":    s.initTime,
+		"publish": s.publishTime,
+	}}
+}
+
+// QueueDepth returns the server's live queue depth (0 when not active).
+func (s *Instance) QueueDepth() int {
+	s.mu.Lock()
+	srv := s.server
+	s.mu.Unlock()
+	if srv == nil {
+		return 0
+	}
+	return srv.QueueDepth()
+}
+
+// Kill simulates a service process crash: the backend stops answering, so
+// the next liveness probe marks the service FAILED. Used by failure
+// injection tests.
+func (s *Instance) Kill() {
+	s.mu.Lock()
+	s.killed = true
+	srv := s.server
+	s.mu.Unlock()
+	if srv != nil {
+		srv.Stop()
+	}
+}
+
+// Submit validates d, assigns a UID, and starts the service bootstrap
+// asynchronously. The returned Instance progresses through the service
+// state model; use Manager.WaitReady or the Registry to gate on readiness.
+func (m *Manager) Submit(d spec.ServiceDescription) (*Instance, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("service: manager closed")
+	}
+	m.seq++
+	if d.UID == "" {
+		d.UID = fmt.Sprintf("%sservice.%04d", m.cfg.UIDPrefix, m.seq)
+	}
+	if d.Priority == 0 {
+		d.Priority = spec.ServicePriority
+	}
+	if d.ProbeInterval <= 0 {
+		d.ProbeInterval = m.cfg.DefaultProbeInterval
+	}
+	if d.StartTimeout <= 0 {
+		d.StartTimeout = m.cfg.DefaultStartTimeout
+	}
+	inst := &Instance{
+		desc:      d,
+		machine:   states.NewMachine(d.UID, states.ServiceModel(), m.cfg.Clock),
+		mgr:       m,
+		probeStop: make(chan struct{}),
+	}
+	m.services[d.UID] = inst
+	m.mu.Unlock()
+
+	go m.bootstrap(inst)
+	return inst, nil
+}
+
+// Get returns a managed instance.
+func (m *Manager) Get(uid string) (*Instance, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.services[uid]
+	return s, ok
+}
+
+// List returns all managed instances.
+func (m *Manager) List() []*Instance {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Instance, 0, len(m.services))
+	for _, s := range m.services {
+		out = append(out, s)
+	}
+	return out
+}
+
+// bootstrap drives one service task through its lifecycle until ACTIVE.
+func (m *Manager) bootstrap(inst *Instance) {
+	fail := func(err error) {
+		inst.mu.Lock()
+		inst.failErr = err
+		alloc := inst.alloc
+		inst.alloc = nil
+		inst.mu.Unlock()
+		_ = inst.machine.Fail()
+		if alloc != nil {
+			alloc.Release()
+		}
+		m.cfg.Registry.Withdraw(inst.UID())
+	}
+
+	d := inst.desc
+	if err := inst.machine.To(states.ServiceSmgrScheduling); err != nil {
+		fail(err)
+		return
+	}
+
+	// input staging
+	if err := inst.machine.To(states.ServiceStagingInput); err != nil {
+		fail(err)
+		return
+	}
+	if m.cfg.Stage != nil && len(d.InputStaging) > 0 {
+		if _, err := m.cfg.Stage.StageAll(d.InputStaging); err != nil {
+			fail(err)
+			return
+		}
+	}
+
+	// agent scheduling: services carry raised priority
+	if err := inst.machine.To(states.ServiceScheduling); err != nil {
+		fail(err)
+		return
+	}
+	placed := m.cfg.Router.Expect(d.UID)
+	err := m.cfg.Sched.Submit(scheduler.Request{
+		UID: d.UID, Cores: d.Cores, GPUs: d.GPUs, MemGB: d.MemGB, Priority: d.Priority,
+	})
+	if err != nil {
+		m.cfg.Router.Cancel(d.UID)
+		fail(err)
+		return
+	}
+
+	var pl scheduler.Placement
+	startDeadline := m.cfg.Clock.NewTimer(d.StartTimeout)
+	defer startDeadline.Stop()
+	select {
+	case pl = <-placed:
+	case <-startDeadline.C():
+		fail(fmt.Errorf("service %s: start timeout in scheduling", d.UID))
+		return
+	}
+
+	// launch on the target resource (BT `launch`)
+	if err := inst.machine.To(states.ServiceLaunching); err != nil {
+		pl.Alloc.Release()
+		fail(err)
+		return
+	}
+	inst.mu.Lock()
+	inst.alloc = pl.Alloc
+	inst.mu.Unlock()
+	launchDur := m.cfg.Exec.Launch(d.UID)
+
+	// capability initialization: model load (BT `init`)
+	if err := inst.machine.To(states.ServiceInitializing); err != nil {
+		fail(err)
+		return
+	}
+	spec_, err := llm.Lookup(d.Model)
+	if err != nil {
+		fail(err)
+		return
+	}
+	server, err := serving.New(serving.Config{
+		UID:         d.UID,
+		Backend:     serving.LLMBackend{M: llm.NewInstance(spec_, m.cfg.Clock, m.cfg.Src.Derive(d.UID+".model"))},
+		Clock:       m.cfg.Clock,
+		Src:         m.cfg.Src.Derive(d.UID + ".server"),
+		Concurrency: d.Concurrency,
+		QueueCap:    d.QueueCap,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	initDur, err := server.Start()
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	// endpoint publication (BT `publish`)
+	if err := inst.machine.To(states.ServicePublishing); err != nil {
+		server.Stop()
+		fail(err)
+		return
+	}
+	node := pl.Alloc.Node().Name()
+	addr := platform.Addr(m.cfg.Platform, node, d.UID)
+	apiSrv, err := m.cfg.Net.Bind(addr, server.Handler())
+	if err != nil {
+		server.Stop()
+		fail(err)
+		return
+	}
+	ctlSrv, err := m.cfg.Net.Bind(addr+".ctl", m.controlHandler(inst))
+	if err != nil {
+		_ = apiSrv.Close()
+		server.Stop()
+		fail(err)
+		return
+	}
+	publishDur := m.cfg.Registry.Publish(proto.Endpoint{
+		ServiceUID: d.UID,
+		Model:      d.Model,
+		Address:    addr,
+		Protocol:   "msgq",
+		Node:       node,
+	})
+
+	inst.mu.Lock()
+	inst.server = server
+	inst.apiSrv = apiSrv
+	inst.ctlSrv = ctlSrv
+	inst.launchTime = launchDur
+	inst.initTime = initDur
+	inst.publishTime = publishDur
+	inst.endpoint, _ = m.cfg.Registry.Lookup(d.UID)
+	inst.mu.Unlock()
+
+	if err := inst.machine.To(states.ServiceActive); err != nil {
+		fail(err)
+		return
+	}
+	go m.probeLoop(inst)
+}
+
+// --- control channel -------------------------------------------------------
+
+func (m *Manager) controlHandler(inst *Instance) msgq.Handler {
+	return func(env proto.Envelope) proto.Envelope {
+		var ctl proto.Control
+		if err := env.Decode(proto.KindControl, &ctl); err != nil {
+			out, _ := proto.NewEnvelope(proto.KindError, env.ID, inst.UID(), env.From, m.cfg.Clock.Now(),
+				proto.ErrorBody{Origin: inst.UID(), Msg: err.Error()})
+			return out
+		}
+		switch ctl.Command {
+		case proto.CtlPing:
+			inst.mu.Lock()
+			srv, killed := inst.server, inst.killed
+			inst.mu.Unlock()
+			hb := proto.Heartbeat{ServiceUID: inst.UID(), At: m.cfg.Clock.Now()}
+			if srv != nil && !killed {
+				hb.QueueDepth = srv.QueueDepth()
+				hb.Busy = srv.QueueDepth() > 0
+			}
+			if killed || srv == nil || !srv.Ready() {
+				out, _ := proto.NewEnvelope(proto.KindError, env.ID, inst.UID(), env.From, m.cfg.Clock.Now(),
+					proto.ErrorBody{Origin: inst.UID(), Msg: "service not ready"})
+				return out
+			}
+			out, _ := proto.NewEnvelope(proto.KindHeartbeat, env.ID, inst.UID(), env.From, m.cfg.Clock.Now(), hb)
+			return out
+		case proto.CtlDrain:
+			go m.Terminate(inst.UID(), true) //nolint:errcheck
+		case proto.CtlTerminate:
+			go m.Terminate(inst.UID(), false) //nolint:errcheck
+		}
+		out, _ := proto.NewEnvelope(proto.KindControl, env.ID, inst.UID(), env.From, m.cfg.Clock.Now(), ctl)
+		return out
+	}
+}
+
+// probeLoop performs periodic liveness checks; two consecutive failed
+// probes mark the service FAILED and withdraw its endpoint.
+func (m *Manager) probeLoop(inst *Instance) {
+	ticker := m.cfg.Clock.NewTicker(inst.desc.ProbeInterval)
+	inst.mu.Lock()
+	inst.probe = ticker
+	inst.mu.Unlock()
+	defer ticker.Stop()
+	misses := 0
+	for {
+		select {
+		case <-inst.probeStop:
+			return
+		case <-ticker.C():
+			inst.mu.Lock()
+			srv, killed := inst.server, inst.killed
+			inst.mu.Unlock()
+			alive := srv != nil && srv.Ready() && !killed
+			if alive {
+				misses = 0
+				continue
+			}
+			misses++
+			if misses >= 2 {
+				if inst.machine.Current() == states.ServiceActive {
+					inst.mu.Lock()
+					inst.failErr = errors.New("service: liveness probe failed")
+					inst.mu.Unlock()
+					_ = inst.machine.Fail()
+					m.cfg.Registry.Withdraw(inst.UID())
+					m.teardown(inst)
+				}
+				return
+			}
+		}
+	}
+}
+
+// teardown closes transports and releases resources.
+func (m *Manager) teardown(inst *Instance) {
+	inst.mu.Lock()
+	api, ctl, alloc := inst.apiSrv, inst.ctlSrv, inst.alloc
+	inst.apiSrv, inst.ctlSrv, inst.alloc = nil, nil, nil
+	inst.mu.Unlock()
+	if api != nil {
+		_ = api.Close()
+	}
+	if ctl != nil {
+		_ = ctl.Close()
+	}
+	if alloc != nil {
+		alloc.Release()
+	}
+}
+
+// WaitReady blocks until every listed service is ACTIVE (or any fails).
+func (m *Manager) WaitReady(ctx context.Context, uids ...string) error {
+	for _, uid := range uids {
+		inst, ok := m.Get(uid)
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownService, uid)
+		}
+		for {
+			switch inst.machine.Current() {
+			case states.ServiceActive:
+			case states.ServiceFailed, states.ServiceCanceled, states.ServiceDone:
+				err := inst.Err()
+				if err == nil {
+					err = fmt.Errorf("service %s reached %s before ACTIVE", uid, inst.machine.Current())
+				}
+				return err
+			default:
+				ch := inst.machine.WaitChan()
+				// re-check after registering the waiter: the transition to
+				// ACTIVE may have been the machine's last, in which case the
+				// channel never fires (lost-wakeup race)
+				if s := inst.machine.Current(); s == states.ServiceActive || inst.machine.IsFinal() {
+					continue
+				}
+				select {
+				case <-ch:
+					continue
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// Terminate stops a service. With drain=true, queued requests finish
+// first (ACTIVE → DRAINING → DONE); otherwise the queue is flushed with
+// errors.
+func (m *Manager) Terminate(uid string, drain bool) error {
+	inst, ok := m.Get(uid)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownService, uid)
+	}
+	if inst.machine.Current() != states.ServiceActive {
+		return fmt.Errorf("%w: %s in %s", ErrNotActive, uid, inst.machine.Current())
+	}
+	close(inst.probeStop)
+	m.cfg.Registry.Withdraw(uid)
+	inst.mu.Lock()
+	srv := inst.server
+	inst.mu.Unlock()
+	if drain {
+		if err := inst.machine.To(states.ServiceDraining); err != nil {
+			return err
+		}
+		if srv != nil {
+			srv.Drain()
+		}
+	} else if srv != nil {
+		srv.Stop()
+	}
+	m.teardown(inst)
+	return inst.machine.To(states.ServiceDone)
+}
+
+// Close terminates every service (without drain) and refuses new
+// submissions.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	insts := make([]*Instance, 0, len(m.services))
+	for _, s := range m.services {
+		insts = append(insts, s)
+	}
+	m.mu.Unlock()
+	for _, s := range insts {
+		if s.machine.Current() == states.ServiceActive {
+			_ = m.Terminate(s.UID(), false)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/loadbal"
+	"repro/internal/metrics"
+	"repro/internal/msgq"
+	"repro/internal/proto"
+	"repro/internal/simtime"
+)
+
+// Caller is the client-side inference interface, satisfied by the msgq
+// Client, the REST client adapter, and the load-balanced Pool. Client
+// tasks program against Caller, so local and remote model instances are
+// interchangeable — the interoperability §III requires.
+type Caller interface {
+	// Infer performs one synchronous inference and returns the reply and
+	// the RT breakdown (communication / service / inference).
+	Infer(ctx context.Context, prompt string, maxTokens int) (proto.InferenceReply, metrics.Breakdown, error)
+	Close() error
+}
+
+// EndpointsFn supplies the current candidate endpoints (re-evaluated per
+// request, so services joining or leaving are picked up live).
+type EndpointsFn func() []proto.Endpoint
+
+// Pool is a load-balanced Caller over a dynamic set of service endpoints:
+// the "dynamically rerouting requests to less used service instances" of
+// the paper's future work, layered client-side over any Balancer.
+type Pool struct {
+	net        *msgq.Network
+	clock      simtime.Clock
+	clientAddr string
+	bal        loadbal.Balancer
+	endpoints  EndpointsFn
+
+	mu      sync.Mutex
+	clients map[string]*Client // by service UID, dialed lazily
+	closed  bool
+}
+
+// NewPool builds a Pool. bal defaults to round-robin when nil.
+func NewPool(net *msgq.Network, clock simtime.Clock, clientAddr string, bal loadbal.Balancer, endpoints EndpointsFn) (*Pool, error) {
+	if net == nil || clock == nil || endpoints == nil {
+		return nil, fmt.Errorf("service: pool needs network, clock and endpoints")
+	}
+	if bal == nil {
+		bal = loadbal.NewRoundRobin()
+	}
+	return &Pool{
+		net:        net,
+		clock:      clock,
+		clientAddr: clientAddr,
+		bal:        bal,
+		endpoints:  endpoints,
+		clients:    make(map[string]*Client),
+	}, nil
+}
+
+// Infer implements Caller: pick an endpoint, reuse (or dial) its
+// connection, and forward the call.
+func (p *Pool) Infer(ctx context.Context, prompt string, maxTokens int) (proto.InferenceReply, metrics.Breakdown, error) {
+	eps := p.endpoints()
+	ep, err := p.bal.Pick(eps)
+	if err != nil {
+		return proto.InferenceReply{}, metrics.Breakdown{}, err
+	}
+	cl, err := p.client(ep)
+	if err != nil {
+		return proto.InferenceReply{}, metrics.Breakdown{}, err
+	}
+	reply, bd, err := cl.Infer(ctx, prompt, maxTokens)
+	if err != nil {
+		// a dead endpoint may have been withdrawn between Pick and Infer:
+		// drop the cached connection so the next call re-dials
+		p.evict(ep.ServiceUID)
+	}
+	return reply, bd, err
+}
+
+func (p *Pool) client(ep proto.Endpoint) (*Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, msgq.ErrClosed
+	}
+	if cl, ok := p.clients[ep.ServiceUID]; ok {
+		return cl, nil
+	}
+	cl, err := Dial(p.net, p.clock, p.clientAddr, ep)
+	if err != nil {
+		return nil, err
+	}
+	p.clients[ep.ServiceUID] = cl
+	return cl, nil
+}
+
+func (p *Pool) evict(uid string) {
+	p.mu.Lock()
+	if cl, ok := p.clients[uid]; ok {
+		delete(p.clients, uid)
+		_ = cl.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close implements Caller: releases every pooled connection.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for uid, cl := range p.clients {
+		_ = cl.Close()
+		delete(p.clients, uid)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Registry is the endpoint registry services publish into — the
+// information channel of the paper's Fig. 2 (6): "Users (or third-party
+// middleware components) get information about services and tasks via
+// dedicated communication channels." Publication costs the Fig. 3
+// `publish` bootstrap component.
+type Registry struct {
+	clock simtime.Clock
+	src   *rng.Source
+	// publishOverhead is the time to communicate service endpoints to the
+	// client side; Fig. 3 shows it below launch time throughout.
+	publishOverhead rng.DurationDist
+
+	mu        sync.Mutex
+	endpoints map[string]proto.Endpoint // by service UID
+	waiters   map[string][]chan struct{}
+}
+
+// DefaultPublishOverhead matches Fig. 3: publish stays in the
+// sub-second band, under the ~2s launch time.
+func DefaultPublishOverhead() rng.DurationDist {
+	return rng.NormalDuration(400*time.Millisecond, 120*time.Millisecond)
+}
+
+// NewRegistry returns an empty registry. overhead may be zero-valued to
+// use the default.
+func NewRegistry(clock simtime.Clock, src *rng.Source, overhead rng.DurationDist) *Registry {
+	if overhead.IsZero() {
+		overhead = DefaultPublishOverhead()
+	}
+	return &Registry{
+		clock:           clock,
+		src:             src,
+		publishOverhead: overhead,
+		endpoints:       make(map[string]proto.Endpoint),
+		waiters:         make(map[string][]chan struct{}),
+	}
+}
+
+// Publish records ep after sleeping the publication overhead, and returns
+// the overhead paid. Existing registrations are overwritten (re-publish).
+func (r *Registry) Publish(ep proto.Endpoint) time.Duration {
+	d := r.publishOverhead.Sample(r.src)
+	if d > 0 {
+		r.clock.Sleep(d)
+	}
+	ep.PublishedAt = r.clock.Now()
+	r.mu.Lock()
+	r.endpoints[ep.ServiceUID] = ep
+	for _, ch := range r.waiters[ep.ServiceUID] {
+		close(ch)
+	}
+	delete(r.waiters, ep.ServiceUID)
+	r.mu.Unlock()
+	return d
+}
+
+// Withdraw removes a service's endpoint (service terminated or failed).
+func (r *Registry) Withdraw(uid string) {
+	r.mu.Lock()
+	delete(r.endpoints, uid)
+	r.mu.Unlock()
+}
+
+// Lookup returns the endpoint of one service.
+func (r *Registry) Lookup(uid string) (proto.Endpoint, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep, ok := r.endpoints[uid]
+	return ep, ok
+}
+
+// ByModel returns every endpoint exposing the named model, sorted by
+// service UID for deterministic iteration.
+func (r *Registry) ByModel(model string) []proto.Endpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []proto.Endpoint
+	for _, ep := range r.endpoints {
+		if ep.Model == model {
+			out = append(out, ep)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ServiceUID < out[j].ServiceUID })
+	return out
+}
+
+// All returns every endpoint, sorted by service UID.
+func (r *Registry) All() []proto.Endpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]proto.Endpoint, 0, len(r.endpoints))
+	for _, ep := range r.endpoints {
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ServiceUID < out[j].ServiceUID })
+	return out
+}
+
+// WaitFor blocks until uid's endpoint is published or ctx expires.
+func (r *Registry) WaitFor(ctx context.Context, uid string) (proto.Endpoint, error) {
+	r.mu.Lock()
+	if ep, ok := r.endpoints[uid]; ok {
+		r.mu.Unlock()
+		return ep, nil
+	}
+	ch := make(chan struct{})
+	r.waiters[uid] = append(r.waiters[uid], ch)
+	r.mu.Unlock()
+	select {
+	case <-ch:
+		ep, _ := r.Lookup(uid)
+		return ep, nil
+	case <-ctx.Done():
+		return proto.Endpoint{}, ctx.Err()
+	}
+}

@@ -1,0 +1,353 @@
+// Package serving implements the model server a runtime service wraps —
+// the Go analogue of Ollama in the paper's prototype. A Server owns one
+// model backend, accepts inference requests through a msgq handler, and —
+// matching the paper's stated simplification — is single-threaded by
+// default: "services are single-threaded, and, as such, they only handle
+// one request at a time, queuing further incoming requests." The
+// concurrency knob exists because lifting that simplification is the
+// paper's declared future work, and the ablation benchmarks exercise it.
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Errors returned to clients in reply envelopes or by Start.
+var (
+	ErrNotReady   = errors.New("serving: server not ready")
+	ErrDraining   = errors.New("serving: server draining")
+	ErrQueueFull  = errors.New("serving: request queue full")
+	ErrStopped    = errors.New("serving: server stopped")
+	ErrBadRequest = errors.New("serving: malformed request")
+)
+
+// Backend is one servable capability.
+type Backend interface {
+	// Name returns the model name the backend serves.
+	Name() string
+	// Load blocks for the capability's initialization (model load).
+	Load() time.Duration
+	// Infer blocks for one inference and returns its result.
+	Infer(prompt string, maxTokens int) llm.Result
+	// MemGB returns the accelerator memory footprint.
+	MemGB() float64
+}
+
+// LLMBackend adapts an llm.Instance to Backend.
+type LLMBackend struct{ M *llm.Instance }
+
+// Name implements Backend.
+func (b LLMBackend) Name() string { return b.M.Spec().Name }
+
+// Load implements Backend.
+func (b LLMBackend) Load() time.Duration { return b.M.Load() }
+
+// Infer implements Backend.
+func (b LLMBackend) Infer(prompt string, maxTokens int) llm.Result {
+	return b.M.Infer(prompt, maxTokens)
+}
+
+// MemGB implements Backend.
+func (b LLMBackend) MemGB() float64 { return b.M.Spec().MemGB }
+
+// Config parameterizes a Server.
+type Config struct {
+	// UID identifies the server (usually the owning service task UID).
+	UID string
+	// Backend is the capability to serve. Required.
+	Backend Backend
+	// Clock times every phase. Required.
+	Clock simtime.Clock
+	// Src samples service-side overheads. Required.
+	Src *rng.Source
+	// Concurrency is the number of worker goroutines. Default 1 — the
+	// paper's single-threaded service.
+	Concurrency int
+	// QueueCap bounds the request queue. Default 4096.
+	QueueCap int
+	// ParseOverhead is the per-request deserialize/parse/serialize cost
+	// (the paper's `service` RT component). Default ≈ 30µs ± 10µs of
+	// modelled cost; at real-time clock scales the host's genuine
+	// scheduling overhead adds to the measured span, landing the total in
+	// the paper's sub-communication band.
+	ParseOverhead rng.DurationDist
+}
+
+// Server is one model-serving process.
+type Server struct {
+	cfg   Config
+	queue chan *job
+
+	mu       sync.Mutex
+	started  bool
+	ready    bool
+	draining bool
+	stopped  bool
+	loadTime time.Duration
+	workers  sync.WaitGroup
+
+	depth     atomic.Int64 // queued + executing requests
+	processed atomic.Int64
+	rejected  atomic.Int64
+}
+
+type job struct {
+	req      proto.InferenceRequest
+	received time.Time
+	done     chan proto.InferenceReply
+}
+
+// New validates cfg and returns an unstarted Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("serving: %s: nil backend", cfg.UID)
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("serving: %s: nil clock", cfg.UID)
+	}
+	if cfg.Src == nil {
+		return nil, fmt.Errorf("serving: %s: nil rng source", cfg.UID)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	if cfg.ParseOverhead.IsZero() {
+		cfg.ParseOverhead = rng.NormalDuration(30*time.Microsecond, 10*time.Microsecond)
+	}
+	return &Server{cfg: cfg, queue: make(chan *job, cfg.QueueCap)}, nil
+}
+
+// UID returns the server's identifier.
+func (s *Server) UID() string { return s.cfg.UID }
+
+// Model returns the served model name.
+func (s *Server) Model() string { return s.cfg.Backend.Name() }
+
+// Start loads the backend (blocking for the model's init time) and starts
+// the worker pool. It returns the load duration.
+func (s *Server) Start() (time.Duration, error) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return 0, ErrStopped
+	}
+	if s.started {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("serving: %s already started", s.cfg.UID)
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	load := s.cfg.Backend.Load()
+
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return load, ErrStopped
+	}
+	s.ready = true
+	s.loadTime = load
+	for i := 0; i < s.cfg.Concurrency; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	s.mu.Unlock()
+	return load, nil
+}
+
+// Ready reports whether the server accepts requests.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ready && !s.draining && !s.stopped
+}
+
+// LoadTime returns the measured backend load duration (0 before Start).
+func (s *Server) LoadTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadTime
+}
+
+// QueueDepth returns queued plus executing requests.
+func (s *Server) QueueDepth() int { return int(s.depth.Load()) }
+
+// Processed returns the number of completed requests.
+func (s *Server) Processed() int64 { return s.processed.Load() }
+
+// Rejected returns the number of rejected requests.
+func (s *Server) Rejected() int64 { return s.rejected.Load() }
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			// Immediate termination: flush queued jobs with error replies so
+			// their Submit callers unblock.
+			s.depth.Add(-1)
+			s.rejected.Add(1)
+			j.done <- proto.InferenceReply{
+				RequestUID: j.req.RequestUID,
+				ServiceUID: s.cfg.UID,
+				Err:        ErrStopped.Error(),
+			}
+			continue
+		}
+		s.serve(j)
+	}
+}
+
+func (s *Server) serve(j *job) {
+	defer s.depth.Add(-1)
+	clock := s.cfg.Clock
+	timing := proto.Timing{ReceivedAt: j.received, DequeuedAt: clock.Now()}
+
+	// Parse/deserialize overhead — half before inference (request parsing),
+	// half after (reply serialization), forming the `service` component.
+	overhead := s.cfg.ParseOverhead.Sample(s.cfg.Src)
+	if overhead > 0 {
+		clock.Sleep(overhead / 2)
+	}
+
+	timing.InferStartAt = clock.Now()
+	res := s.cfg.Backend.Infer(j.req.Prompt, j.req.MaxTokens)
+	timing.InferEndAt = clock.Now()
+
+	if overhead > 0 {
+		clock.Sleep(overhead - overhead/2)
+	}
+	timing.RepliedAt = clock.Now()
+
+	s.processed.Add(1)
+	j.done <- proto.InferenceReply{
+		RequestUID:   j.req.RequestUID,
+		ServiceUID:   s.cfg.UID,
+		Model:        s.cfg.Backend.Name(),
+		Text:         res.Text,
+		PromptTokens: res.PromptTokens,
+		OutputTokens: res.OutputTokens,
+		Timing:       timing,
+	}
+}
+
+// Submit enqueues one request and blocks until its reply (or ctx expiry).
+// This is the synchronous request path a msgq handler invokes.
+func (s *Server) Submit(ctx context.Context, req proto.InferenceRequest) (proto.InferenceReply, error) {
+	s.mu.Lock()
+	switch {
+	case s.stopped:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return proto.InferenceReply{}, ErrStopped
+	case s.draining:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return proto.InferenceReply{}, ErrDraining
+	case !s.ready:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return proto.InferenceReply{}, ErrNotReady
+	}
+	s.mu.Unlock()
+
+	j := &job{req: req, received: s.cfg.Clock.Now(), done: make(chan proto.InferenceReply, 1)}
+	s.depth.Add(1)
+	select {
+	case s.queue <- j:
+	default:
+		s.depth.Add(-1)
+		s.rejected.Add(1)
+		return proto.InferenceReply{}, ErrQueueFull
+	}
+	select {
+	case reply := <-j.done:
+		return reply, nil
+	case <-ctx.Done():
+		return proto.InferenceReply{}, ctx.Err()
+	}
+}
+
+// Handler returns the msgq request handler exposing the server: it decodes
+// KindRequest envelopes, submits them, and encodes replies. Malformed
+// requests and server-side rejections come back as KindError envelopes.
+func (s *Server) Handler() func(proto.Envelope) proto.Envelope {
+	return func(env proto.Envelope) proto.Envelope {
+		var req proto.InferenceRequest
+		if err := env.Decode(proto.KindRequest, &req); err != nil {
+			return s.errEnvelope(env, fmt.Sprintf("%v: %v", ErrBadRequest, err))
+		}
+		reply, err := s.Submit(context.Background(), req)
+		if err != nil {
+			return s.errEnvelope(env, err.Error())
+		}
+		out, err := proto.NewEnvelope(proto.KindReply, env.ID, s.cfg.UID, env.From, s.cfg.Clock.Now(), reply)
+		if err != nil {
+			return s.errEnvelope(env, err.Error())
+		}
+		return out
+	}
+}
+
+func (s *Server) errEnvelope(req proto.Envelope, msg string) proto.Envelope {
+	out, err := proto.NewEnvelope(proto.KindError, req.ID, s.cfg.UID, req.From, s.cfg.Clock.Now(),
+		proto.ErrorBody{Origin: s.cfg.UID, Msg: msg})
+	if err != nil {
+		// ErrorBody is a plain struct; marshalling cannot fail.
+		panic(err)
+	}
+	return out
+}
+
+// Drain stops accepting new requests and blocks until the queue empties
+// and all workers finish.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.stopped || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	started := s.ready
+	s.mu.Unlock()
+	if started {
+		close(s.queue)
+		s.workers.Wait()
+	}
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
+// Stop terminates immediately: queued but unserved requests receive
+// ErrStopped replies; an already-executing inference finishes. Stop does
+// not block.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	wasReady := s.ready && !s.draining
+	s.stopped = true
+	s.ready = false
+	s.mu.Unlock()
+	if wasReady {
+		close(s.queue)
+	}
+}

@@ -1,0 +1,420 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+var origin = time.Date(2025, 3, 17, 0, 0, 0, 0, time.UTC)
+
+func newServer(t *testing.T, model string, concurrency int) *Server {
+	return newServerScaled(t, model, concurrency, 100000)
+}
+
+// newServerScaled lets slow-clock tests (scale 1000) observe queueing while
+// fast tests compress model loads to microseconds (scale 100000).
+func newServerScaled(t *testing.T, model string, concurrency int, scale float64) *Server {
+	t.Helper()
+	spec, err := llm.Lookup(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simtime.NewScaled(scale, origin)
+	src := rng.New(42)
+	s, err := New(Config{
+		UID:         "service.0001",
+		Backend:     LLMBackend{M: llm.NewInstance(spec, clock, src.Derive("model"))},
+		Clock:       clock,
+		Src:         src.Derive("server"),
+		Concurrency: concurrency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func start(t *testing.T, s *Server) {
+	t.Helper()
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func req(uid, prompt string, max int) proto.InferenceRequest {
+	return proto.InferenceRequest{RequestUID: uid, ClientUID: "task.0001", Prompt: prompt, MaxTokens: max}
+}
+
+func TestNewValidation(t *testing.T) {
+	clock := simtime.NewScaled(1000, origin)
+	src := rng.New(1)
+	spec, _ := llm.Lookup("noop")
+	backend := LLMBackend{M: llm.NewInstance(spec, clock, src)}
+	if _, err := New(Config{Clock: clock, Src: src}); err == nil {
+		t.Fatal("New accepted nil backend")
+	}
+	if _, err := New(Config{Backend: backend, Src: src}); err == nil {
+		t.Fatal("New accepted nil clock")
+	}
+	if _, err := New(Config{Backend: backend, Clock: clock}); err == nil {
+		t.Fatal("New accepted nil src")
+	}
+}
+
+func TestStartLoadsBackend(t *testing.T) {
+	s := newServer(t, "llama-8b", 1)
+	if s.Ready() {
+		t.Fatal("server ready before Start")
+	}
+	load, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load < 10*time.Second {
+		t.Fatalf("load time %v implausibly small for llama-8b", load)
+	}
+	if !s.Ready() || s.LoadTime() != load {
+		t.Fatal("server not ready after Start")
+	}
+	if _, err := s.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+}
+
+func TestSubmitBeforeStart(t *testing.T) {
+	s := newServer(t, "noop", 1)
+	_, err := s.Submit(context.Background(), req("r1", "x", 1))
+	if !errors.Is(err, ErrNotReady) {
+		t.Fatalf("err = %v, want ErrNotReady", err)
+	}
+	if s.Rejected() != 1 {
+		t.Fatalf("Rejected = %d", s.Rejected())
+	}
+}
+
+func TestSubmitRoundTrip(t *testing.T) {
+	s := newServer(t, "llama-8b", 1)
+	start(t, s)
+	reply, err := s.Submit(context.Background(), req("r1", "classify this sample", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.RequestUID != "r1" || reply.ServiceUID != "service.0001" || reply.Model != "llama-8b" {
+		t.Fatalf("reply header = %+v", reply)
+	}
+	if reply.OutputTokens < 1 {
+		t.Fatal("no output tokens")
+	}
+	if s.Processed() != 1 {
+		t.Fatalf("Processed = %d", s.Processed())
+	}
+}
+
+func TestTimingMonotoneAndDecomposable(t *testing.T) {
+	// scale 1000 keeps real scheduling noise (≲1ms → ≲1s sim) well below
+	// the multi-second inference it is compared against
+	s := newServerScaled(t, "llama-8b", 1, 1000)
+	start(t, s)
+	reply, err := s.Submit(context.Background(), req("r1", "prompt", 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := reply.Timing
+	if tm.ReceivedAt.After(tm.DequeuedAt) || tm.DequeuedAt.After(tm.InferStartAt) ||
+		tm.InferStartAt.After(tm.InferEndAt) || tm.InferEndAt.After(tm.RepliedAt) {
+		t.Fatalf("timing not monotone: %+v", tm)
+	}
+	if tm.InferTime() <= 0 {
+		t.Fatal("zero inference time for llama")
+	}
+	if tm.ServiceTime() <= 0 {
+		t.Fatal("zero service overhead")
+	}
+	// paper Fig. 6: inference dominates service overhead by orders of
+	// magnitude for a real model
+	if tm.InferTime() < 10*tm.ServiceTime() {
+		t.Fatalf("inference (%v) does not dominate service (%v)", tm.InferTime(), tm.ServiceTime())
+	}
+}
+
+func TestNoopInferenceNearZero(t *testing.T) {
+	// low clock scale: at high scales, sub-microsecond real gaps between
+	// Now() calls inflate into large simulated durations
+	s := newServerScaled(t, "noop", 1, 100)
+	start(t, s)
+	reply, err := s.Submit(context.Background(), req("r1", "ignored", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it := reply.Timing.InferTime(); it > 50*time.Millisecond {
+		t.Fatalf("noop inference time = %v (sim), want ≈0", it)
+	}
+}
+
+func TestSingleThreadedQueueing(t *testing.T) {
+	// The paper's single-threaded service: N concurrent clients → requests
+	// serialize, and later requests show queue time ≫ first request's.
+	s := newServer(t, "llama-8b", 1)
+	start(t, s)
+	const n = 4
+	var wg sync.WaitGroup
+	queueTimes := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reply, err := s.Submit(context.Background(), req("r", "prompt", 64))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			queueTimes[i] = reply.Timing.QueueTime()
+		}(i)
+	}
+	wg.Wait()
+	var maxQ time.Duration
+	for _, q := range queueTimes {
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	// with ~seconds-long inferences, the last of 4 serialized requests must
+	// have queued for at least one inference duration
+	if maxQ < 500*time.Millisecond {
+		t.Fatalf("max queue time %v too small for single-threaded service", maxQ)
+	}
+}
+
+func TestConcurrentWorkersReduceQueueing(t *testing.T) {
+	serial := newServer(t, "llama-8b", 1)
+	parallel := newServer(t, "llama-8b", 4)
+	start(t, serial)
+	start(t, parallel)
+	run := func(s *Server) time.Duration {
+		const n = 4
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var total time.Duration
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				reply, err := s.Submit(context.Background(), req("r", "p", 64))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				total += reply.Timing.QueueTime()
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		return total
+	}
+	qSerial, qParallel := run(serial), run(parallel)
+	if qParallel >= qSerial {
+		t.Fatalf("4 workers queued %v, single worker %v — want reduction", qParallel, qSerial)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	spec, _ := llm.Lookup("llama-8b")
+	clock := simtime.NewScaled(100000, origin)
+	src := rng.New(1)
+	s, err := New(Config{
+		UID:      "svc",
+		Backend:  LLMBackend{M: llm.NewInstance(spec, clock, src.Derive("m"))},
+		Clock:    clock,
+		Src:      src.Derive("s"),
+		QueueCap: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start(t, s)
+	// saturate: 1 executing + 1 queued, then the next must be rejected
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), req("r", "p", 512))
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	full := 0
+	for err := range errs {
+		if errors.Is(err, ErrQueueFull) {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatal("no request was rejected with ErrQueueFull")
+	}
+}
+
+func TestHandlerRoundTrip(t *testing.T) {
+	s := newServer(t, "noop", 1)
+	start(t, s)
+	h := s.Handler()
+	env, _ := proto.NewEnvelope(proto.KindRequest, 9, "task.0001", "service.0001", origin, req("r9", "x", 0))
+	out := h(env)
+	if out.Kind != proto.KindReply || out.ID != 9 {
+		t.Fatalf("handler reply = %+v", out)
+	}
+	var rep proto.InferenceReply
+	if err := out.Decode(proto.KindReply, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.RequestUID != "r9" {
+		t.Fatalf("reply body = %+v", rep)
+	}
+}
+
+func TestHandlerBadRequest(t *testing.T) {
+	s := newServer(t, "noop", 1)
+	start(t, s)
+	h := s.Handler()
+	env, _ := proto.NewEnvelope(proto.KindControl, 1, "x", "y", origin, proto.Control{})
+	out := h(env)
+	if out.Kind != proto.KindError {
+		t.Fatalf("handler accepted wrong-kind request: %+v", out)
+	}
+}
+
+func TestHandlerErrorWhenNotReady(t *testing.T) {
+	s := newServer(t, "noop", 1)
+	h := s.Handler()
+	env, _ := proto.NewEnvelope(proto.KindRequest, 1, "x", "y", origin, req("r", "p", 0))
+	out := h(env)
+	if out.Kind != proto.KindError {
+		t.Fatal("handler replied to request before Start")
+	}
+	var eb proto.ErrorBody
+	if err := out.Decode(proto.KindError, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Msg == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestDrainFinishesQueue(t *testing.T) {
+	s := newServer(t, "llama-8b", 1)
+	start(t, s)
+	const n = 3
+	var wg sync.WaitGroup
+	ok := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), req("r", "p", 32)); err == nil {
+				ok <- struct{}{}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let requests enqueue
+	s.Drain()
+	wg.Wait()
+	if len(ok) != n {
+		t.Fatalf("%d/%d queued requests served across drain", len(ok), n)
+	}
+	if _, err := s.Submit(context.Background(), req("r", "p", 32)); err == nil {
+		t.Fatal("Submit accepted after Drain")
+	}
+	s.Drain() // idempotent
+}
+
+func TestStopFlushesQueueWithErrors(t *testing.T) {
+	s := newServerScaled(t, "llama-8b", 1, 1000) // inference ≈ 40ms real
+	start(t, s)
+	var wg sync.WaitGroup
+	results := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reply, err := s.Submit(context.Background(), req("r", "p", 2048))
+			if err == nil && reply.Err != "" {
+				err = errors.New(reply.Err)
+			}
+			results <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+	wg.Wait()
+	close(results)
+	var failed int
+	for err := range results {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("Stop did not flush any queued request with an error")
+	}
+	if _, err := s.Submit(context.Background(), req("r", "p", 1)); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Submit after Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestSubmitContextCancellation(t *testing.T) {
+	s := newServerScaled(t, "llama-8b", 1, 1000) // inference ≈ 15ms real
+	start(t, s)
+	// occupy the single worker with a ~45ms (real) inference
+	go s.Submit(context.Background(), req("long", "p", 2048)) //nolint:errcheck
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := s.Submit(ctx, req("r", "p", 2048))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestQueueDepthTracksLoad(t *testing.T) {
+	s := newServerScaled(t, "llama-8b", 1, 1000) // inference ≈ 4ms real per 64 tokens
+	start(t, s)
+	if d := s.QueueDepth(); d != 0 {
+		t.Fatalf("idle depth = %d", d)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Submit(context.Background(), req("r", "p", 2048)) //nolint:errcheck
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if d := s.QueueDepth(); d < 1 || d > 3 {
+		t.Fatalf("depth under load = %d, want 1..3", d)
+	}
+	wg.Wait()
+	if d := s.QueueDepth(); d != 0 {
+		t.Fatalf("depth after drain = %d", d)
+	}
+}
+
+func TestStartAfterStop(t *testing.T) {
+	s := newServer(t, "noop", 1)
+	s.Stop()
+	if _, err := s.Start(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Start after Stop = %v, want ErrStopped", err)
+	}
+}

@@ -1,0 +1,323 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var origin = time.Date(2025, 3, 17, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNowStartsAtOrigin(t *testing.T) {
+	v := NewVirtual(origin)
+	if !v.Now().Equal(origin) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), origin)
+	}
+}
+
+func TestVirtualAdvanceMovesNow(t *testing.T) {
+	v := NewVirtual(origin)
+	v.Advance(5 * time.Second)
+	if got := v.Now(); !got.Equal(origin.Add(5 * time.Second)) {
+		t.Fatalf("Now() = %v, want origin+5s", got)
+	}
+}
+
+func TestVirtualAdvanceToBackwardsIsNoop(t *testing.T) {
+	v := NewVirtual(origin)
+	v.Advance(time.Second)
+	v.AdvanceTo(origin) // earlier than now
+	if got := v.Now(); !got.Equal(origin.Add(time.Second)) {
+		t.Fatalf("Now() = %v, want origin+1s", got)
+	}
+}
+
+func TestVirtualAfterFiresAtDeadline(t *testing.T) {
+	v := NewVirtual(origin)
+	ch := v.After(3 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case tm := <-ch:
+		if !tm.Equal(origin.Add(3 * time.Second)) {
+			t.Fatalf("fired at %v, want origin+3s", tm)
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestVirtualSleepWakesOnAdvance(t *testing.T) {
+	v := NewVirtual(origin)
+	done := make(chan time.Time)
+	go func() {
+		v.Sleep(10 * time.Second)
+		done <- v.Now()
+	}()
+	// wait until the sleeper is registered
+	for v.PendingSleepers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(10 * time.Second)
+	select {
+	case woke := <-done:
+		if !woke.Equal(origin.Add(10 * time.Second)) {
+			t.Fatalf("woke at %v, want origin+10s", woke)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper never woke")
+	}
+}
+
+func TestVirtualSleepZeroReturnsImmediately(t *testing.T) {
+	v := NewVirtual(origin)
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+	if v.PendingSleepers() != 0 {
+		t.Fatal("non-positive Sleep registered a sleeper")
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	v := NewVirtual(origin)
+	tm := v.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestVirtualTimerStopAfterFire(t *testing.T) {
+	v := NewVirtual(origin)
+	tm := v.NewTimer(time.Second)
+	v.Advance(time.Second)
+	if tm.Stop() {
+		t.Fatal("Stop() = true after fire")
+	}
+}
+
+func TestVirtualTickerFiresRepeatedly(t *testing.T) {
+	v := NewVirtual(origin)
+	tk := v.NewTicker(time.Second)
+	for i := 1; i <= 3; i++ {
+		v.Advance(time.Second)
+		select {
+		case tm := <-tk.C():
+			want := origin.Add(time.Duration(i) * time.Second)
+			if !tm.Equal(want) {
+				t.Fatalf("tick %d at %v, want %v", i, tm, want)
+			}
+		default:
+			t.Fatalf("tick %d missing", i)
+		}
+	}
+	tk.Stop()
+	v.Advance(5 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestVirtualTickerDropsWhenSlow(t *testing.T) {
+	v := NewVirtual(origin)
+	tk := v.NewTicker(time.Second)
+	defer tk.Stop()
+	v.Advance(10 * time.Second) // 10 periods, buffer of 1
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n == 0 || n > 2 {
+		t.Fatalf("drained %d ticks, want 1..2 (buffered drop semantics)", n)
+	}
+}
+
+func TestVirtualDeadlineOrdering(t *testing.T) {
+	v := NewVirtual(origin)
+	chA := v.After(3 * time.Second)
+	chB := v.After(1 * time.Second)
+	chC := v.After(2 * time.Second)
+	ready := func(ch <-chan time.Time) bool {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	}
+	v.Advance(time.Second)
+	if !ready(chB) || ready(chA) || ready(chC) {
+		t.Fatal("after 1s only B should have fired")
+	}
+	v.Advance(time.Second)
+	if !ready(chC) || ready(chA) {
+		t.Fatal("after 2s only C should additionally have fired")
+	}
+	v.Advance(time.Second)
+	if !ready(chA) {
+		t.Fatal("after 3s A should have fired")
+	}
+}
+
+func TestVirtualNextDeadline(t *testing.T) {
+	v := NewVirtual(origin)
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a deadline on empty clock")
+	}
+	v.After(7 * time.Second)
+	v.After(2 * time.Second)
+	dl, ok := v.NextDeadline()
+	if !ok || !dl.Equal(origin.Add(2*time.Second)) {
+		t.Fatalf("NextDeadline = %v/%v, want origin+2s/true", dl, ok)
+	}
+}
+
+func TestVirtualAutoAdvanceSingle(t *testing.T) {
+	v := NewVirtualAuto(origin)
+	done := make(chan time.Time)
+	v.Go(func() {
+		v.Sleep(42 * time.Second)
+		done <- v.Now()
+	})
+	select {
+	case woke := <-done:
+		if !woke.Equal(origin.Add(42 * time.Second)) {
+			t.Fatalf("auto-advance woke at %v, want origin+42s", woke)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("auto-advance never fired")
+	}
+}
+
+func TestVirtualAutoAdvanceTwoGoroutinesInterleave(t *testing.T) {
+	v := NewVirtualAuto(origin)
+	var mu sync.Mutex
+	var trace []string
+	var wg sync.WaitGroup
+	wg.Add(2)
+	v.Go(func() {
+		defer wg.Done()
+		v.Sleep(1 * time.Second)
+		mu.Lock()
+		trace = append(trace, "a1")
+		mu.Unlock()
+		v.Sleep(2 * time.Second) // wakes at t=3
+		mu.Lock()
+		trace = append(trace, "a3")
+		mu.Unlock()
+	})
+	v.Go(func() {
+		defer wg.Done()
+		v.Sleep(2 * time.Second) // wakes at t=2
+		mu.Lock()
+		trace = append(trace, "b2")
+		mu.Unlock()
+	})
+	donech := make(chan struct{})
+	go func() { wg.Wait(); close(donech) }()
+	select {
+	case <-donech:
+	case <-time.After(2 * time.Second):
+		t.Fatal("auto-advance deadlocked")
+	}
+	if !v.Now().Equal(origin.Add(3 * time.Second)) {
+		t.Fatalf("final Now() = %v, want origin+3s", v.Now())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(trace) != 3 || trace[0] != "a1" || trace[1] != "b2" || trace[2] != "a3" {
+		t.Fatalf("trace = %v, want [a1 b2 a3]", trace)
+	}
+}
+
+func TestVirtualAutoBlockUnblock(t *testing.T) {
+	v := NewVirtualAuto(origin)
+	ch := make(chan int)
+	done := make(chan time.Time)
+	// Producer sleeps 5s then sends; consumer blocks on the channel. Without
+	// Block/Unblock the clock would stall (consumer counted as runnable).
+	v.Go(func() {
+		v.Sleep(5 * time.Second)
+		ch <- 1
+	})
+	v.Go(func() {
+		v.Block()
+		<-ch
+		v.Unblock()
+		done <- v.Now()
+	})
+	select {
+	case woke := <-done:
+		if !woke.Equal(origin.Add(5 * time.Second)) {
+			t.Fatalf("consumer resumed at %v, want origin+5s", woke)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Block/Unblock coordination deadlocked")
+	}
+}
+
+func TestVirtualMonotonicityProperty(t *testing.T) {
+	// Property: for any sequence of positive advances and timer arms, Now()
+	// never decreases and all timers fire at exactly their deadline.
+	f := func(steps []uint16) bool {
+		v := NewVirtual(origin)
+		prev := v.Now()
+		for _, s := range steps {
+			d := time.Duration(s%1000+1) * time.Millisecond
+			ch := v.After(d)
+			v.Advance(d)
+			got := <-ch
+			if got.Before(prev) {
+				return false
+			}
+			if !got.Equal(prev.Add(d)) {
+				return false
+			}
+			prev = v.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepCtxVirtual(t *testing.T) {
+	v := NewVirtual(origin)
+	done := make(chan error, 1)
+	go func() { done <- SleepCtx(t.Context(), v, time.Second) }()
+	for v.PendingSleepers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Second)
+	if err := <-done; err != nil {
+		t.Fatalf("SleepCtx = %v, want nil", err)
+	}
+}

@@ -1,0 +1,135 @@
+package spec
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func validTask() TaskDescription {
+	return TaskDescription{
+		Name:     "t",
+		Cores:    1,
+		Duration: rng.ConstDuration(time.Second),
+	}
+}
+
+func TestTaskValidateOK(t *testing.T) {
+	if err := validTask().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskValidateNegativeResources(t *testing.T) {
+	for _, mut := range []func(*TaskDescription){
+		func(d *TaskDescription) { d.Cores = -1 },
+		func(d *TaskDescription) { d.GPUs = -1 },
+		func(d *TaskDescription) { d.MemGB = -1 },
+	} {
+		d := validTask()
+		mut(&d)
+		if err := d.Validate(); err == nil {
+			t.Fatalf("accepted invalid task %+v", d)
+		}
+	}
+}
+
+func TestTaskValidateEmpty(t *testing.T) {
+	d := TaskDescription{Name: "empty"}
+	if err := d.Validate(); err == nil {
+		t.Fatal("accepted task with no resources and no payload")
+	}
+	// a pure function task with zero resources is legal
+	d.Func = func(ctx context.Context) error { return nil }
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskValidateStaging(t *testing.T) {
+	d := validTask()
+	d.InputStaging = []StagingDirective{{Source: "delta:/a", Target: "delta:/b", Bytes: 1, Mode: StageCopy}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.OutputStaging = []StagingDirective{{Source: "", Target: "x", Mode: StageCopy}}
+	if err := d.Validate(); err == nil {
+		t.Fatal("accepted empty staging endpoint")
+	}
+}
+
+func TestStagingDirectiveValidate(t *testing.T) {
+	good := StagingDirective{Source: "a", Target: "b", Bytes: 10, Mode: StageTransfer}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []StagingDirective{
+		{Source: "", Target: "b", Mode: StageCopy},
+		{Source: "a", Target: "", Mode: StageCopy},
+		{Source: "a", Target: "b", Bytes: -1, Mode: StageCopy},
+		{Source: "a", Target: "b", Mode: "teleport"},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("accepted invalid directive %+v", c)
+		}
+	}
+}
+
+func TestServiceValidate(t *testing.T) {
+	s := ServiceDescription{
+		TaskDescription: TaskDescription{Name: "svc", GPUs: 1},
+		Model:           "llama-8b",
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Model = ""
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted service without model")
+	}
+	s.Model = "noop"
+	s.Concurrency = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted negative concurrency")
+	}
+}
+
+func TestServiceZeroResourceLegal(t *testing.T) {
+	s := ServiceDescription{
+		TaskDescription: TaskDescription{Name: "noop-svc"},
+		Model:           "noop",
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPilotValidate(t *testing.T) {
+	good := PilotDescription{Platform: "delta", Nodes: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	byCores := PilotDescription{Platform: "delta", Cores: 256, GPUs: 16}
+	if err := byCores.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []PilotDescription{
+		{Platform: "", Nodes: 1},
+		{Platform: "delta"},
+		{Platform: "delta", Nodes: -1},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("accepted invalid pilot %+v", c)
+		}
+	}
+}
+
+func TestServicePriorityConstant(t *testing.T) {
+	if ServicePriority <= 0 {
+		t.Fatal("ServicePriority must boost services above default tasks")
+	}
+}

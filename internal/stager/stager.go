@@ -1,0 +1,219 @@
+// Package stager implements the data-management layer of the runtime: the
+// DataManager of the paper's Fig. 2 plus the agent-side input/output
+// stagers. It models the three movement mechanisms the LUCID use cases
+// need — intra-platform copies, constant-time links, and wide-area
+// (Globus-like) transfers such as the Cell Painting pipeline's ~1.6 TB
+// dataset — with bandwidth- and latency-parameterized links, and it keeps
+// a registry of staged objects so pipelines can gate on data availability
+// ("training ... starting only when sufficient processed data are
+// available", §II-A).
+package stager
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+)
+
+// Link models one storage path (e.g. "delta" → "frontier", or local disk).
+type Link struct {
+	// BytesPerSec is the sustained transfer bandwidth.
+	BytesPerSec float64
+	// Latency is the per-operation setup cost (negotiation, metadata).
+	Latency rng.DurationDist
+}
+
+// Manager is the DataManager: it owns link profiles and the staged-object
+// registry. All methods are safe for concurrent use.
+type Manager struct {
+	clock simtime.Clock
+	src   *rng.Source
+
+	mu      sync.Mutex
+	links   map[string]Link // key "src→dst" platform pair, or "*" default
+	objects map[string]Object
+	waiters []objWaiter
+}
+
+// Object records one staged data object.
+type Object struct {
+	URI      string
+	Bytes    int64
+	StagedAt time.Time
+}
+
+type objWaiter struct {
+	prefix   string
+	minBytes int64
+	ch       chan struct{}
+}
+
+// DefaultLocalBandwidth is used for copies when no link matches
+// (node-local NVMe-class storage).
+const DefaultLocalBandwidth = 2e9 // 2 GB/s
+
+// DefaultWANBandwidth approximates a Globus transfer over a production
+// WAN.
+const DefaultWANBandwidth = 1.25e9 // 10 Gb/s
+
+// NewManager returns a Manager with sensible default links.
+func NewManager(clock simtime.Clock, src *rng.Source) *Manager {
+	return &Manager{
+		clock:   clock,
+		src:     src,
+		links:   make(map[string]Link),
+		objects: make(map[string]Object),
+	}
+}
+
+// SetLink registers the link used for transfers from platform src to dst.
+// Use "*" for either side as a wildcard.
+func (m *Manager) SetLink(src, dst string, link Link) {
+	m.mu.Lock()
+	m.links[src+"→"+dst] = link
+	m.mu.Unlock()
+}
+
+// linkFor resolves the most specific link for a platform pair.
+func (m *Manager) linkFor(src, dst string) (Link, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, key := range []string{src + "→" + dst, src + "→*", "*→" + dst, "*→*"} {
+		if l, ok := m.links[key]; ok {
+			return l, true
+		}
+	}
+	return Link{}, false
+}
+
+// SplitURI parses "platform:/path" into its parts. URIs without a platform
+// prefix belong to the local platform "".
+func SplitURI(uri string) (platform, path string) {
+	if i := strings.Index(uri, ":/"); i >= 0 {
+		return uri[:i], uri[i+1:]
+	}
+	return "", uri
+}
+
+// Stage executes one directive, blocking for the modelled duration, and
+// registers the target object. It returns the time spent.
+func (m *Manager) Stage(d spec.StagingDirective) (time.Duration, error) {
+	if err := d.Validate(); err != nil {
+		return 0, fmt.Errorf("stager: %w", err)
+	}
+	srcPlat, _ := SplitURI(d.Source)
+	dstPlat, _ := SplitURI(d.Target)
+
+	var dur time.Duration
+	switch d.Mode {
+	case spec.StageLink:
+		dur = time.Millisecond // constant-time metadata operation
+	case spec.StageCopy, spec.StageTransfer:
+		link, ok := m.linkFor(srcPlat, dstPlat)
+		if !ok {
+			bw := DefaultLocalBandwidth
+			if d.Mode == spec.StageTransfer || srcPlat != dstPlat {
+				bw = DefaultWANBandwidth
+			}
+			link = Link{BytesPerSec: bw, Latency: rng.ConstDuration(50 * time.Millisecond)}
+		}
+		dur = link.Latency.Sample(m.src)
+		if link.BytesPerSec > 0 && d.Bytes > 0 {
+			dur += time.Duration(float64(d.Bytes) / link.BytesPerSec * float64(time.Second))
+		}
+	}
+	if dur > 0 {
+		m.clock.Sleep(dur)
+	}
+	m.register(Object{URI: d.Target, Bytes: d.Bytes, StagedAt: m.clock.Now()})
+	return dur, nil
+}
+
+// StageAll executes directives sequentially (input staging order matters:
+// later directives may depend on earlier ones). It returns the total time.
+func (m *Manager) StageAll(ds []spec.StagingDirective) (time.Duration, error) {
+	var total time.Duration
+	for _, d := range ds {
+		dur, err := m.Stage(d)
+		total += dur
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (m *Manager) register(obj Object) {
+	m.mu.Lock()
+	m.objects[obj.URI] = obj
+	// wake waiters whose predicate now holds
+	var keep []objWaiter
+	for _, w := range m.waiters {
+		if m.bytesUnderLocked(w.prefix) >= w.minBytes {
+			close(w.ch)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	m.waiters = keep
+	m.mu.Unlock()
+}
+
+// Lookup returns the staged object at uri.
+func (m *Manager) Lookup(uri string) (Object, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.objects[uri]
+	return o, ok
+}
+
+// Objects returns all staged objects sorted by URI.
+func (m *Manager) Objects() []Object {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Object, 0, len(m.objects))
+	for _, o := range m.objects {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+func (m *Manager) bytesUnderLocked(prefix string) int64 {
+	var total int64
+	for uri, o := range m.objects {
+		if strings.HasPrefix(uri, prefix) {
+			total += o.Bytes
+		}
+	}
+	return total
+}
+
+// BytesUnder sums the sizes of staged objects whose URI has the prefix.
+func (m *Manager) BytesUnder(prefix string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesUnderLocked(prefix)
+}
+
+// WaitBytes returns a channel closed once at least minBytes of data are
+// staged under prefix — the §II-A gate "training ... starting only when
+// sufficient processed data are available". The channel is closed
+// immediately if the predicate already holds.
+func (m *Manager) WaitBytes(prefix string, minBytes int64) <-chan struct{} {
+	ch := make(chan struct{})
+	m.mu.Lock()
+	if m.bytesUnderLocked(prefix) >= minBytes {
+		close(ch)
+	} else {
+		m.waiters = append(m.waiters, objWaiter{prefix: prefix, minBytes: minBytes, ch: ch})
+	}
+	m.mu.Unlock()
+	return ch
+}

@@ -1,0 +1,204 @@
+package stager
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+)
+
+var origin = time.Date(2025, 3, 17, 0, 0, 0, 0, time.UTC)
+
+func newMgr() (*Manager, *simtime.Scaled) {
+	clk := simtime.NewScaled(100000, origin)
+	return NewManager(clk, rng.New(1)), clk
+}
+
+func TestSplitURI(t *testing.T) {
+	cases := []struct {
+		in, plat, path string
+	}{
+		{"delta:/scratch/data", "delta", "/scratch/data"},
+		{"/local/path", "", "/local/path"},
+		{"r3:/models/llama", "r3", "/models/llama"},
+	}
+	for _, c := range cases {
+		plat, path := SplitURI(c.in)
+		if plat != c.plat || path != c.path {
+			t.Errorf("SplitURI(%q) = %q, %q", c.in, plat, path)
+		}
+	}
+}
+
+func TestStageLinkConstantTime(t *testing.T) {
+	m, _ := newMgr()
+	d, err := m.Stage(spec.StagingDirective{
+		Source: "delta:/a", Target: "delta:/b", Bytes: 1 << 40, Mode: spec.StageLink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != time.Millisecond {
+		t.Fatalf("link staging of 1TB took %v, want constant 1ms", d)
+	}
+}
+
+func TestStageCopyBandwidth(t *testing.T) {
+	m, _ := newMgr()
+	m.SetLink("delta", "delta", Link{BytesPerSec: 1e9, Latency: rng.ConstDuration(10 * time.Millisecond)})
+	d, err := m.Stage(spec.StagingDirective{
+		Source: "delta:/a", Target: "delta:/b", Bytes: 2e9, Mode: spec.StageCopy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*time.Second + 10*time.Millisecond
+	if d < want-time.Millisecond || d > want+time.Millisecond {
+		t.Fatalf("copy of 2GB at 1GB/s = %v, want %v", d, want)
+	}
+}
+
+func TestStageTransferDefaultWAN(t *testing.T) {
+	m, _ := newMgr()
+	// no link registered: cross-platform transfer uses the WAN default
+	d, err := m.Stage(spec.StagingDirective{
+		Source: "globus:/cellpainting", Target: "delta:/scratch/cp", Bytes: int64(1.25e9), Mode: spec.StageTransfer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.25 GB at 1.25 GB/s ≈ 1s plus 50ms setup
+	if d < 900*time.Millisecond || d > 1300*time.Millisecond {
+		t.Fatalf("WAN transfer = %v, want ≈1.05s", d)
+	}
+}
+
+func TestStageInvalidDirective(t *testing.T) {
+	m, _ := newMgr()
+	if _, err := m.Stage(spec.StagingDirective{Source: "", Target: "x", Mode: spec.StageCopy}); err == nil {
+		t.Fatal("accepted invalid directive")
+	}
+}
+
+func TestStageRegistersObject(t *testing.T) {
+	m, _ := newMgr()
+	_, err := m.Stage(spec.StagingDirective{
+		Source: "delta:/a", Target: "delta:/b", Bytes: 42, Mode: spec.StageLink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, ok := m.Lookup("delta:/b")
+	if !ok || obj.Bytes != 42 {
+		t.Fatalf("Lookup = %+v, %v", obj, ok)
+	}
+	if _, ok := m.Lookup("delta:/a"); ok {
+		t.Fatal("source registered as object")
+	}
+}
+
+func TestStageAllSequential(t *testing.T) {
+	m, _ := newMgr()
+	ds := []spec.StagingDirective{
+		{Source: "delta:/a", Target: "delta:/b", Bytes: 1, Mode: spec.StageLink},
+		{Source: "delta:/b", Target: "delta:/c", Bytes: 1, Mode: spec.StageLink},
+	}
+	total, err := m.StageAll(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2*time.Millisecond {
+		t.Fatalf("total = %v", total)
+	}
+	if len(m.Objects()) != 2 {
+		t.Fatalf("objects = %d", len(m.Objects()))
+	}
+}
+
+func TestStageAllStopsOnError(t *testing.T) {
+	m, _ := newMgr()
+	ds := []spec.StagingDirective{
+		{Source: "delta:/a", Target: "delta:/b", Bytes: 1, Mode: spec.StageLink},
+		{Source: "", Target: "delta:/c", Mode: spec.StageLink},
+		{Source: "delta:/c", Target: "delta:/d", Bytes: 1, Mode: spec.StageLink},
+	}
+	if _, err := m.StageAll(ds); err == nil {
+		t.Fatal("StageAll swallowed the error")
+	}
+	if _, ok := m.Lookup("delta:/d"); ok {
+		t.Fatal("StageAll continued past the error")
+	}
+}
+
+func TestObjectsSorted(t *testing.T) {
+	m, _ := newMgr()
+	for _, uri := range []string{"delta:/z", "delta:/a", "delta:/m"} {
+		m.Stage(spec.StagingDirective{Source: "delta:/src", Target: uri, Bytes: 1, Mode: spec.StageLink}) //nolint:errcheck
+	}
+	objs := m.Objects()
+	if objs[0].URI != "delta:/a" || objs[2].URI != "delta:/z" {
+		t.Fatalf("objects unsorted: %+v", objs)
+	}
+}
+
+func TestBytesUnder(t *testing.T) {
+	m, _ := newMgr()
+	m.Stage(spec.StagingDirective{Source: "s", Target: "delta:/data/x", Bytes: 100, Mode: spec.StageLink}) //nolint:errcheck
+	m.Stage(spec.StagingDirective{Source: "s", Target: "delta:/data/y", Bytes: 200, Mode: spec.StageLink}) //nolint:errcheck
+	m.Stage(spec.StagingDirective{Source: "s", Target: "delta:/other", Bytes: 999, Mode: spec.StageLink})  //nolint:errcheck
+	if got := m.BytesUnder("delta:/data/"); got != 300 {
+		t.Fatalf("BytesUnder = %d, want 300", got)
+	}
+}
+
+func TestWaitBytesGate(t *testing.T) {
+	// the §II-A gate: training starts only once enough processed data are
+	// staged
+	m, _ := newMgr()
+	ch := m.WaitBytes("delta:/processed/", 250)
+	select {
+	case <-ch:
+		t.Fatal("gate opened with no data")
+	default:
+	}
+	m.Stage(spec.StagingDirective{Source: "s", Target: "delta:/processed/a", Bytes: 100, Mode: spec.StageLink}) //nolint:errcheck
+	select {
+	case <-ch:
+		t.Fatal("gate opened below threshold")
+	default:
+	}
+	m.Stage(spec.StagingDirective{Source: "s", Target: "delta:/processed/b", Bytes: 200, Mode: spec.StageLink}) //nolint:errcheck
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("gate never opened")
+	}
+}
+
+func TestWaitBytesAlreadySatisfied(t *testing.T) {
+	m, _ := newMgr()
+	m.Stage(spec.StagingDirective{Source: "s", Target: "delta:/d/a", Bytes: 500, Mode: spec.StageLink}) //nolint:errcheck
+	select {
+	case <-m.WaitBytes("delta:/d/", 100):
+	default:
+		t.Fatal("pre-satisfied gate not closed immediately")
+	}
+}
+
+func TestLinkResolutionWildcards(t *testing.T) {
+	m, _ := newMgr()
+	m.SetLink("*", "*", Link{BytesPerSec: 1, Latency: rng.ConstDuration(0)})
+	m.SetLink("delta", "*", Link{BytesPerSec: 2, Latency: rng.ConstDuration(0)})
+	m.SetLink("delta", "r3", Link{BytesPerSec: 3, Latency: rng.ConstDuration(0)})
+	if l, _ := m.linkFor("delta", "r3"); l.BytesPerSec != 3 {
+		t.Fatalf("exact match not preferred: %v", l.BytesPerSec)
+	}
+	if l, _ := m.linkFor("delta", "frontier"); l.BytesPerSec != 2 {
+		t.Fatalf("src wildcard not preferred: %v", l.BytesPerSec)
+	}
+	if l, _ := m.linkFor("r3", "frontier"); l.BytesPerSec != 1 {
+		t.Fatalf("full wildcard not used: %v", l.BytesPerSec)
+	}
+}

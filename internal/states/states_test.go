@@ -1,0 +1,275 @@
+package states
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+var origin = time.Date(2025, 3, 17, 0, 0, 0, 0, time.UTC)
+
+func TestTaskHappyPath(t *testing.T) {
+	clk := simtime.NewVirtual(origin)
+	m := NewMachine("task.0001", TaskModel(), clk)
+	path := []State{
+		TaskTmgrScheduling, TaskStagingInput, TaskScheduling,
+		TaskExecuting, TaskStagingOutput, TaskDone,
+	}
+	for _, s := range path {
+		clk.Advance(time.Second)
+		if err := m.To(s); err != nil {
+			t.Fatalf("To(%s): %v", s, err)
+		}
+	}
+	if !m.IsFinal() {
+		t.Fatal("DONE not final")
+	}
+	if got := len(m.History()); got != len(path)+1 {
+		t.Fatalf("history length %d, want %d", got, len(path)+1)
+	}
+}
+
+func TestServiceHappyPath(t *testing.T) {
+	clk := simtime.NewVirtual(origin)
+	m := NewMachine("service.0001", ServiceModel(), clk)
+	path := []State{
+		ServiceSmgrScheduling, ServiceStagingInput, ServiceScheduling,
+		ServiceLaunching, ServiceInitializing, ServicePublishing,
+		ServiceActive, ServiceDraining, ServiceDone,
+	}
+	for _, s := range path {
+		if err := m.To(s); err != nil {
+			t.Fatalf("To(%s): %v", s, err)
+		}
+	}
+}
+
+func TestPilotHappyPath(t *testing.T) {
+	clk := simtime.NewVirtual(origin)
+	m := NewMachine("pilot.0000", PilotModel(), clk)
+	for _, s := range []State{PilotLaunching, PilotActive, PilotDone} {
+		if err := m.To(s); err != nil {
+			t.Fatalf("To(%s): %v", s, err)
+		}
+	}
+}
+
+func TestIllegalTransitionRejected(t *testing.T) {
+	clk := simtime.NewVirtual(origin)
+	m := NewMachine("task.0002", TaskModel(), clk)
+	err := m.To(TaskExecuting) // NEW → EXECUTING skips four states
+	if err == nil {
+		t.Fatal("illegal transition accepted")
+	}
+	var te *TransitionError
+	if !errors.As(err, &te) {
+		t.Fatalf("error type %T, want *TransitionError", err)
+	}
+	if te.From != TaskNew || te.To != TaskExecuting {
+		t.Fatalf("TransitionError = %+v", te)
+	}
+	if m.Current() != TaskNew {
+		t.Fatal("machine moved despite rejection")
+	}
+}
+
+func TestNoEscapeFromFinalStates(t *testing.T) {
+	clk := simtime.NewVirtual(origin)
+	for _, model := range []*Model{TaskModel(), ServiceModel(), PilotModel()} {
+		for _, s := range model.States() {
+			if !model.IsFinal(s) {
+				continue
+			}
+			for _, to := range model.States() {
+				if model.CanTransition(s, to) {
+					t.Errorf("%s: final state %s has edge to %s", model.Entity(), s, to)
+				}
+			}
+		}
+	}
+	_ = clk
+}
+
+func TestEveryNonFinalStateCanFail(t *testing.T) {
+	for _, model := range []*Model{TaskModel(), ServiceModel(), PilotModel()} {
+		var failed State
+		switch model.Entity() {
+		case EntityPilot:
+			failed = PilotFailed
+		case EntityService:
+			failed = ServiceFailed
+		default:
+			failed = TaskFailed
+		}
+		for _, s := range model.States() {
+			if model.IsFinal(s) {
+				continue
+			}
+			if !model.CanTransition(s, failed) {
+				t.Errorf("%s: state %s cannot fail", model.Entity(), s)
+			}
+		}
+	}
+}
+
+func TestFailHelper(t *testing.T) {
+	clk := simtime.NewVirtual(origin)
+	cases := []struct {
+		model *Model
+		want  State
+	}{
+		{TaskModel(), TaskFailed},
+		{ServiceModel(), ServiceFailed},
+		{PilotModel(), PilotFailed},
+	}
+	for _, c := range cases {
+		m := NewMachine("x", c.model, clk)
+		if err := m.Fail(); err != nil {
+			t.Fatalf("%s Fail: %v", c.model.Entity(), err)
+		}
+		if m.Current() != c.want {
+			t.Fatalf("%s Fail → %s, want %s", c.model.Entity(), m.Current(), c.want)
+		}
+	}
+}
+
+func TestHistoryTimestamps(t *testing.T) {
+	clk := simtime.NewVirtual(origin)
+	m := NewMachine("task.0003", TaskModel(), clk)
+	clk.Advance(3 * time.Second)
+	_ = m.To(TaskTmgrScheduling)
+	clk.Advance(5 * time.Second)
+	_ = m.To(TaskStagingInput)
+
+	at, ok := m.EnteredAt(TaskTmgrScheduling)
+	if !ok || !at.Equal(origin.Add(3*time.Second)) {
+		t.Fatalf("EnteredAt(TMGR_SCHEDULING) = %v/%v", at, ok)
+	}
+	d, ok := m.Between(TaskTmgrScheduling, TaskStagingInput)
+	if !ok || d != 5*time.Second {
+		t.Fatalf("Between = %v/%v, want 5s", d, ok)
+	}
+	if _, ok := m.Between(TaskTmgrScheduling, TaskDone); ok {
+		t.Fatal("Between reported ok for never-entered state")
+	}
+}
+
+func TestCallbacksFire(t *testing.T) {
+	clk := simtime.NewVirtual(origin)
+	m := NewMachine("task.0004", TaskModel(), clk)
+	var mu sync.Mutex
+	var got []State
+	m.OnTransition(func(uid string, from, to State, at time.Time) {
+		if uid != "task.0004" {
+			t.Errorf("callback uid = %q", uid)
+		}
+		mu.Lock()
+		got = append(got, to)
+		mu.Unlock()
+	})
+	_ = m.To(TaskTmgrScheduling)
+	_ = m.To(TaskStagingInput)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != TaskTmgrScheduling || got[1] != TaskStagingInput {
+		t.Fatalf("callback sequence = %v", got)
+	}
+}
+
+func TestWaitChan(t *testing.T) {
+	clk := simtime.NewVirtual(origin)
+	m := NewMachine("task.0005", TaskModel(), clk)
+	ch := m.WaitChan()
+	_ = m.To(TaskTmgrScheduling)
+	select {
+	case s := <-ch:
+		if s != TaskTmgrScheduling {
+			t.Fatalf("WaitChan delivered %s", s)
+		}
+	default:
+		t.Fatal("WaitChan did not deliver")
+	}
+	// one-shot: further transitions do not re-notify this channel
+	_ = m.To(TaskStagingInput)
+	select {
+	case s := <-ch:
+		t.Fatalf("WaitChan re-fired with %s", s)
+	default:
+	}
+}
+
+func TestConcurrentTransitionsOnlyOneWins(t *testing.T) {
+	clk := simtime.NewVirtual(origin)
+	m := NewMachine("task.0006", TaskModel(), clk)
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = m.To(TaskTmgrScheduling)
+		}(i)
+	}
+	wg.Wait()
+	okCount := 0
+	for _, err := range errs {
+		if err == nil {
+			okCount++
+		}
+	}
+	if okCount != 1 {
+		t.Fatalf("%d concurrent transitions succeeded, want exactly 1", okCount)
+	}
+}
+
+func TestMachineLegalityProperty(t *testing.T) {
+	// Property: replaying any random walk over To() never leaves the machine
+	// in a state unreachable via legal edges, and history grows only on
+	// success.
+	models := []*Model{TaskModel(), ServiceModel(), PilotModel()}
+	f := func(seedSteps []uint8, which uint8) bool {
+		model := models[int(which)%len(models)]
+		all := model.States()
+		clk := simtime.NewVirtual(origin)
+		m := NewMachine("prop", model, clk)
+		for _, b := range seedSteps {
+			target := all[int(b)%len(all)]
+			prev := m.Current()
+			hlen := len(m.History())
+			err := m.To(target)
+			if err == nil {
+				if !model.CanTransition(prev, target) {
+					return false // accepted illegal edge
+				}
+				if len(m.History()) != hlen+1 {
+					return false
+				}
+			} else {
+				if m.Current() != prev || len(m.History()) != hlen {
+					return false // mutated on failure
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	m := ServiceModel()
+	if m.Entity() != EntityService {
+		t.Fatalf("Entity = %s", m.Entity())
+	}
+	if m.Initial() != ServiceNew {
+		t.Fatalf("Initial = %s", m.Initial())
+	}
+	if len(m.States()) < 10 {
+		t.Fatalf("service model has %d states", len(m.States()))
+	}
+}

@@ -1,0 +1,214 @@
+// Package training models distributed data-parallel training — the
+// "distributed online model training (e.g., PyTorch FSDP)" the paper
+// names as the next service capability to integrate (§III). It provides a
+// calibrated performance model of sharded data-parallel fine-tuning:
+// per-step compute derived from model size and accelerator throughput,
+// plus a communication term for gradient/parameter collectives that grows
+// with the participant count, following the standard ring/tree-collective
+// cost model.
+//
+// The Cell Painting pipeline uses this model to size its ViT fine-tuning
+// trials; the training service benchmark uses it to extrapolate scaling.
+package training
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Config describes one fine-tuning job.
+type Config struct {
+	// ParamsB is the model size in billions of parameters.
+	ParamsB float64
+	// DatasetSamples is the number of training samples per epoch.
+	DatasetSamples int
+	// GlobalBatch is the global batch size (split across GPUs).
+	GlobalBatch int
+	// Epochs is the number of passes over the dataset.
+	Epochs int
+	// GPUs is the data-parallel width.
+	GPUs int
+	// TokensPerSample is the sequence length (LLM tokens, or ViT patches;
+	// default 512). Per-sample training compute is ~6 FLOPs × params ×
+	// tokens (forward+backward).
+	TokensPerSample int
+	// GPUTeraFLOPS is the sustained per-GPU throughput (default 150, an
+	// A100-class mixed-precision figure).
+	GPUTeraFLOPS float64
+	// InterconnectGBps is the per-link collective bandwidth (default 100,
+	// NVLink/Slingshot class).
+	InterconnectGBps float64
+	// Jitter is the relative std applied when sampling durations.
+	Jitter float64
+}
+
+func (c *Config) defaults() error {
+	if c.ParamsB <= 0 || c.DatasetSamples <= 0 || c.GlobalBatch <= 0 || c.Epochs <= 0 || c.GPUs <= 0 {
+		return fmt.Errorf("training: incomplete config %+v", *c)
+	}
+	if c.TokensPerSample <= 0 {
+		c.TokensPerSample = 512
+	}
+	if c.GPUTeraFLOPS <= 0 {
+		c.GPUTeraFLOPS = 150
+	}
+	if c.InterconnectGBps <= 0 {
+		c.InterconnectGBps = 100
+	}
+	return nil
+}
+
+// StepsPerEpoch returns ceil(samples / global batch).
+func (c Config) StepsPerEpoch() int {
+	return (c.DatasetSamples + c.GlobalBatch - 1) / c.GlobalBatch
+}
+
+// computeTime is the per-step forward+backward compute on one GPU's shard
+// of the batch: ~6 FLOPs per parameter per token (fwd+bwd), split across
+// GPUs. Defaults are applied defensively so direct calls are safe.
+func (c Config) computeTime() time.Duration {
+	if c.TokensPerSample <= 0 {
+		c.TokensPerSample = 512
+	}
+	if c.GPUTeraFLOPS <= 0 {
+		c.GPUTeraFLOPS = 150
+	}
+	gpus := c.GPUs
+	if gpus < 1 {
+		gpus = 1
+	}
+	flops := 6 * c.ParamsB * 1e9 * float64(c.TokensPerSample) * float64(c.GlobalBatch) / float64(gpus)
+	sec := flops / (c.GPUTeraFLOPS * 1e12)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// commTime is the per-step collective cost: an FSDP step moves O(2·params)
+// bytes (fp16 gather + scatter) through the ring, with the classic
+// 2(n-1)/n bandwidth factor.
+func (c Config) commTime() time.Duration {
+	if c.GPUs <= 1 {
+		return 0
+	}
+	if c.InterconnectGBps <= 0 {
+		c.InterconnectGBps = 100
+	}
+	bytes := 2 * c.ParamsB * 1e9 * 2 // gather+scatter, 2 bytes/param
+	factor := 2 * float64(c.GPUs-1) / float64(c.GPUs)
+	sec := bytes * factor / (c.InterconnectGBps * 1e9)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// StepTime returns the modelled wall time of one optimizer step.
+func (c Config) StepTime() (time.Duration, error) {
+	cc := c
+	if err := cc.defaults(); err != nil {
+		return 0, err
+	}
+	return cc.computeTime() + cc.commTime(), nil
+}
+
+// Makespan returns the modelled wall time of the full job.
+func (c Config) Makespan() (time.Duration, error) {
+	step, err := c.StepTime()
+	if err != nil {
+		return 0, err
+	}
+	total := step * time.Duration(c.StepsPerEpoch()*c.Epochs)
+	return total, nil
+}
+
+// Speedup returns the modelled parallel speedup of running on gpus
+// relative to one GPU (same global batch). It is sub-linear: the
+// communication term does not shrink with the worker count.
+func (c Config) Speedup(gpus int) (float64, error) {
+	base := c
+	base.GPUs = 1
+	t1, err := base.Makespan()
+	if err != nil {
+		return 0, err
+	}
+	par := c
+	par.GPUs = gpus
+	tn, err := par.Makespan()
+	if err != nil {
+		return 0, err
+	}
+	if tn <= 0 {
+		return 0, fmt.Errorf("training: degenerate makespan")
+	}
+	return float64(t1) / float64(tn), nil
+}
+
+// Efficiency returns Speedup(gpus)/gpus.
+func (c Config) Efficiency(gpus int) (float64, error) {
+	s, err := c.Speedup(gpus)
+	if err != nil {
+		return 0, err
+	}
+	return s / float64(gpus), nil
+}
+
+// Duration returns a sampled duration distribution around the modelled
+// makespan (for use as a task Duration).
+func (c Config) Duration() (rng.DurationDist, error) {
+	m, err := c.Makespan()
+	if err != nil {
+		return rng.DurationDist{}, err
+	}
+	jitter := c.Jitter
+	if jitter <= 0 {
+		jitter = 0.1
+	}
+	std := time.Duration(float64(m) * jitter)
+	return rng.NormalDuration(m, std), nil
+}
+
+// OptimalGPUs returns the smallest data-parallel width whose marginal
+// efficiency falls below threshold — a simple capacity-planning helper
+// for the adaptive resource scheduling the paper's future work proposes.
+func (c Config) OptimalGPUs(maxGPUs int, threshold float64) (int, error) {
+	if maxGPUs < 1 {
+		return 0, fmt.Errorf("training: maxGPUs < 1")
+	}
+	best := 1
+	for g := 2; g <= maxGPUs; g *= 2 {
+		eff, err := c.Efficiency(g)
+		if err != nil {
+			return 0, err
+		}
+		if eff < threshold {
+			break
+		}
+		best = g
+	}
+	return best, nil
+}
+
+// ViTBase returns the fine-tuning profile of the Cell Painting pipeline's
+// ViT-Base backbone (86M parameters) on the paper-scale dataset slice.
+func ViTBase(datasetSamples, globalBatch, epochs, gpus int) Config {
+	return Config{
+		ParamsB:         0.086,
+		DatasetSamples:  datasetSamples,
+		GlobalBatch:     globalBatch,
+		Epochs:          epochs,
+		GPUs:            gpus,
+		TokensPerSample: 197, // 196 patches + CLS for ViT-B/16 @ 224px
+	}
+}
+
+// Llama8B returns the UQ pipeline's LoRA fine-tuning profile. LoRA
+// reduces trained parameters, but forward/backward still traverses the
+// full model; the collective moves only adapter gradients, approximated
+// here by scaling the communication-relevant parameter count.
+func Llama8B(datasetSamples, globalBatch, epochs, gpus int) Config {
+	return Config{
+		ParamsB:        8,
+		DatasetSamples: datasetSamples,
+		GlobalBatch:    globalBatch,
+		Epochs:         epochs,
+		GPUs:           gpus,
+	}
+}

@@ -1,0 +1,292 @@
+package usecases
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/workflow"
+)
+
+func newRunner(t *testing.T, scale float64) (*workflow.Runner, *core.Session) {
+	t.Helper()
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed:  13,
+		Clock: simtime.NewScaled(scale, core.DefaultOrigin),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sess.Close)
+	p, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Cores: 256, GPUs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := workflow.NewRunner(sess, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, sess
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	out := TableI().Render()
+	for _, want := range []string{
+		"Cell Painting", "Signature Detection", "Uncertainty Quantification",
+		"Mutation Detection Analysis", "LLM-based signature comparison",
+		"hyperparameter optimization", "Post-processing",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+	// Table I marks exactly two stages as not service-enabled
+	if got := strings.Count(out, "No"); got != 2 {
+		t.Fatalf("Table I has %d 'No' rows, want 2", got)
+	}
+}
+
+func TestSampleTrialDeterministic(t *testing.T) {
+	a := SampleTrial(rng.New(1).Derive("x"))
+	b := SampleTrial(rng.New(1).Derive("x"))
+	if a != b {
+		t.Fatal("same seed produced different trials")
+	}
+	if a.LearningRate <= 0 || a.BatchSize <= 0 {
+		t.Fatalf("trial = %+v", a)
+	}
+}
+
+func TestCellPaintingPipelineRuns(t *testing.T) {
+	r, sess := newRunner(t, 1_000_000) // minutes-scale workload, heavy compression
+	cfg := CellPaintingConfig{
+		DatasetBytes: 64 << 20, // 64 MB test-scale dataset
+		Shards:       4,
+		HPOTrials:    4,
+		TrainTime:    rng.ConstDuration(2 * time.Minute),
+	}
+	p := CellPainting(cfg, sess.RNG())
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := r.Run(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch, _ := rep.StageReport("fetch-dataset")
+	prep, _ := rep.StageReport("preprocess-augment")
+	train, _ := rep.StageReport("train-hpo")
+	if prep.Tasks != 4 || train.Tasks != 4 || fetch.Tasks != 1 {
+		t.Fatalf("task counts: fetch=%d prep=%d train=%d", fetch.Tasks, prep.Tasks, train.Tasks)
+	}
+	// asynchronous coupling (§II-A): training starts before preprocessing
+	// finishes (gated on the first shard, not the full set)
+	if !train.Started.Before(prep.Finished) {
+		t.Fatal("training did not overlap preprocessing")
+	}
+	// every trial carries its hyperparameters
+	if got := sess.PilotManager().List()[0].Stage().BytesUnder("delta:/scratch/cellpainting/processed/"); got <= 0 {
+		t.Fatal("no processed data staged")
+	}
+}
+
+func TestSignaturePipelineStructure(t *testing.T) {
+	cfg := SignatureConfig{}
+	p := Signature(cfg, rng.New(1))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stages) != 3 {
+		t.Fatalf("stages without LLM = %d, want 3", len(p.Stages))
+	}
+	cfg.UseLLM = true
+	p = Signature(cfg, rng.New(1))
+	if len(p.Stages) != 4 {
+		t.Fatalf("stages with LLM = %d, want 4", len(p.Stages))
+	}
+	// paper scale: 15 samples
+	if got := len(p.Stages[0].Tasks); got != 15 {
+		t.Fatalf("VEP tasks = %d, want 15", got)
+	}
+	// VEP memory requirement
+	if p.Stages[0].Tasks[0].MemGB != 3 {
+		t.Fatalf("VEP memory = %v GB, want 3", p.Stages[0].Tasks[0].MemGB)
+	}
+}
+
+func TestSignaturePipelineRunsWithLLM(t *testing.T) {
+	r, _ := newRunner(t, 1_000_000)
+	coll := metrics.NewCollector()
+	cfg := SignatureConfig{
+		Samples:    4,
+		VEPTime:    rng.ConstDuration(90 * time.Second),
+		EnrichTime: rng.ConstDuration(60 * time.Second),
+		UseLLM:     true,
+		LLMQueries: 2,
+		Collector:  coll,
+	}
+	p := Signature(cfg, rng.New(2))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := r.Run(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.Count("sig.llm.inference") != 2 {
+		t.Fatalf("LLM queries recorded = %d, want 2", coll.Count("sig.llm.inference"))
+	}
+	llm, ok := rep.StageReport("llm-signature-comparison")
+	if !ok || llm.Services != 1 {
+		t.Fatalf("LLM stage report = %+v", llm)
+	}
+	// ordering: annotation strictly precedes enrichment
+	ann, _ := rep.StageReport("vep-annotation")
+	enr, _ := rep.StageReport("pathway-enrichment")
+	if enr.Started.Before(ann.Finished) {
+		t.Fatal("enrichment started before annotation finished")
+	}
+}
+
+func TestSignatureComputePipelineEndToEnd(t *testing.T) {
+	// Compute mode: the pipeline performs real annotation, enrichment and
+	// regression on synthetic data. The dose ladder across samples must
+	// yield a positive dose-response slope on the radiation pathway.
+	r, sess := newRunner(t, 1_000_000)
+	res := &SignatureResults{}
+	cfg := SignatureConfig{
+		Samples:           8,
+		VEPTime:           rng.ConstDuration(90 * time.Second),
+		EnrichTime:        rng.ConstDuration(60 * time.Second),
+		Compute:           true,
+		Results:           res,
+		VariantsPerSample: 400,
+	}
+	p := Signature(cfg, sess.RNG())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if _, err := r.Run(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if res.Hits[i] == nil {
+			t.Fatalf("sample %d has no hits", i)
+		}
+		if _, ok := res.TopPathway(i); !ok {
+			t.Fatalf("sample %d has no enrichment", i)
+		}
+	}
+	fit := res.DoseFit()
+	if fit.Slope <= 0 {
+		t.Fatalf("dose-response slope %v, want positive (hotspot burden grows with dose)", fit.Slope)
+	}
+	// the highest-dose sample should rank radiation-response at the top
+	top, _ := res.TopPathway(7)
+	if top.Pathway != "radiation-response" {
+		t.Fatalf("high-dose sample's top pathway = %s (p=%g)", top.Pathway, top.PValue)
+	}
+}
+
+func TestHPOCampaignOnRuntime(t *testing.T) {
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed:  31,
+		Clock: simtime.NewScaled(1_000_000, core.DefaultOrigin),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	p, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Cores: 256, GPUs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	study, err := RunHPOCampaign(ctx, sess, p, HPOCampaignConfig{
+		Rounds: 3, TrialsPerRound: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := study.Trials()
+	if len(trials) != 12 {
+		t.Fatalf("trials = %d, want 12", len(trials))
+	}
+	best, err := study.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value > 1.5 {
+		t.Fatalf("best objective %v implausibly bad after 12 trials", best.Value)
+	}
+	// GPUs released after the campaign
+	for _, node := range p.Nodes() {
+		if node.FreeGPUs() != node.Spec().GPUs {
+			t.Fatalf("node %s leaked GPUs", node.Name())
+		}
+	}
+}
+
+func TestUQPipelineHierarchy(t *testing.T) {
+	cfg := UQConfig{}
+	if got := cfg.TaskCount(); got != 12 { // 2 methods × 3 seeds × 2 models
+		t.Fatalf("default UQ task count = %d, want 12", got)
+	}
+	p := UQ(cfg)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Stages[1].Tasks); got != 12 {
+		t.Fatalf("fine-tune tasks = %d", got)
+	}
+	// three-level hierarchy visible in metadata
+	meta := p.Stages[1].Tasks[0].Metadata
+	for _, k := range []string{"model", "method", "seed"} {
+		if meta[k] == "" {
+			t.Fatalf("metadata missing %q: %v", k, meta)
+		}
+	}
+}
+
+func TestUQPipelineRuns(t *testing.T) {
+	r, _ := newRunner(t, 100000)
+	cfg := UQConfig{
+		Methods:      []string{"bayesian-lora"},
+		Seeds:        2,
+		Models:       []string{"llama-8b"},
+		FinetuneTime: rng.ConstDuration(30 * time.Minute),
+	}
+	p := UQ(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := r.Run(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, _ := rep.StageReport("uq-finetuning")
+	if ft.Tasks != 2 {
+		t.Fatalf("fine-tune tasks = %d", ft.Tasks)
+	}
+	// concurrency: 2 GPU tasks of 30 min on 16 GPUs must overlap — the
+	// stage must take well under the ~60 min a serial run would need
+	if ft.Duration() > 55*time.Minute {
+		t.Fatalf("fine-tuning stage took %v, not concurrent", ft.Duration())
+	}
+}
+
+func TestUQConfigDefaultsPreserved(t *testing.T) {
+	cfg := UQConfig{Methods: []string{"a", "b", "c"}, Seeds: 5, Models: []string{"m"}}
+	if got := cfg.TaskCount(); got != 15 {
+		t.Fatalf("TaskCount = %d, want 15", got)
+	}
+	if len(cfg.Methods) != 3 {
+		t.Fatal("TaskCount mutated the config")
+	}
+}

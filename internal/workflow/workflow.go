@@ -1,0 +1,292 @@
+// Package workflow is the orchestration layer above the runtime facade —
+// the role EnTK/Parsl/AirFlow play in the paper's Fig. 1 stack. A Pipeline
+// is a DAG of Stages; each stage may start services, submit tasks, and run
+// gate hooks (e.g. "start training only when sufficient processed data are
+// available", §II-A). Independent stages execute concurrently, giving the
+// asynchronous, task-level-parallel execution model all three LUCID use
+// cases require.
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pilot"
+	"repro/internal/service"
+	"repro/internal/spec"
+)
+
+// Hook is a stage-level callback (gates, post-processing).
+type Hook func(ctx context.Context, sess *core.Session) error
+
+// Stage is one node of the pipeline DAG.
+type Stage struct {
+	// Name must be unique within the pipeline.
+	Name string
+	// After lists stage names that must complete first. Empty means the
+	// stage is a root and may start immediately.
+	After []string
+	// Pre runs before any submission (use for data gates).
+	Pre Hook
+	// Services are started (and awaited ready) before the stage's tasks.
+	Services []spec.ServiceDescription
+	// Tasks are submitted together and awaited.
+	Tasks []spec.TaskDescription
+	// Post runs after all tasks complete.
+	Post Hook
+	// KeepServices leaves this stage's services running after the
+	// pipeline ends (as if their descriptions were marked Persistent).
+	// By default pipeline-started services are drained and terminated at
+	// pipeline end.
+	KeepServices bool
+}
+
+// Pipeline is a named stage DAG.
+type Pipeline struct {
+	Name   string
+	Stages []*Stage
+}
+
+// Validate checks name uniqueness, dependency resolution and acyclicity.
+func (p *Pipeline) Validate() error {
+	if p.Name == "" {
+		return errors.New("workflow: unnamed pipeline")
+	}
+	byName := make(map[string]*Stage, len(p.Stages))
+	for _, st := range p.Stages {
+		if st.Name == "" {
+			return fmt.Errorf("workflow: %s: unnamed stage", p.Name)
+		}
+		if _, dup := byName[st.Name]; dup {
+			return fmt.Errorf("workflow: %s: duplicate stage %q", p.Name, st.Name)
+		}
+		byName[st.Name] = st
+	}
+	for _, st := range p.Stages {
+		for _, dep := range st.After {
+			if _, ok := byName[dep]; !ok {
+				return fmt.Errorf("workflow: %s: stage %q depends on unknown %q", p.Name, st.Name, dep)
+			}
+		}
+	}
+	// cycle detection: Kahn's algorithm
+	indeg := make(map[string]int, len(p.Stages))
+	next := make(map[string][]string)
+	for _, st := range p.Stages {
+		indeg[st.Name] += 0
+		for _, dep := range st.After {
+			indeg[st.Name]++
+			next[dep] = append(next[dep], st.Name)
+		}
+	}
+	var queue []string
+	for name, d := range indeg {
+		if d == 0 {
+			queue = append(queue, name)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, m := range next[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if seen != len(p.Stages) {
+		return fmt.Errorf("workflow: %s: dependency cycle", p.Name)
+	}
+	return nil
+}
+
+// StageReport records one stage's execution.
+type StageReport struct {
+	Stage     string
+	Started   time.Time
+	Finished  time.Time
+	Tasks     int
+	Services  int
+	Err       error
+}
+
+// Duration returns the stage's wall time on the session clock.
+func (r StageReport) Duration() time.Duration { return r.Finished.Sub(r.Started) }
+
+// Report aggregates a pipeline run.
+type Report struct {
+	Pipeline string
+	Started  time.Time
+	Finished time.Time
+	Stages   []StageReport
+}
+
+// Duration returns the pipeline's wall time on the session clock.
+func (r *Report) Duration() time.Duration { return r.Finished.Sub(r.Started) }
+
+// StageReport returns the report of the named stage.
+func (r *Report) StageReport(name string) (StageReport, bool) {
+	for _, s := range r.Stages {
+		if s.Stage == name {
+			return s, true
+		}
+	}
+	return StageReport{}, false
+}
+
+// Runner executes pipelines on a session.
+type Runner struct {
+	sess   *core.Session
+	pilots []*pilot.Pilot
+}
+
+// NewRunner builds a Runner submitting to the given pilots through the
+// session's task and service managers.
+func NewRunner(sess *core.Session, pilots ...*pilot.Pilot) (*Runner, error) {
+	if sess == nil || len(pilots) == 0 {
+		return nil, errors.New("workflow: runner needs a session and at least one pilot")
+	}
+	for _, p := range pilots {
+		sess.TaskManager().AddPilot(p)
+		sess.ServiceManager().AddPilot(p)
+	}
+	return &Runner{sess: sess, pilots: pilots}, nil
+}
+
+// Run executes the pipeline DAG. Independent stages run concurrently; a
+// stage failure fails its dependents transitively but lets independent
+// branches finish. Services started by the pipeline are terminated at
+// pipeline end unless their description marks them Persistent.
+func (r *Runner) Run(ctx context.Context, p *Pipeline) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	clock := r.sess.Clock()
+	report := &Report{Pipeline: p.Name, Started: clock.Now()}
+
+	type stageState struct {
+		stage *Stage
+		done  chan struct{}
+		err   error
+	}
+	st := make(map[string]*stageState, len(p.Stages))
+	for _, s := range p.Stages {
+		st[s.Name] = &stageState{stage: s, done: make(chan struct{})}
+	}
+
+	type startedSvc struct {
+		inst *service.Instance
+		keep bool
+	}
+	var started []startedSvc
+	var startedMu sync.Mutex
+
+	var wg sync.WaitGroup
+	var repMu sync.Mutex
+	for _, s := range p.Stages {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state := st[s.Name]
+			defer close(state.done)
+
+			// wait for dependencies
+			for _, dep := range s.After {
+				depState := st[dep]
+				select {
+				case <-depState.done:
+					if depState.err != nil {
+						state.err = fmt.Errorf("workflow: stage %s: dependency %s failed: %w", s.Name, dep, depState.err)
+						repMu.Lock()
+						report.Stages = append(report.Stages, StageReport{Stage: s.Name, Err: state.err})
+						repMu.Unlock()
+						return
+					}
+				case <-ctx.Done():
+					state.err = ctx.Err()
+					return
+				}
+			}
+
+			rep := StageReport{Stage: s.Name, Started: clock.Now()}
+			state.err = r.runStage(ctx, s, &rep, func(inst *service.Instance) {
+				startedMu.Lock()
+				started = append(started, startedSvc{inst: inst, keep: s.KeepServices})
+				startedMu.Unlock()
+			})
+			rep.Err = state.err
+			rep.Finished = clock.Now()
+			repMu.Lock()
+			report.Stages = append(report.Stages, rep)
+			repMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	report.Finished = clock.Now()
+
+	// terminate services started by this run, unless their description is
+	// Persistent or their stage asked to keep them
+	for _, sv := range started {
+		if !sv.keep && !sv.inst.Description().Persistent {
+			_ = r.sess.ServiceManager().Terminate(sv.inst.UID(), true)
+		}
+	}
+
+	var firstErr error
+	for _, s := range p.Stages {
+		if err := st[s.Name].err; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return report, firstErr
+}
+
+func (r *Runner) runStage(ctx context.Context, s *Stage, rep *StageReport, record func(*service.Instance)) error {
+	if s.Pre != nil {
+		if err := s.Pre(ctx, r.sess); err != nil {
+			return fmt.Errorf("workflow: stage %s pre-hook: %w", s.Name, err)
+		}
+	}
+	sm := r.sess.ServiceManager()
+	var svcUIDs []string
+	for _, sd := range s.Services {
+		inst, err := sm.Submit(sd)
+		if err != nil {
+			return fmt.Errorf("workflow: stage %s service %s: %w", s.Name, sd.Name, err)
+		}
+		record(inst)
+		svcUIDs = append(svcUIDs, inst.UID())
+	}
+	if len(svcUIDs) > 0 {
+		if err := sm.WaitReady(ctx, svcUIDs...); err != nil {
+			return fmt.Errorf("workflow: stage %s services: %w", s.Name, err)
+		}
+	}
+	rep.Services = len(svcUIDs)
+
+	if len(s.Tasks) > 0 {
+		tasks, err := r.sess.TaskManager().Submit(ctx, s.Tasks...)
+		if err != nil {
+			return fmt.Errorf("workflow: stage %s tasks: %w", s.Name, err)
+		}
+		rep.Tasks = len(tasks)
+		if err := r.sess.TaskManager().Wait(ctx, tasks...); err != nil {
+			return fmt.Errorf("workflow: stage %s: %w", s.Name, err)
+		}
+	}
+
+	if s.Post != nil {
+		if err := s.Post(ctx, r.sess); err != nil {
+			return fmt.Errorf("workflow: stage %s post-hook: %w", s.Name, err)
+		}
+	}
+	return nil
+}
