@@ -262,7 +262,7 @@ func BenchmarkAblationLoadBalancing(b *testing.B) {
 				mu.Lock()
 				depths[ep.ServiceUID]++
 				// track max-min spread as the imbalance signal
-				min, max := 1 << 30, 0
+				min, max := 1<<30, 0
 				for _, d := range depths {
 					if d < min {
 						min = d

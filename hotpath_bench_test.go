@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+)
+
+// TestInferenceRoundTripAllocBudget pins the end-to-end allocation cost of
+// one client→service→client round trip (envelope construction, transport,
+// queueing, serving, reply decode, RT decomposition) so the hot-path work
+// of this PR — inline REQ/REP, pooled serving jobs, typed envelope decode
+// — cannot silently regress. The seed spent 41 allocs per round trip; the
+// budget admits modest headroom over the current cost (17).
+func TestInferenceRoundTripAllocBudget(t *testing.T) {
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed: 1, Clock: simtime.NewScaled(100000, core.DefaultOrigin), FastBoot: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	p, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Cores: 256, GPUs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := sess.ServiceManager()
+	sm.AddPilot(p)
+	inst, err := sm.Submit(spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{Name: "svc", Cores: 1},
+		Model:           "noop",
+		ProbeInterval:   time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := sm.WaitReady(ctx, inst.UID()); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sess.Dial(platform.Addr("delta", "", "alloc-client"), inst.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := cl.Infer(ctx, "bench", 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 24
+	if allocs > budget {
+		t.Fatalf("round trip allocates %.1f objects/op, budget %d (seed: 41)", allocs, budget)
+	}
+}
+
+// BenchmarkSchedulerThroughput1024 measures grant throughput on a large,
+// nearly saturated pilot: 1024 nodes with every node but the last one
+// fully allocated, so each grant must skip 1023 busy nodes. This is the
+// regime where the paper's continuous scheduler is under the most load
+// (large pilots, high utilization) and where a linear first-fit scan is
+// at its worst.
+func BenchmarkSchedulerThroughput1024(b *testing.B) {
+	plat := platform.New("bench", 1024, platform.NodeSpec{Cores: 64, GPUs: 8, MemGB: 256})
+	nodes := plat.Nodes()
+	for _, n := range nodes[:len(nodes)-1] {
+		if a := n.TryAlloc(64, 8, 256); a == nil {
+			b.Fatal("saturation alloc failed")
+		}
+	}
+	done := make(chan scheduler.Placement, 4096)
+	sched := scheduler.New(nodes, func(p scheduler.Placement) { done <- p })
+	defer sched.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sched.Submit(scheduler.Request{UID: "t", Cores: 1}); err != nil {
+			b.Fatal(err)
+		}
+		p := <-done
+		sched.Release(p.Alloc)
+	}
+}

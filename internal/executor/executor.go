@@ -42,8 +42,8 @@ type Executor struct {
 	// pays the system-level cost, regardless of arrival order.
 	launchPeak atomic.Int64
 	running    atomic.Int64
-	completed atomic.Int64
-	failures  atomic.Int64
+	completed  atomic.Int64
+	failures   atomic.Int64
 
 	wg sync.WaitGroup
 }

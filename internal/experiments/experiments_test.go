@@ -102,11 +102,23 @@ func TestExp2LocalNoopShape(t *testing.T) {
 func TestExp2RemoteSlowerThanLocal(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+	// Root cause of the historical flake: this comparison used to run at
+	// Scale 1, where the measured communication component is (modelled
+	// link latency) + (genuine host scheduling overhead). The remote and
+	// local addresses both resolve correctly — delta/<node>/client.NNNN →
+	// r3/<node>/<svc> resolves to the 0.47 ms WAN link, NOT the free-link
+	// ParseAddr fallback (verified) — but the host overhead is ~2 ms per
+	// request under a parallel test load, an order of magnitude above the
+	// 2 × (0.47 − 0.063) ms ≈ 0.81 ms modelled gap, so noise could erase
+	// the signal. Running in slow motion (Scale 0.25: one simulated ms
+	// takes four real ms) shrinks the overhead's simulated footprint 4×
+	// while leaving the modelled latencies untouched, making the modelled
+	// gap the dominant term and the margin deterministic.
 	base := RTConfig{
 		Model:             "noop",
 		Pairs:             [][2]int{{2, 2}},
 		RequestsPerClient: 64,
-		Scale:             1,
+		Scale:             0.25,
 		Seed:              7,
 	}
 	local := base
@@ -122,9 +134,12 @@ func TestExp2RemoteSlowerThanLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	lc, rc := lres.Rows[0].Comm.Mean, rres.Rows[0].Comm.Mean
-	// paper: remote latency 0.47ms vs local 0.063ms per hop; with constant
-	// per-request processing overheads the measured gap compresses, but
-	// remote must be clearly slower
+	// paper: remote latency 0.47ms vs local 0.063ms per hop → a round trip
+	// (2 hops) is modelled ~0.81ms slower remote. Require at least half of
+	// that gap so residual scheduling noise cannot flip the verdict.
+	if rc-lc < 400*time.Microsecond {
+		t.Fatalf("remote communication %v not clearly above local %v (want ≥ 400µs gap)", rc, lc)
+	}
 	if float64(rc) < 1.3*float64(lc) {
 		t.Fatalf("remote communication %v not clearly above local %v", rc, lc)
 	}

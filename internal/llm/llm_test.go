@@ -176,9 +176,9 @@ func TestCountTokens(t *testing.T) {
 	}{
 		{"", 0},
 		{"   ", 0},
-		{"hello", 2},                  // ceil(1*1.3)
-		{"hello world", 3},            // ceil(2*1.3)
-		{"a b c d e f g h i j", 13},   // 10 words
+		{"hello", 2},                // ceil(1*1.3)
+		{"hello world", 3},          // ceil(2*1.3)
+		{"a b c d e f g h i j", 13}, // 10 words
 	}
 	for _, c := range cases {
 		if got := CountTokens(c.in); got != c.want {

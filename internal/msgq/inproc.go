@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/proto"
 )
@@ -13,9 +15,7 @@ type inprocServer struct {
 	net     *Network
 	addr    string
 	handler Handler
-
-	mu     sync.Mutex
-	closed bool
+	closed  atomic.Bool
 }
 
 // Bind registers a REQ/REP server at addr. Requests are served
@@ -30,11 +30,10 @@ func (n *Network) Bind(addr string, h Handler) (Server, error) {
 	if n.closed {
 		return nil, ErrClosed
 	}
-	if _, ok := n.reps[addr]; ok {
+	s := &inprocServer{net: n, addr: addr, handler: h}
+	if _, loaded := n.reps.LoadOrStore(addr, s); loaded {
 		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
 	}
-	s := &inprocServer{net: n, addr: addr, handler: h}
-	n.reps[addr] = s
 	return s, nil
 }
 
@@ -43,69 +42,104 @@ func (s *inprocServer) Addr() string { return s.addr }
 
 // Close implements Server.
 func (s *inprocServer) Close() error {
-	s.mu.Lock()
-	closed := s.closed
-	s.closed = true
-	s.mu.Unlock()
-	if closed {
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.net.mu.Lock()
-	delete(s.net.reps, s.addr)
-	s.net.mu.Unlock()
+	// Delete only our own registration: the address may have been rebound
+	// by the time a second Close runs.
+	s.net.reps.CompareAndDelete(s.addr, s)
 	return nil
 }
 
-func (s *inprocServer) isClosed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
-}
+func (s *inprocServer) isClosed() bool { return s.closed.Load() }
 
 // inprocClient is a connected REQ/REP client.
+//
+// The server pointer is cached at Dial time (and refreshed if that server
+// closes), so the request hot path touches no registry at all: a round
+// trip is two latency hops and one handler call, with no goroutine spawn,
+// no channel allocation and no shared lock when the context is not
+// cancellable — the paper's synchronous REQ/REP round trip executed
+// entirely on the calling goroutine.
 type inprocClient struct {
 	net     *Network
 	from    string
 	to      string
 	profile LinkProfile
 
-	mu     sync.Mutex
-	closed bool
+	srv    atomic.Pointer[inprocServer]
+	closed atomic.Bool
 }
 
 // Dial connects a client at address from to the server bound at to. The
-// link profile is resolved once at dial time, mirroring a connected socket.
+// link profile and the server endpoint are resolved once at dial time,
+// mirroring a connected socket.
 func (n *Network) Dial(from, to string) (Client, error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
 		return nil, ErrClosed
 	}
-	if _, ok := n.reps[to]; !ok {
+	v, ok := n.reps.Load(to)
+	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownAddr, to)
 	}
-	return &inprocClient{net: n, from: from, to: to, profile: n.resolve(from, to)}, nil
+	c := &inprocClient{net: n, from: from, to: to, profile: n.resolve(from, to)}
+	c.srv.Store(v.(*inprocServer))
+	return c, nil
+}
+
+// server returns the live server for c.to, re-resolving through the
+// registry when the cached endpoint has closed (the address may have been
+// rebound since).
+func (c *inprocClient) server() (*inprocServer, error) {
+	srv := c.srv.Load()
+	if srv != nil && !srv.isClosed() {
+		return srv, nil
+	}
+	v, ok := c.net.reps.Load(c.to)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownAddr, c.to)
+	}
+	srv = v.(*inprocServer)
+	if srv.isClosed() {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownAddr, c.to)
+	}
+	c.srv.Store(srv)
+	return srv, nil
 }
 
 // Request implements Client. The calling goroutine pays the request hop,
 // the handler execution, and the reply hop — matching the synchronous
 // REQ/REP round trip the paper's response-time metric measures.
+//
+// With a non-cancellable context the whole round trip runs inline on the
+// calling goroutine. Only a cancellable context takes the asynchronous
+// path, where a helper goroutine lets Request return at ctx expiry even
+// while the handler still blocks.
 func (c *inprocClient) Request(ctx context.Context, env proto.Envelope) (proto.Envelope, error) {
-	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
+	if c.closed.Load() {
 		return proto.Envelope{}, ErrClosed
 	}
 	if err := ctx.Err(); err != nil {
 		return proto.Envelope{}, err
 	}
+	srv, err := c.server()
+	if err != nil {
+		return proto.Envelope{}, err
+	}
 
-	c.net.mu.Lock()
-	srv, ok := c.net.reps[c.to]
-	c.net.mu.Unlock()
-	if !ok || srv.isClosed() {
-		return proto.Envelope{}, fmt.Errorf("%w: %s", ErrUnknownAddr, c.to)
+	if ctx.Done() == nil {
+		// Fast path: synchronous round trip, zero allocations in the
+		// transport.
+		c.net.hop(c.profile, len(env.Body))
+		if srv.isClosed() {
+			return proto.Envelope{}, ErrClosed
+		}
+		reply := srv.handler(env)
+		c.net.hop(c.profile, len(reply.Body))
+		return reply, nil
 	}
 
 	type result struct {
@@ -114,13 +148,13 @@ func (c *inprocClient) Request(ctx context.Context, env proto.Envelope) (proto.E
 	}
 	done := make(chan result, 1)
 	go func() {
-		c.net.hop(c.profile, env) // request traversal
+		c.net.hop(c.profile, len(env.Body)) // request traversal
 		if srv.isClosed() {
 			done <- result{err: ErrClosed}
 			return
 		}
 		reply := srv.handler(env)
-		c.net.hop(c.profile, reply) // reply traversal
+		c.net.hop(c.profile, len(reply.Body)) // reply traversal
 		done <- result{env: reply}
 	}()
 	select {
@@ -133,9 +167,7 @@ func (c *inprocClient) Request(ctx context.Context, env proto.Envelope) (proto.E
 
 // Close implements Client.
 func (c *inprocClient) Close() error {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
+	c.closed.Store(true)
 	return nil
 }
 
@@ -161,11 +193,25 @@ func (s *Subscription) Cancel() {
 	}
 }
 
+// pubItem is one pending delivery in a subscriber's ring: the envelope
+// plus the clock time at which its simulated traversal completes.
+type pubItem struct {
+	env       proto.Envelope
+	deliverAt time.Time
+}
+
+// subscriber owns one persistent delivery worker. The publisher enqueues
+// into ring (dropping when the subscriber lags, per PUB/SUB semantics);
+// the worker waits out each message's link traversal and forwards it to
+// ch. The link profile is resolved once at subscribe time.
 type subscriber struct {
-	id     uint64
-	topics map[string]bool // empty set = all topics
-	ch     chan proto.Envelope
-	from   string
+	id      uint64
+	topics  map[string]bool // empty set = all topics
+	ch      chan proto.Envelope
+	from    string
+	profile LinkProfile
+	ring    chan pubItem
+	stop    chan struct{}
 }
 
 type inprocPublisher struct {
@@ -185,25 +231,23 @@ func (n *Network) BindPub(addr string) (Publisher, error) {
 	if n.closed {
 		return nil, ErrClosed
 	}
-	if _, ok := n.pubs[addr]; ok {
+	p := &inprocPublisher{net: n, addr: addr, subs: make(map[uint64]*subscriber)}
+	if _, loaded := n.pubs.LoadOrStore(addr, p); loaded {
 		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
 	}
-	p := &inprocPublisher{net: n, addr: addr, subs: make(map[uint64]*subscriber)}
-	n.pubs[addr] = p
 	return p, nil
 }
 
 // Subscribe attaches to the PUB endpoint at addr, receiving envelopes whose
-// topic is in topics (all topics when none given). buffer sizes the
-// delivery channel; slow subscribers drop messages rather than block the
-// publisher, matching PUB/SUB semantics.
+// topic is in topics (all topics when none given). buffer sizes both the
+// delivery channel and the worker's pending ring; slow subscribers drop
+// messages rather than block the publisher, matching PUB/SUB semantics.
 func (n *Network) Subscribe(from, addr string, buffer int, topics ...string) (*Subscription, error) {
-	n.mu.Lock()
-	p, ok := n.pubs[addr]
-	n.mu.Unlock()
+	v, ok := n.pubs.Load(addr)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownAddr, addr)
 	}
+	p := v.(*inprocPublisher)
 	if buffer <= 0 {
 		buffer = 64
 	}
@@ -211,7 +255,14 @@ func (n *Network) Subscribe(from, addr string, buffer int, topics ...string) (*S
 	for _, t := range topics {
 		ts[t] = true
 	}
-	sub := &subscriber{topics: ts, ch: make(chan proto.Envelope, buffer), from: from}
+	sub := &subscriber{
+		topics:  ts,
+		ch:      make(chan proto.Envelope, buffer),
+		from:    from,
+		profile: n.resolve(addr, from),
+		ring:    make(chan pubItem, buffer),
+		stop:    make(chan struct{}),
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -221,50 +272,71 @@ func (n *Network) Subscribe(from, addr string, buffer int, topics ...string) (*S
 	sub.id = p.nextID
 	p.subs[sub.id] = sub
 	p.mu.Unlock()
+	go p.deliverLoop(sub)
 	return &Subscription{
 		C: sub.ch,
 		cancel: func() {
 			p.mu.Lock()
 			if _, ok := p.subs[sub.id]; ok {
 				delete(p.subs, sub.id)
-				close(sub.ch)
+				close(sub.stop)
 			}
 			p.mu.Unlock()
 		},
 	}, nil
 }
 
-// Publish implements Publisher. Delivery is asynchronous per subscriber,
-// paying one link-latency hop.
-func (p *inprocPublisher) Publish(topic string, env proto.Envelope) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
-	targets := make([]*subscriber, 0, len(p.subs))
-	for _, s := range p.subs {
-		if len(s.topics) == 0 || s.topics[topic] {
-			targets = append(targets, s)
-		}
-	}
-	p.mu.Unlock()
-	for _, s := range targets {
-		s := s
-		profile := p.net.resolve(p.addr, s.from)
-		go func() {
-			p.net.hop(profile, env)
-			p.mu.Lock()
-			_, live := p.subs[s.id]
-			p.mu.Unlock()
-			if !live {
-				return
+// deliverLoop is a subscriber's persistent delivery worker: it drains the
+// pending ring, waits until each message's simulated arrival time, and
+// forwards it. It owns closing sub.ch, so cancellation never races a
+// send-on-closed-channel.
+func (p *inprocPublisher) deliverLoop(sub *subscriber) {
+	defer close(sub.ch)
+	for {
+		select {
+		case <-sub.stop:
+			return
+		case it := <-sub.ring:
+			if wait := it.deliverAt.Sub(p.net.clock.Now()); wait > 0 {
+				t := p.net.clock.NewTimer(wait)
+				select {
+				case <-t.C():
+				case <-sub.stop:
+					t.Stop()
+					return
+				}
 			}
 			select {
-			case s.ch <- env:
+			case sub.ch <- it.env:
 			default: // slow subscriber: drop
 			}
-		}()
+		}
+	}
+}
+
+// Publish implements Publisher. Delivery is asynchronous per subscriber
+// through its persistent worker: the publisher only samples the link
+// traversal and enqueues — no goroutine is spawned and no profile is
+// re-resolved per message.
+func (p *inprocPublisher) Publish(topic string, env proto.Envelope) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	var now time.Time
+	for _, s := range p.subs {
+		if len(s.topics) != 0 && !s.topics[topic] {
+			continue
+		}
+		if now.IsZero() {
+			now = p.net.clock.Now()
+		}
+		it := pubItem{env: env, deliverAt: now.Add(p.net.hopDelay(s.profile, len(env.Body)))}
+		select {
+		case s.ring <- it:
+		default: // subscriber's ring full: drop, never block the publisher
+		}
 	}
 }
 
@@ -281,11 +353,9 @@ func (p *inprocPublisher) Close() error {
 	p.closed = true
 	for id, s := range p.subs {
 		delete(p.subs, id)
-		close(s.ch)
+		close(s.stop)
 	}
 	p.mu.Unlock()
-	p.net.mu.Lock()
-	delete(p.net.pubs, p.addr)
-	p.net.mu.Unlock()
+	p.net.pubs.CompareAndDelete(p.addr, p)
 	return nil
 }

@@ -63,15 +63,21 @@ type Resolver func(from, to string) LinkProfile
 
 // Network is the in-process transport: a set of named endpoints connected
 // by latency-modelled links, all timed on a shared Clock.
+//
+// The endpoint registries are sync.Maps rather than mutex-guarded maps:
+// lookups (Dial, Subscribe, and the request fast path's re-resolution
+// after a server close) are lock-free, so thousands of concurrent clients
+// never serialize on a global registry lock. The plain mutex only guards
+// the closed flag and serializes Bind/Close registry writes.
 type Network struct {
 	clock   simtime.Clock
 	src     *rng.Source
 	resolve Resolver
 
-	mu     sync.Mutex
+	mu     sync.Mutex // guards closed; serializes registry writes
 	closed bool
-	reps   map[string]*inprocServer
-	pubs   map[string]*inprocPublisher
+	reps   sync.Map // addr → *inprocServer
+	pubs   sync.Map // addr → *inprocPublisher
 }
 
 // NewNetwork returns an empty in-process network. resolve may be nil, in
@@ -84,8 +90,6 @@ func NewNetwork(clock simtime.Clock, src *rng.Source, resolve Resolver) *Network
 		clock:   clock,
 		src:     src,
 		resolve: resolve,
-		reps:    make(map[string]*inprocServer),
-		pubs:    make(map[string]*inprocPublisher),
 	}
 }
 
@@ -100,15 +104,17 @@ func (n *Network) Close() error {
 		return nil
 	}
 	n.closed = true
-	reps := make([]*inprocServer, 0, len(n.reps))
-	for _, s := range n.reps {
-		reps = append(reps, s)
-	}
-	pubs := make([]*inprocPublisher, 0, len(n.pubs))
-	for _, p := range n.pubs {
-		pubs = append(pubs, p)
-	}
 	n.mu.Unlock()
+	var reps []*inprocServer
+	n.reps.Range(func(_, v any) bool {
+		reps = append(reps, v.(*inprocServer))
+		return true
+	})
+	var pubs []*inprocPublisher
+	n.pubs.Range(func(_, v any) bool {
+		pubs = append(pubs, v.(*inprocPublisher))
+		return true
+	})
 	for _, s := range reps {
 		_ = s.Close()
 	}
@@ -118,15 +124,23 @@ func (n *Network) Close() error {
 	return nil
 }
 
-// hop simulates the network traversal of env over profile: one latency
-// sample plus serialization time for the encoded size.
-func (n *Network) hop(profile LinkProfile, env proto.Envelope) {
+// hopDelay returns the simulated traversal time of a message of bodyLen
+// encoded bytes over profile: one latency sample plus serialization time
+// for the size. It takes the size rather than the envelope so hot-path
+// callers never force their envelope to escape to the heap.
+func (n *Network) hopDelay(profile LinkProfile, bodyLen int) time.Duration {
 	d := profile.Latency.Sample(n.src)
 	if profile.BytesPerSec > 0 {
-		size := len(env.Body) + 64 // envelope header overhead estimate
+		size := bodyLen + 64 // envelope header overhead estimate
 		d += time.Duration(float64(size) / profile.BytesPerSec * float64(time.Second))
 	}
-	if d > 0 {
+	return d
+}
+
+// hop simulates one message traversal over profile, blocking the calling
+// goroutine for the sampled delay.
+func (n *Network) hop(profile LinkProfile, bodyLen int) {
+	if d := n.hopDelay(profile, bodyLen); d > 0 {
 		n.clock.Sleep(d)
 	}
 }

@@ -13,11 +13,21 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/msgq"
 	"repro/internal/rng"
 )
+
+// releaseEpoch counts every allocation release in the process. Schedulers
+// compare it against the releases they performed themselves to detect
+// capacity returned behind their back (allocations released directly
+// rather than through Scheduler.Release) without scanning nodes.
+var releaseEpoch atomic.Uint64
+
+// ReleaseEpoch returns the process-wide allocation release counter.
+func ReleaseEpoch() uint64 { return releaseEpoch.Load() }
 
 // NodeSpec describes the hardware of one node type.
 type NodeSpec struct {
@@ -28,6 +38,11 @@ type NodeSpec struct {
 
 // Node is one allocatable machine. All methods are safe for concurrent
 // use.
+//
+// Free capacity is tracked in maintained counters updated on every
+// allocation and release, so capacity queries are O(1) instead of O(slots)
+// scans over the slot bitmaps — the scheduler reads these counters on
+// every placement attempt.
 type Node struct {
 	name string
 	spec NodeSpec
@@ -35,16 +50,20 @@ type Node struct {
 	mu        sync.Mutex
 	coreUsed  []bool
 	gpuUsed   []bool
+	freeCores int
+	freeGPUs  int
 	memUsedGB float64
 }
 
 // NewNode returns an idle node.
 func NewNode(name string, spec NodeSpec) *Node {
 	return &Node{
-		name:     name,
-		spec:     spec,
-		coreUsed: make([]bool, spec.Cores),
-		gpuUsed:  make([]bool, spec.GPUs),
+		name:      name,
+		spec:      spec,
+		coreUsed:  make([]bool, spec.Cores),
+		gpuUsed:   make([]bool, spec.GPUs),
+		freeCores: spec.Cores,
+		freeGPUs:  spec.GPUs,
 	}
 }
 
@@ -58,14 +77,14 @@ func (n *Node) Spec() NodeSpec { return n.spec }
 func (n *Node) FreeCores() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return countFree(n.coreUsed)
+	return n.freeCores
 }
 
 // FreeGPUs returns the number of unallocated GPUs.
 func (n *Node) FreeGPUs() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return countFree(n.gpuUsed)
+	return n.freeGPUs
 }
 
 // FreeMemGB returns the unallocated memory.
@@ -75,14 +94,12 @@ func (n *Node) FreeMemGB() float64 {
 	return n.spec.MemGB - n.memUsedGB
 }
 
-func countFree(used []bool) int {
-	free := 0
-	for _, u := range used {
-		if !u {
-			free++
-		}
-	}
-	return free
+// Free returns the node's free cores, GPUs and memory in one lock
+// acquisition — the scheduler's index refresh reads all three per node.
+func (n *Node) Free() (cores, gpus int, memGB float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.freeCores, n.freeGPUs, n.spec.MemGB - n.memUsedGB
 }
 
 // Allocation records resources held on one node. Release it exactly once.
@@ -110,38 +127,51 @@ func (a *Allocation) Release() {
 		for _, g := range a.GPUs {
 			a.node.gpuUsed[g] = false
 		}
+		a.node.freeCores += len(a.Cores)
+		a.node.freeGPUs += len(a.GPUs)
 		a.node.memUsedGB -= a.MemGB
+		releaseEpoch.Add(1)
 	})
 }
 
 // TryAlloc attempts to allocate cores, gpus and memGB on the node,
 // returning nil when the node cannot satisfy the request. Slot indices are
-// assigned lowest-first, which keeps placements deterministic.
+// assigned lowest-first, which keeps placements deterministic. The
+// feasibility check reads the maintained free counters (O(1)); only an
+// accepted allocation pays the slot scan.
 func (n *Node) TryAlloc(cores, gpus int, memGB float64) *Allocation {
 	if cores < 0 || gpus < 0 || memGB < 0 {
 		return nil
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if countFree(n.coreUsed) < cores || countFree(n.gpuUsed) < gpus {
+	if n.freeCores < cores || n.freeGPUs < gpus {
 		return nil
 	}
 	if n.spec.MemGB-n.memUsedGB < memGB {
 		return nil
 	}
 	a := &Allocation{node: n, MemGB: memGB}
-	for i := 0; i < len(n.coreUsed) && len(a.Cores) < cores; i++ {
-		if !n.coreUsed[i] {
-			n.coreUsed[i] = true
-			a.Cores = append(a.Cores, i)
+	if slots := cores + gpus; slots > 0 {
+		// one backing array for both slot lists: a single allocation
+		buf := make([]int, 0, slots)
+		for i := 0; i < len(n.coreUsed) && len(buf) < cores; i++ {
+			if !n.coreUsed[i] {
+				n.coreUsed[i] = true
+				buf = append(buf, i)
+			}
 		}
-	}
-	for i := 0; i < len(n.gpuUsed) && len(a.GPUs) < gpus; i++ {
-		if !n.gpuUsed[i] {
-			n.gpuUsed[i] = true
-			a.GPUs = append(a.GPUs, i)
+		a.Cores = buf[:len(buf):len(buf)]
+		for i := 0; i < len(n.gpuUsed) && len(buf) < slots; i++ {
+			if !n.gpuUsed[i] {
+				n.gpuUsed[i] = true
+				buf = append(buf, i)
+			}
 		}
+		a.GPUs = buf[len(a.Cores):]
 	}
+	n.freeCores -= cores
+	n.freeGPUs -= gpus
 	n.memUsedGB += memGB
 	return a
 }

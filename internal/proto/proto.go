@@ -37,13 +37,25 @@ const (
 )
 
 // Envelope is the single message type carried by every channel.
+//
+// Besides the wire form (Body), an envelope built by NewEnvelope retains
+// its payload value in an unexported field. In-process transports hand the
+// envelope to the receiver by value, so Decode can satisfy matching
+// payload types with a struct copy instead of a JSON parse — the dominant
+// per-request CPU and allocation cost on the REQ/REP hot path. The field
+// is invisible to encoding/json: an envelope that crosses a real wire
+// (TCP framing) loses it and Decode falls back to the JSON body.
 type Envelope struct {
-	Kind Kind   `json:"kind"`
-	ID   uint64 `json:"id"`             // per-sender sequence number
-	From string `json:"from"`           // sender UID
-	To   string `json:"to,omitempty"`   // recipient UID (empty: topic/broadcast)
-	Sent time.Time `json:"sent"`        // clock time at send
+	Kind Kind            `json:"kind"`
+	ID   uint64          `json:"id"`           // per-sender sequence number
+	From string          `json:"from"`         // sender UID
+	To   string          `json:"to,omitempty"` // recipient UID (empty: topic/broadcast)
+	Sent time.Time       `json:"sent"`         // clock time at send
 	Body json.RawMessage `json:"body,omitempty"`
+
+	// typed is the in-process payload snapshot; nil after wire transport
+	// or for payload types without a fast path.
+	typed any
 }
 
 // NewEnvelope marshals body into a fresh envelope. It panics only if body
@@ -54,13 +66,58 @@ func NewEnvelope(kind Kind, id uint64, from, to string, sent time.Time, body any
 	if err != nil {
 		return Envelope{}, fmt.Errorf("proto: marshal %s body: %w", kind, err)
 	}
-	return Envelope{Kind: kind, ID: id, From: from, To: to, Sent: sent, Body: raw}, nil
+	env := Envelope{Kind: kind, ID: id, From: from, To: to, Sent: sent, Body: raw}
+	switch body.(type) {
+	// Value-typed payloads with no reference fields are true snapshots
+	// (boxed copies): safe to keep for the in-process decode fast path.
+	// Pointer payloads and payloads holding maps (Control.Args) are
+	// deliberately excluded — their referents could mutate after send.
+	case InferenceRequest, InferenceReply, Heartbeat, StateUpdate, Endpoint, ErrorBody:
+		env.typed = body
+	}
+	return env, nil
 }
 
 // Decode unmarshals the envelope body into out, validating the kind first.
+// When the envelope still carries its in-process payload snapshot and out
+// is a pointer to the same payload type, the decode is a plain struct copy.
 func (e Envelope) Decode(want Kind, out any) error {
 	if e.Kind != want {
 		return fmt.Errorf("proto: decode kind %q as %q", e.Kind, want)
+	}
+	if e.typed != nil {
+		switch dst := out.(type) {
+		case *InferenceRequest:
+			if v, ok := e.typed.(InferenceRequest); ok {
+				*dst = v
+				return nil
+			}
+		case *InferenceReply:
+			if v, ok := e.typed.(InferenceReply); ok {
+				*dst = v
+				return nil
+			}
+		case *Heartbeat:
+			if v, ok := e.typed.(Heartbeat); ok {
+				*dst = v
+				return nil
+			}
+		case *StateUpdate:
+			if v, ok := e.typed.(StateUpdate); ok {
+				*dst = v
+				return nil
+			}
+		case *Endpoint:
+			if v, ok := e.typed.(Endpoint); ok {
+				*dst = v
+				return nil
+			}
+		case *ErrorBody:
+			if v, ok := e.typed.(ErrorBody); ok {
+				*dst = v
+				return nil
+			}
+		}
 	}
 	if err := json.Unmarshal(e.Body, out); err != nil {
 		return fmt.Errorf("proto: decode %s body: %w", e.Kind, err)
@@ -74,7 +131,7 @@ func (e Envelope) Decode(want Kind, out any) error {
 type InferenceRequest struct {
 	RequestUID string `json:"request_uid"`
 	ClientUID  string `json:"client_uid"`
-	Model      string `json:"model"`       // model name, e.g. "llama-8b" or "noop"
+	Model      string `json:"model"` // model name, e.g. "llama-8b" or "noop"
 	Prompt     string `json:"prompt"`
 	MaxTokens  int    `json:"max_tokens,omitempty"`
 	// SentAt is the client clock time immediately before the request
@@ -85,8 +142,8 @@ type InferenceRequest struct {
 // Timing carries the service-side timestamps used to decompose response
 // time into the paper's communication / service / inference components.
 type Timing struct {
-	ReceivedAt   time.Time `json:"received_at"`   // request hit the service socket
-	DequeuedAt   time.Time `json:"dequeued_at"`   // request left the service queue
+	ReceivedAt   time.Time `json:"received_at"` // request hit the service socket
+	DequeuedAt   time.Time `json:"dequeued_at"` // request left the service queue
 	InferStartAt time.Time `json:"infer_start_at"`
 	InferEndAt   time.Time `json:"infer_end_at"`
 	RepliedAt    time.Time `json:"replied_at"` // reply entered the transport
@@ -106,14 +163,14 @@ func (t Timing) InferTime() time.Duration { return t.InferEndAt.Sub(t.InferStart
 
 // InferenceReply is the payload of a KindReply message.
 type InferenceReply struct {
-	RequestUID string `json:"request_uid"`
-	ServiceUID string `json:"service_uid"`
-	Model      string `json:"model"`
-	Text       string `json:"text"`
-	PromptTokens int  `json:"prompt_tokens"`
-	OutputTokens int  `json:"output_tokens"`
-	Timing     Timing `json:"timing"`
-	Err        string `json:"err,omitempty"`
+	RequestUID   string `json:"request_uid"`
+	ServiceUID   string `json:"service_uid"`
+	Model        string `json:"model"`
+	Text         string `json:"text"`
+	PromptTokens int    `json:"prompt_tokens"`
+	OutputTokens int    `json:"output_tokens"`
+	Timing       Timing `json:"timing"`
+	Err          string `json:"err,omitempty"`
 }
 
 // ControlCommand names a service control operation.
@@ -129,19 +186,19 @@ const (
 
 // Control is the payload of a KindControl message.
 type Control struct {
-	Command ControlCommand `json:"command"`
-	Target  string         `json:"target"` // service UID
+	Command ControlCommand    `json:"command"`
+	Target  string            `json:"target"` // service UID
 	Args    map[string]string `json:"args,omitempty"`
 }
 
 // Endpoint is the payload of a KindEndpoint message: a service publishing
 // where it can be reached (paper Exp 1 "publish" component).
 type Endpoint struct {
-	ServiceUID string    `json:"service_uid"`
-	Model      string    `json:"model"`
-	Address    string    `json:"address"`  // transport address (msgq or URL)
-	Protocol   string    `json:"protocol"` // "msgq" | "rest"
-	Node       string    `json:"node,omitempty"`
+	ServiceUID  string    `json:"service_uid"`
+	Model       string    `json:"model"`
+	Address     string    `json:"address"`  // transport address (msgq or URL)
+	Protocol    string    `json:"protocol"` // "msgq" | "rest"
+	Node        string    `json:"node,omitempty"`
 	PublishedAt time.Time `json:"published_at"`
 }
 

@@ -1,0 +1,118 @@
+package scheduler
+
+import "repro/internal/platform"
+
+// nodeIndex is a max-capacity segment tree over the scheduler's node list.
+// Each leaf mirrors one node's free cores / GPUs / memory; each inner
+// segment holds the per-dimension maxima of its children. It answers the
+// first-fit query — "lowest node index whose free capacity covers a
+// demand" — by descending left-first and pruning every segment whose
+// maxima cannot cover the demand, replacing the scheduler's O(nodes)
+// linear scan with an O(log nodes) search on large pilots.
+//
+// The per-dimension maxima are a necessary condition only (the max cores
+// and max GPUs in a segment may come from different nodes), so the search
+// backtracks: a pruned descent is retried in the right sibling. Leaves are
+// exact, which keeps the result identical to the linear first-fit.
+//
+// The tree is owned by the scheduler goroutine (guarded by Scheduler.mu)
+// and refreshed from the nodes' maintained free counters: point refreshes
+// after every grant and release the scheduler performs itself, and a full
+// refresh before concluding that nothing fits — which re-synchronizes any
+// capacity released behind the scheduler's back (allocations released
+// directly rather than through Scheduler.Release), exactly the staleness
+// the seed's rescan-every-time loop tolerated.
+type nodeIndex struct {
+	nodes []*platform.Node
+	size  int // number of leaves: smallest power of two ≥ len(nodes)
+	cores []int
+	gpus  []int
+	mem   []float64
+}
+
+func newNodeIndex(nodes []*platform.Node) *nodeIndex {
+	size := 1
+	for size < len(nodes) {
+		size <<= 1
+	}
+	ix := &nodeIndex{
+		nodes: nodes,
+		size:  size,
+		cores: make([]int, 2*size),
+		gpus:  make([]int, 2*size),
+		mem:   make([]float64, 2*size),
+	}
+	ix.refreshAll()
+	return ix
+}
+
+// refresh re-reads one node's free counters into its leaf and bubbles the
+// maxima up.
+func (ix *nodeIndex) refresh(i int) {
+	leaf := ix.size + i
+	ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf] = ix.nodes[i].Free()
+	for p := leaf / 2; p >= 1; p /= 2 {
+		l, r := 2*p, 2*p+1
+		ix.cores[p] = max(ix.cores[l], ix.cores[r])
+		ix.gpus[p] = max(ix.gpus[l], ix.gpus[r])
+		ix.mem[p] = maxf(ix.mem[l], ix.mem[r])
+	}
+}
+
+// refreshAll rebuilds the whole tree from the nodes' counters in O(n).
+func (ix *nodeIndex) refreshAll() {
+	for i := range ix.nodes {
+		leaf := ix.size + i
+		ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf] = ix.nodes[i].Free()
+	}
+	for i := len(ix.nodes); i < ix.size; i++ {
+		leaf := ix.size + i
+		ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf] = 0, 0, 0
+	}
+	for p := ix.size - 1; p >= 1; p-- {
+		l, r := 2*p, 2*p+1
+		ix.cores[p] = max(ix.cores[l], ix.cores[r])
+		ix.gpus[p] = max(ix.gpus[l], ix.gpus[r])
+		ix.mem[p] = maxf(ix.mem[l], ix.mem[r])
+	}
+}
+
+// find returns the lowest node index whose leaf covers the demand, or -1.
+func (ix *nodeIndex) find(cores, gpus int, memGB float64) int {
+	if len(ix.nodes) == 0 {
+		return -1
+	}
+	return ix.search(1, cores, gpus, memGB)
+}
+
+// search is a left-first DFS with segment pruning. When no segment's
+// maxima are false positives it descends a single root-to-leaf path
+// (O(log n)); false positives (per-dimension maxima from different nodes)
+// cost extra sibling visits, degrading gracefully toward the linear scan
+// it replaces.
+func (ix *nodeIndex) search(p, cores, gpus int, memGB float64) int {
+	if !ix.covers(p, cores, gpus, memGB) {
+		return -1
+	}
+	if p >= ix.size { // leaf: counters are exact
+		if i := p - ix.size; i < len(ix.nodes) {
+			return i
+		}
+		return -1
+	}
+	if i := ix.search(2*p, cores, gpus, memGB); i >= 0 {
+		return i
+	}
+	return ix.search(2*p+1, cores, gpus, memGB)
+}
+
+func (ix *nodeIndex) covers(p, cores, gpus int, memGB float64) bool {
+	return ix.cores[p] >= cores && ix.gpus[p] >= gpus && ix.mem[p] >= memGB
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

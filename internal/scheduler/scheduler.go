@@ -8,11 +8,14 @@
 //
 // The algorithm is first-fit over the pilot's nodes with a priority-queue
 // wait pool: higher priority first, FIFO within a priority class.
-// Placement retries happen continuously as resources are released.
+// Placement retries happen continuously as resources are released. Unlike
+// a naive first-fit, placement does not scan the node list: a segment-tree
+// capacity index (see index.go) locates the lowest-index fitting node in
+// O(log nodes), and each scheduling kick drains every grantable request in
+// one batch under a single lock acquisition.
 package scheduler
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,8 +52,13 @@ type PlaceFn func(Placement)
 type Scheduler struct {
 	nodes []*platform.Node
 	place PlaceFn
+	// specs are the distinct node hardware shapes, computed once so the
+	// per-submit satisfiability check is O(distinct specs), not O(nodes).
+	specs []platform.NodeSpec
 
 	mu      sync.Mutex
+	index   *nodeIndex
+	nodeOf  map[*platform.Node]int
 	waiting waitHeap
 	seq     uint64
 	closed  bool
@@ -59,6 +67,16 @@ type Scheduler struct {
 
 	scheduled int
 	failed    int
+	// seenEpoch mirrors platform.ReleaseEpoch for the releases this
+	// scheduler has already folded into its index (its own Releases are
+	// point-refreshed; a full-refresh miss recovery accounts the rest).
+	// While they match, no capacity has been returned behind the
+	// scheduler's back and a placement miss needs no O(nodes) re-sync.
+	seenEpoch uint64
+
+	// batch is the grant buffer reused across scheduling passes; it is
+	// only touched by the scheduler goroutine.
+	batch []Placement
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -73,31 +91,30 @@ func (e ErrUnsatisfiable) Error() string {
 		e.Req.UID, e.Req.Cores, e.Req.GPUs, e.Req.MemGB)
 }
 
-type waitItem struct {
-	req Request
-	seq uint64
-}
-
-type waitHeap []waitItem
-
-func (h waitHeap) Len() int { return len(h) }
-func (h waitHeap) Less(i, j int) bool {
-	if h[i].req.Priority != h[j].req.Priority {
-		return h[i].req.Priority > h[j].req.Priority
-	}
-	return h[i].seq < h[j].seq
-}
-func (h waitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *waitHeap) Push(x any)        { *h = append(*h, x.(waitItem)) }
-func (h *waitHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-
 // New starts a scheduler over nodes, delivering placements to place.
 func New(nodes []*platform.Node, place PlaceFn) *Scheduler {
 	s := &Scheduler{
-		nodes: nodes,
-		place: place,
-		kick:  make(chan struct{}, 1),
-		done:  make(chan struct{}),
+		nodes:     nodes,
+		place:     place,
+		index:     newNodeIndex(nodes),
+		nodeOf:    make(map[*platform.Node]int, len(nodes)),
+		kick:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		seenEpoch: platform.ReleaseEpoch(),
+	}
+	for i, n := range nodes {
+		s.nodeOf[n] = i
+		sp := n.Spec()
+		seen := false
+		for _, u := range s.specs {
+			if u == sp {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			s.specs = append(s.specs, sp)
+		}
 	}
 	go s.loop()
 	return s
@@ -118,16 +135,20 @@ func (s *Scheduler) Submit(req Request) error {
 		return ErrClosed
 	}
 	s.seq++
-	heap.Push(&s.waiting, waitItem{req: req, seq: s.seq})
+	s.waiting.push(waitItem{req: req, seq: s.seq})
 	s.mu.Unlock()
 	s.poke()
 	return nil
 }
 
 // satisfiable reports whether some node's total capacity covers req.
+// Negative demands are unsatisfiable: Node.TryAlloc rejects them on every
+// node, so admitting one would wedge the wait-pool head forever.
 func (s *Scheduler) satisfiable(req Request) bool {
-	for _, n := range s.nodes {
-		sp := n.Spec()
+	if req.Cores < 0 || req.GPUs < 0 || req.MemGB < 0 {
+		return false
+	}
+	for _, sp := range s.specs {
 		if sp.Cores >= req.Cores && sp.GPUs >= req.GPUs && sp.MemGB >= req.MemGB {
 			return true
 		}
@@ -137,7 +158,24 @@ func (s *Scheduler) satisfiable(req Request) bool {
 
 // Release returns an allocation to its node and re-kicks scheduling.
 func (s *Scheduler) Release(a *platform.Allocation) {
+	before := platform.ReleaseEpoch()
 	a.Release()
+	after := platform.ReleaseEpoch()
+	s.mu.Lock()
+	if i, ok := s.nodeOf[a.Node()]; ok {
+		s.index.refresh(i)
+		// Account our own release so a later placement miss does not
+		// mistake it for out-of-band capacity needing a full re-sync.
+		// Advance only when this call provably was release number
+		// before+1 and nothing else interleaved — any ambiguity
+		// (concurrent releases elsewhere, an already-released alloc)
+		// leaves seenEpoch behind, which merely costs one conservative
+		// refreshAll later, never a missed placement.
+		if s.seenEpoch == before && after == before+1 {
+			s.seenEpoch = after
+		}
+	}
+	s.mu.Unlock()
 	s.poke()
 }
 
@@ -145,7 +183,7 @@ func (s *Scheduler) Release(a *platform.Allocation) {
 func (s *Scheduler) Waiting() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.waiting.Len()
+	return len(s.waiting)
 }
 
 // Scheduled returns the count of granted placements.
@@ -191,32 +229,122 @@ func (s *Scheduler) loop() {
 // stream of small tasks — the readiness guarantee of §III outweighs
 // utilization here. The ablation benchmark BenchmarkAblationBackfill
 // quantifies the trade-off.
+//
+// Each pass collects every grantable head under one lock acquisition and
+// delivers the whole batch after unlocking, so PlaceFn work (and the
+// Releases it may perform) never holds up grant decisions.
 func (s *Scheduler) schedule() {
 	for {
 		s.mu.Lock()
-		if s.closed || s.waiting.Len() == 0 {
-			s.mu.Unlock()
+		s.batch = s.batch[:0]
+		for !s.closed && len(s.waiting) > 0 {
+			it := s.waiting[0]
+			alloc := s.tryPlace(it.req)
+			if alloc == nil {
+				break // head does not fit: wait for a release
+			}
+			s.waiting.popHead()
+			s.scheduled++
+			s.batch = append(s.batch, Placement{Req: it.req, Alloc: alloc})
+		}
+		s.mu.Unlock()
+		if len(s.batch) == 0 {
 			return
 		}
-		it := s.waiting[0]
-		alloc := s.tryPlace(it.req)
-		if alloc == nil {
-			s.mu.Unlock()
-			return // head does not fit: wait for a release
+		for _, p := range s.batch {
+			s.place(p)
 		}
-		heap.Pop(&s.waiting)
-		s.scheduled++
-		s.mu.Unlock()
-		s.place(Placement{Req: it.req, Alloc: alloc})
 	}
 }
 
-// tryPlace attempts first-fit placement of req.
+// tryPlace attempts first-fit placement of req via the capacity index.
+// Callers hold s.mu.
 func (s *Scheduler) tryPlace(req Request) *platform.Allocation {
-	for _, n := range s.nodes {
-		if a := n.TryAlloc(req.Cores, req.GPUs, req.MemGB); a != nil {
+	refreshed := false
+	for {
+		i := s.index.find(req.Cores, req.GPUs, req.MemGB)
+		if i < 0 {
+			if refreshed {
+				return nil
+			}
+			// The index can only under-report capacity if an allocation
+			// was released directly (not through Scheduler.Release) since
+			// we last synced. The release-epoch comparison detects that
+			// without touching any node; only a genuine out-of-band
+			// release pays the O(nodes) re-sync.
+			epoch := platform.ReleaseEpoch()
+			if epoch == s.seenEpoch {
+				return nil
+			}
+			s.seenEpoch = epoch
+			s.index.refreshAll()
+			refreshed = true
+			continue
+		}
+		a := s.nodes[i].TryAlloc(req.Cores, req.GPUs, req.MemGB)
+		s.index.refresh(i)
+		if a != nil {
 			return a
 		}
+		// The leaf was stale-high (capacity consumed behind the
+		// scheduler's back); the refresh above corrected it — retry.
 	}
-	return nil
+}
+
+// --- wait pool --------------------------------------------------------------
+
+type waitItem struct {
+	req Request
+	seq uint64
+}
+
+// waitHeap is a hand-rolled binary heap ordered by (priority desc, seq
+// asc). Avoiding container/heap keeps push/pop free of interface boxing —
+// one less allocation on every submit.
+type waitHeap []waitItem
+
+func (h waitHeap) less(i, j int) bool {
+	if h[i].req.Priority != h[j].req.Priority {
+		return h[i].req.Priority > h[j].req.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *waitHeap) push(it waitItem) {
+	*h = append(*h, it)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *waitHeap) popHead() waitItem {
+	q := *h
+	head := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = waitItem{} // release references held by the vacated slot
+	*h = q[:last]
+	q = q[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return head
 }

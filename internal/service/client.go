@@ -4,7 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -22,8 +23,8 @@ type Client struct {
 	conn  msgq.Client
 	ep    proto.Endpoint
 
-	mu  sync.Mutex
-	seq uint64
+	uidPrefix string // precomputed "<uid>.req." request-UID prefix
+	seq       atomic.Uint64
 }
 
 // Dial connects clientUID (an address, typically platform.Addr of the
@@ -33,7 +34,7 @@ func Dial(net *msgq.Network, clock simtime.Clock, clientUID string, ep proto.End
 	if err != nil {
 		return nil, fmt.Errorf("service: dial %s: %w", ep.ServiceUID, err)
 	}
-	return &Client{uid: clientUID, clock: clock, conn: conn, ep: ep}, nil
+	return &Client{uid: clientUID, clock: clock, conn: conn, ep: ep, uidPrefix: clientUID + ".req."}, nil
 }
 
 // Endpoint returns the endpoint this client talks to.
@@ -51,13 +52,10 @@ func (c *Client) Close() error { return c.conn.Close() }
 //
 // The total response time (RT of Exp 2/3) is the sum of the three.
 func (c *Client) Infer(ctx context.Context, prompt string, maxTokens int) (proto.InferenceReply, metrics.Breakdown, error) {
-	c.mu.Lock()
-	c.seq++
-	id := c.seq
-	c.mu.Unlock()
+	id := c.seq.Add(1)
 
 	req := proto.InferenceRequest{
-		RequestUID: fmt.Sprintf("%s.req.%06d", c.uid, id),
+		RequestUID: c.requestUID(id),
 		ClientUID:  c.uid,
 		Model:      c.ep.Model,
 		Prompt:     prompt,
@@ -87,6 +85,18 @@ func (c *Client) Infer(ctx context.Context, prompt string, maxTokens int) (proto
 		return reply, metrics.Breakdown{}, errors.New(reply.Err)
 	}
 	return reply, DecomposeRT(total, reply.Timing), nil
+}
+
+// requestUID renders "<client>.req.NNNNNN" (zero-padded to six digits,
+// like the seed's fmt.Sprintf format) in one allocation.
+func (c *Client) requestUID(id uint64) string {
+	buf := make([]byte, 0, len(c.uidPrefix)+20)
+	buf = append(buf, c.uidPrefix...)
+	for w := uint64(100000); w > 1 && id < w; w /= 10 {
+		buf = append(buf, '0')
+	}
+	buf = strconv.AppendUint(buf, id, 10)
+	return string(buf)
 }
 
 // DecomposeRT splits a measured round-trip total into the paper's RT

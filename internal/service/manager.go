@@ -90,16 +90,16 @@ type Instance struct {
 	machine *states.Machine
 	mgr     *Manager
 
-	mu       sync.Mutex
-	server   *serving.Server
-	endpoint proto.Endpoint
-	alloc    interface{ Release() }
-	apiSrv   msgq.Server
-	ctlSrv   msgq.Server
-	probe    simtime.Ticker
+	mu        sync.Mutex
+	server    *serving.Server
+	endpoint  proto.Endpoint
+	alloc     interface{ Release() }
+	apiSrv    msgq.Server
+	ctlSrv    msgq.Server
+	probe     simtime.Ticker
 	probeStop chan struct{}
-	killed   bool
-	failErr  error
+	killed    bool
+	failErr   error
 
 	// bootstrap components (Fig. 3)
 	launchTime  time.Duration

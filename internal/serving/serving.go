@@ -107,6 +107,15 @@ type job struct {
 	done     chan proto.InferenceReply
 }
 
+// jobPool recycles jobs and their reply channels across requests. A job
+// returns to the pool only on paths where the worker's single reply has
+// been consumed (or the job never reached the queue); the context-expiry
+// path abandons the job to the garbage collector because the worker may
+// still send into done.
+var jobPool = sync.Pool{
+	New: func() any { return &job{done: make(chan proto.InferenceReply, 1)} },
+}
+
 // New validates cfg and returns an unstarted Server.
 func New(cfg Config) (*Server, error) {
 	if cfg.Backend == nil {
@@ -248,35 +257,47 @@ func (s *Server) serve(j *job) {
 
 // Submit enqueues one request and blocks until its reply (or ctx expiry).
 // This is the synchronous request path a msgq handler invokes.
+//
+// The enqueue happens under s.mu, in the same critical section as the
+// state check: Stop and Drain close the queue under the same lock, so an
+// accepted request can never race the channel close. (The send is
+// non-blocking — the lock is never held for longer than a buffered channel
+// send.)
 func (s *Server) Submit(ctx context.Context, req proto.InferenceRequest) (proto.InferenceReply, error) {
+	j := jobPool.Get().(*job)
+	j.req = req
+	j.received = s.cfg.Clock.Now()
+
 	s.mu.Lock()
+	var rejection error
 	switch {
 	case s.stopped:
-		s.mu.Unlock()
-		s.rejected.Add(1)
-		return proto.InferenceReply{}, ErrStopped
+		rejection = ErrStopped
 	case s.draining:
-		s.mu.Unlock()
-		s.rejected.Add(1)
-		return proto.InferenceReply{}, ErrDraining
+		rejection = ErrDraining
 	case !s.ready:
-		s.mu.Unlock()
-		s.rejected.Add(1)
-		return proto.InferenceReply{}, ErrNotReady
+		rejection = ErrNotReady
+	}
+	if rejection == nil {
+		select {
+		case s.queue <- j:
+			s.depth.Add(1)
+		default:
+			rejection = ErrQueueFull
+		}
 	}
 	s.mu.Unlock()
 
-	j := &job{req: req, received: s.cfg.Clock.Now(), done: make(chan proto.InferenceReply, 1)}
-	s.depth.Add(1)
-	select {
-	case s.queue <- j:
-	default:
-		s.depth.Add(-1)
+	if rejection != nil {
 		s.rejected.Add(1)
-		return proto.InferenceReply{}, ErrQueueFull
+		j.req = proto.InferenceRequest{}
+		jobPool.Put(j)
+		return proto.InferenceReply{}, rejection
 	}
 	select {
 	case reply := <-j.done:
+		j.req = proto.InferenceRequest{}
+		jobPool.Put(j)
 		return reply, nil
 	case <-ctx.Done():
 		return proto.InferenceReply{}, ctx.Err()
@@ -324,9 +345,11 @@ func (s *Server) Drain() {
 	}
 	s.draining = true
 	started := s.ready
+	if started {
+		close(s.queue) // under s.mu: serialized against Submit's enqueue
+	}
 	s.mu.Unlock()
 	if started {
-		close(s.queue)
 		s.workers.Wait()
 	}
 	s.mu.Lock()
@@ -346,8 +369,8 @@ func (s *Server) Stop() {
 	wasReady := s.ready && !s.draining
 	s.stopped = true
 	s.ready = false
-	s.mu.Unlock()
 	if wasReady {
-		close(s.queue)
+		close(s.queue) // under s.mu: serialized against Submit's enqueue
 	}
+	s.mu.Unlock()
 }

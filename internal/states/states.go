@@ -48,18 +48,18 @@ const (
 // calls". DRAINING covers graceful shutdown: the service stops accepting
 // new requests and finishes its queue.
 const (
-	ServiceNew          State = "NEW"
+	ServiceNew            State = "NEW"
 	ServiceSmgrScheduling State = "SMGR_SCHEDULING"
-	ServiceStagingInput State = "AGENT_STAGING_INPUT"
-	ServiceScheduling   State = "AGENT_SCHEDULING"
-	ServiceLaunching    State = "AGENT_EXECUTING" // process launch on target resource
-	ServiceInitializing State = "SERVICE_INITIALIZING" // capability/model load
-	ServicePublishing   State = "SERVICE_PUBLISHING"   // endpoint publication
-	ServiceActive       State = "SERVICE_ACTIVE"
-	ServiceDraining     State = "SERVICE_DRAINING"
-	ServiceDone         State = "DONE"
-	ServiceFailed       State = "FAILED"
-	ServiceCanceled     State = "CANCELED"
+	ServiceStagingInput   State = "AGENT_STAGING_INPUT"
+	ServiceScheduling     State = "AGENT_SCHEDULING"
+	ServiceLaunching      State = "AGENT_EXECUTING"      // process launch on target resource
+	ServiceInitializing   State = "SERVICE_INITIALIZING" // capability/model load
+	ServicePublishing     State = "SERVICE_PUBLISHING"   // endpoint publication
+	ServiceActive         State = "SERVICE_ACTIVE"
+	ServiceDraining       State = "SERVICE_DRAINING"
+	ServiceDone           State = "DONE"
+	ServiceFailed         State = "FAILED"
+	ServiceCanceled       State = "CANCELED"
 )
 
 // Entity discriminates the three state models.
@@ -74,10 +74,10 @@ const (
 
 // Model holds the legal transition relation for one entity kind.
 type Model struct {
-	entity Entity
+	entity  Entity
 	initial State
-	next   map[State][]State
-	final  map[State]bool
+	next    map[State][]State
+	final   map[State]bool
 }
 
 func newModel(entity Entity, initial State, edges map[State][]State, finals ...State) *Model {

@@ -109,12 +109,12 @@ func (p *Pipeline) Validate() error {
 
 // StageReport records one stage's execution.
 type StageReport struct {
-	Stage     string
-	Started   time.Time
-	Finished  time.Time
-	Tasks     int
-	Services  int
-	Err       error
+	Stage    string
+	Started  time.Time
+	Finished time.Time
+	Tasks    int
+	Services int
+	Err      error
 }
 
 // Duration returns the stage's wall time on the session clock.

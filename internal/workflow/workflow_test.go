@@ -117,8 +117,8 @@ func TestIndependentStagesRunConcurrently(t *testing.T) {
 	// inflating into significant simulated time.
 	r, sess := newRunnerScale(t, 1000)
 	p := &Pipeline{Name: "par", Stages: []*Stage{
-		{Name: "a", Tasks: []spec.TaskDescription{simTask("ta", 60 * time.Second)}},
-		{Name: "b", Tasks: []spec.TaskDescription{simTask("tb", 60 * time.Second)}},
+		{Name: "a", Tasks: []spec.TaskDescription{simTask("ta", 60*time.Second)}},
+		{Name: "b", Tasks: []spec.TaskDescription{simTask("tb", 60*time.Second)}},
 	}}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
