@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/scheduler"
 	"repro/internal/usecases"
 )
 
@@ -30,7 +31,13 @@ func main() {
 	counts := flag.String("counts", "", "comma-separated instance counts for exp 1 (default: paper sweep)")
 	requests := flag.Int("requests", 0, "requests per client (default: paper values)")
 	seed := flag.Uint64("seed", 0, "override RNG seed (0: per-experiment defaults)")
+	sched := flag.String("sched", "", "pilot scheduling policy: strict|backfill[:k=N,t=D]|best-fit[:k=N,t=D] (default strict)")
 	flag.Parse()
+
+	if _, err := scheduler.PolicyByName(*sched); err != nil {
+		fmt.Fprintf(os.Stderr, "rpexp: %v\n", err)
+		os.Exit(2)
+	}
 
 	ctx := context.Background()
 	run := func(name string, fn func() error) {
@@ -65,6 +72,7 @@ func main() {
 			if *seed != 0 {
 				cfg.Seed = *seed
 			}
+			cfg.SchedPolicy = *sched
 			res, err := experiments.RunBT(ctx, cfg)
 			if err != nil {
 				return err
@@ -105,6 +113,7 @@ func main() {
 					if *seed != 0 {
 						cfg.Seed = *seed
 					}
+					cfg.SchedPolicy = *sched
 					res, err := experiments.RunRT(ctx, cfg)
 					if err != nil {
 						return err
@@ -127,6 +136,7 @@ func main() {
 					if *seed != 0 {
 						cfg.Seed = *seed
 					}
+					cfg.SchedPolicy = *sched
 					res, err := experiments.RunRT(ctx, cfg)
 					if err != nil {
 						return err

@@ -3,10 +3,16 @@
 // strategy reroutes to "less used service instances". This example runs
 // both against a fleet of four llama services under a bursty client and
 // compares the queueing each strategy induces.
+//
+// The pilot's placement policy is configurable with -sched
+// (strict|backfill|best-fit), threading the scheduler's Policy seam
+// end-to-end: with -sched backfill, small client tasks keep flowing even
+// while a large request blocks the head of the pilot's wait pool.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"sync"
@@ -15,22 +21,27 @@ import (
 	"repro/internal/core"
 	"repro/internal/loadbal"
 	"repro/internal/metrics"
+	"repro/internal/scheduler"
 	"repro/internal/simtime"
 	"repro/internal/spec"
 )
 
 func main() {
-	if err := run(); err != nil {
+	sched := flag.String("sched", scheduler.PolicyStrict,
+		"pilot scheduling policy: strict|backfill[:k=N,t=D]|best-fit[:k=N,t=D]")
+	flag.Parse()
+	if err := run(*sched); err != nil {
 		fmt.Fprintf(os.Stderr, "loadbalance: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(sched string) error {
 	sess, err := core.NewSession(core.SessionConfig{
-		Seed:     5,
-		Clock:    simtime.NewScaled(2000, core.DefaultOrigin),
-		FastBoot: true,
+		Seed:        5,
+		Clock:       simtime.NewScaled(2000, core.DefaultOrigin),
+		FastBoot:    true,
+		SchedPolicy: sched,
 	})
 	if err != nil {
 		return err
@@ -62,7 +73,8 @@ func run() error {
 	if err := sm.WaitReady(ctx, uids...); err != nil {
 		return err
 	}
-	fmt.Printf("fleet of %d llama-8b services ready\n", fleet)
+	fmt.Printf("fleet of %d llama-8b services ready (scheduling policy: %s)\n",
+		fleet, p.Scheduler().Policy().Name())
 
 	strategies := []struct {
 		name string

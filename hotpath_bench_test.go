@@ -86,3 +86,51 @@ func BenchmarkSchedulerThroughput1024(b *testing.B) {
 		sched.Release(p.Alloc)
 	}
 }
+
+// BenchmarkSchedulerBackfillThroughput1024 measures the per-grant cost of
+// the capacity-aware backfill scan in its worst sustained regime: a
+// saturated 1024-node pilot (one core free per node) whose wait-pool head
+// is a permanently blocked full-node request, so every small-task grant
+// pays head-fit rejection plus the backfill selection. Comparing against
+// BenchmarkSchedulerThroughput1024 (strict, unblocked head) isolates what
+// backfill adds to the PR-1 indexed grant path. The best-fit variant also
+// pays the exhaustive least-leftover node scan (O(fitting nodes) instead
+// of O(log nodes)), which is the documented price of fragmentation
+// avoidance.
+func BenchmarkSchedulerBackfillThroughput1024(b *testing.B) {
+	unbounded := scheduler.BackfillConfig{MaxBypass: -1, MaxDelay: -1}
+	for _, pol := range []struct {
+		name string
+		mk   func() scheduler.Policy
+	}{
+		{"backfill", func() scheduler.Policy { return scheduler.Backfill(unbounded) }},
+		{"best-fit", func() scheduler.Policy { return scheduler.BestFit(unbounded) }},
+	} {
+		b.Run(pol.name, func(b *testing.B) {
+			plat := platform.New("bench", 1024, platform.NodeSpec{Cores: 64, GPUs: 8, MemGB: 256})
+			nodes := plat.Nodes()
+			for _, n := range nodes {
+				if a := n.TryAlloc(63, 8, 224); a == nil {
+					b.Fatal("saturation alloc failed")
+				}
+			}
+			done := make(chan scheduler.Placement, 4096)
+			sched := scheduler.New(nodes, func(p scheduler.Placement) { done <- p },
+				scheduler.WithPolicy(pol.mk()))
+			defer sched.Close()
+			// The head: a full-node request no node can satisfy while the
+			// saturation allocations live.
+			if err := sched.Submit(scheduler.Request{UID: "big", Cores: 64, Priority: 100}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sched.Submit(scheduler.Request{UID: "t", Cores: 1}); err != nil {
+					b.Fatal(err)
+				}
+				p := <-done
+				sched.Release(p.Alloc)
+			}
+		})
+	}
+}

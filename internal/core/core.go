@@ -26,6 +26,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/restapi"
 	"repro/internal/rng"
+	"repro/internal/scheduler"
 	"repro/internal/service"
 	"repro/internal/simtime"
 	"repro/internal/spec"
@@ -53,6 +54,10 @@ type SessionConfig struct {
 	// bootstrap is out of scope) on low clock scales where those sleeps
 	// would cost real wall time.
 	FastBoot bool
+	// SchedPolicy names the placement policy every pilot's agent
+	// scheduler uses ("strict", "backfill", "best-fit"). Empty defers to
+	// the platform's default, then to strict.
+	SchedPolicy string
 }
 
 // Session is one runtime instance.
@@ -71,6 +76,7 @@ type Session struct {
 	closed   bool
 	remotes  map[string]proto.Endpoint
 	fastBoot bool
+	schedPol string
 
 	pm *PilotManager
 	tm *TaskManager
@@ -85,6 +91,10 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.Topology == nil {
 		cfg.Topology = platform.DefaultTopology()
 	}
+	// Fail fast on a bad policy name instead of at the first pilot launch.
+	if _, err := scheduler.PolicyByName(cfg.SchedPolicy); err != nil {
+		return nil, err
+	}
 	src := rng.New(cfg.Seed)
 	net := msgq.NewNetwork(cfg.Clock, src.Derive("net"), cfg.Topology.Resolver())
 	s := &Session{
@@ -97,6 +107,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		prof:     profile.NewRecorder(),
 		remotes:  make(map[string]proto.Endpoint),
 		fastBoot: cfg.FastBoot,
+		schedPol: cfg.SchedPolicy,
 	}
 	pub, err := net.BindPub(UpdatesAddr)
 	if err != nil {
@@ -257,6 +268,7 @@ func (pm *PilotManager) Submit(desc spec.PilotDescription) (*pilot.Pilot, error)
 		Src:           pm.sess.src.Derive(fmt.Sprintf("pilot.%s.%d", desc.Platform, seq)),
 		Net:           pm.sess.net,
 		Platform:      plat,
+		SchedPolicy:   pm.sess.schedPol,
 		StateCallback: pm.sess.publishState("task"),
 	}
 	if pm.sess.fastBoot {

@@ -75,6 +75,9 @@ type BTConfig struct {
 	// post-160 launch penalty ("we will utilize both resource partitioning
 	// and asynchronous execution"). Zero launches everything at once.
 	Partition int
+	// SchedPolicy selects the pilot scheduler's placement policy
+	// ("strict", "backfill", "best-fit"; empty = strict).
+	SchedPolicy string
 }
 
 // DefaultBTConfig returns the paper's Exp 1 parameterization.
@@ -135,8 +138,9 @@ func runBTPoint(ctx context.Context, cfg BTConfig, n int) (BTRow, error) {
 		cfg.Scale = 200
 	}
 	sess, err := core.NewSession(core.SessionConfig{
-		Seed:  cfg.Seed + uint64(n),
-		Clock: simtime.NewScaled(cfg.Scale, core.DefaultOrigin),
+		Seed:        cfg.Seed + uint64(n),
+		Clock:       simtime.NewScaled(cfg.Scale, core.DefaultOrigin),
+		SchedPolicy: cfg.SchedPolicy,
 	})
 	if err != nil {
 		return BTRow{}, err
@@ -241,6 +245,9 @@ type RTConfig struct {
 	Seed uint64
 	// ServiceConcurrency overrides the single-threaded default (ablation).
 	ServiceConcurrency int
+	// SchedPolicy selects the pilot scheduler's placement policy
+	// ("strict", "backfill", "best-fit"; empty = strict).
+	SchedPolicy string
 }
 
 // DefaultExp2Config returns the paper's Exp 2 parameterization for the
@@ -321,7 +328,8 @@ func runRTPoint(ctx context.Context, cfg RTConfig, clients, services int) (RTRow
 		Clock: simtime.NewScaled(cfg.Scale, core.DefaultOrigin),
 		// Exp 2/3 measure steady-state RT/IT, not bootstrap; skip boot
 		// sleeps, which at low scales would cost real wall time.
-		FastBoot: true,
+		FastBoot:    true,
+		SchedPolicy: cfg.SchedPolicy,
 	})
 	if err != nil {
 		return RTRow{}, err

@@ -129,6 +129,88 @@ func TestInprocContextCancellation(t *testing.T) {
 	}
 }
 
+// TestInprocCancellableSlowPathCompletes pins the asynchronous REQ/REP
+// path: a cancellable context routes the round trip through the helper
+// goroutine instead of the inline fast path, and an uncancelled request
+// must still return the same reply, pay the same modelled link latency,
+// and leave the client reusable. This is the path every client task in
+// the experiment harness takes (task contexts are cancellable), so it
+// must stay pinned before any future inline-cancellation rework.
+func TestInprocCancellableSlowPathCompletes(t *testing.T) {
+	resolve := func(from, to string) LinkProfile {
+		return LinkProfile{Latency: rng.ConstDuration(5 * time.Millisecond)}
+	}
+	n := NewNetwork(simtime.NewReal(), rng.New(1), resolve)
+	defer n.Close()
+	_, _ = n.Bind("svc", echoHandler)
+	c, _ := n.Dial("client", "svc")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if ctx.Done() == nil {
+		t.Fatal("test context is not cancellable; would exercise the fast path")
+	}
+	env, _ := proto.NewEnvelope(proto.KindRequest, 1, "client", "svc", t0, proto.InferenceRequest{Prompt: "slow path"})
+	start := time.Now()
+	reply, err := c.Request(ctx, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 9*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= ~10ms: slow path skipped the link model", el)
+	}
+	// The reply must be byte-identical to the fast path's.
+	fast, err := c.Request(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != fast.Kind || reply.From != fast.From || string(reply.Body) != string(fast.Body) {
+		t.Fatalf("slow-path reply %+v differs from fast-path reply %+v", reply, fast)
+	}
+	// Cancelling after completion must not poison later requests.
+	cancel()
+	if _, err := c.Request(context.Background(), env); err != nil {
+		t.Fatalf("request after cancelled predecessor: %v", err)
+	}
+}
+
+// TestInprocCancellableConcurrentCompletes floods the slow path from many
+// goroutines under one shared cancellable (never cancelled) context —
+// the experiment harness shape — and every request must complete.
+func TestInprocCancellableConcurrentCompletes(t *testing.T) {
+	n := newTestNet()
+	defer n.Close()
+	_, _ = n.Bind("svc", echoHandler)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const clients, perClient = 16, 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := n.Dial("client", "svc")
+			if err != nil {
+				errs <- err
+				return
+			}
+			env, _ := proto.NewEnvelope(proto.KindRequest, 1, "client", "svc", t0, struct{}{})
+			for j := 0; j < perClient; j++ {
+				if _, err := c.Request(ctx, env); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
 func TestInprocLatencyInjection(t *testing.T) {
 	// With a 5ms one-way latency, a round trip on the real clock must take
 	// at least ~10ms.

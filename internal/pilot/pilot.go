@@ -49,6 +49,11 @@ type Config struct {
 	// default). Experiment harnesses that do not measure bootstrap use a
 	// zero model to skip launch sleeps.
 	LaunchModel *platform.LaunchModel
+	// SchedPolicy names the agent scheduler's placement policy ("strict",
+	// "backfill", "best-fit"). Empty falls back to the platform's
+	// SchedPolicy, then to strict. Each pilot gets a fresh policy
+	// instance, so backfill starvation state is never shared.
+	SchedPolicy string
 	// StateCallback, when set, observes every task/service/pilot state
 	// transition (the Updater hook).
 	StateCallback states.Callback
@@ -112,6 +117,14 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 	if cfg.BootTime.IsZero() {
 		cfg.BootTime = rng.NormalDuration(10*time.Second, 2*time.Second)
 	}
+	polName := cfg.SchedPolicy
+	if polName == "" {
+		polName = cfg.Platform.SchedPolicy
+	}
+	policy, err := scheduler.PolicyByName(polName)
+	if err != nil {
+		return nil, err
+	}
 	if desc.UID == "" {
 		desc.UID = fmt.Sprintf("pilot.%s.%04d", desc.Platform, cfg.Src.Intn(10000))
 	}
@@ -145,7 +158,8 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 		launch = *cfg.LaunchModel
 	}
 	p.router = scheduler.NewRouter()
-	p.sched = scheduler.New(p.nodes, func(pl scheduler.Placement) { p.router.Route(pl) })
+	p.sched = scheduler.New(p.nodes, func(pl scheduler.Placement) { p.router.Route(pl) },
+		scheduler.WithPolicy(policy), scheduler.WithClock(cfg.Clock))
 	p.exec = executor.New(cfg.Clock, cfg.Src.Derive(desc.UID+".exec"), launch)
 	p.stage = stager.NewManager(cfg.Clock, cfg.Src.Derive(desc.UID+".stage"))
 	p.reg = service.NewRegistry(cfg.Clock, cfg.Src.Derive(desc.UID+".reg"), cfg.PublishOverhead)
@@ -249,6 +263,10 @@ func (p *Pilot) Stage() *stager.Manager { return p.stage }
 
 // Executor returns the pilot's executor (exposed for metrics).
 func (p *Pilot) Executor() *executor.Executor { return p.exec }
+
+// Scheduler returns the agent's continuous scheduler (exposed so callers
+// can inspect wait depth, grant counts and the active placement policy).
+func (p *Pilot) Scheduler() *scheduler.Scheduler { return p.sched }
 
 // SubmitTask validates d and drives it through the task lifecycle
 // asynchronously.

@@ -110,6 +110,50 @@ func (ix *nodeIndex) covers(p, cores, gpus int, memGB float64) bool {
 	return ix.cores[p] >= cores && ix.gpus[p] >= gpus && ix.mem[p] >= memGB
 }
 
+// Best-fit leftover weights: one GPU counts like 16 cores (the catalog's
+// node shapes carry 8-16 cores per GPU) and 4 GB of memory like one core,
+// so the score compares leftovers of different dimensions on one scale.
+const (
+	bestFitGPUWeight = 16
+	bestFitMemWeight = 0.25
+)
+
+// findBest returns the fitting node index whose free capacity exceeds the
+// demand by the least (weighted leftover cores + GPUs + memory), or -1.
+// Ties break toward the lower index, so on homogeneous pools with equal
+// residuals best-fit degenerates to first-fit. Unlike find, the search
+// must visit every fitting leaf (pruning only non-fitting subtrees):
+// best-fit trades O(fitting nodes) placement cost for lower
+// fragmentation.
+func (ix *nodeIndex) findBest(cores, gpus int, memGB float64) int {
+	best, bestScore := -1, 0.0
+	var walk func(p int)
+	walk = func(p int) {
+		if !ix.covers(p, cores, gpus, memGB) {
+			return
+		}
+		if p >= ix.size {
+			i := p - ix.size
+			if i >= len(ix.nodes) {
+				return
+			}
+			score := float64(ix.cores[p]-cores) +
+				bestFitGPUWeight*float64(ix.gpus[p]-gpus) +
+				bestFitMemWeight*(ix.mem[p]-memGB)
+			if best < 0 || score < bestScore {
+				best, bestScore = i, score
+			}
+			return
+		}
+		walk(2 * p)
+		walk(2*p + 1)
+	}
+	if len(ix.nodes) > 0 {
+		walk(1)
+	}
+	return best
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a

@@ -6,13 +6,19 @@
 // between services and tasks" — in workflows, services often have to start
 // before any computing task (§III).
 //
-// The algorithm is first-fit over the pilot's nodes with a priority-queue
-// wait pool: higher priority first, FIFO within a priority class.
-// Placement retries happen continuously as resources are released. Unlike
-// a naive first-fit, placement does not scan the node list: a segment-tree
-// capacity index (see index.go) locates the lowest-index fitting node in
-// O(log nodes), and each scheduling kick drains every grantable request in
-// one batch under a single lock acquisition.
+// The wait pool is a priority queue: higher priority first, FIFO within a
+// priority class. Placement retries happen continuously as resources are
+// released. Unlike a naive first-fit, placement does not scan the node
+// list: a segment-tree capacity index (see index.go) locates a fitting
+// node in O(log nodes), and each scheduling kick drains every grantable
+// request in one batch under a single lock acquisition.
+//
+// Which waiting request is granted next — and on which node — is decided
+// by a pluggable Policy (see policy.go). The default, Strict, keeps the
+// seed semantics: first-fit placement and hard head-of-line blocking.
+// Backfill and BestFit trade bounded head starvation for utilization and
+// lower fragmentation; select them per pilot via pilot.Config.SchedPolicy
+// or per platform via platform.Platform.SchedPolicy.
 package scheduler
 
 import (
@@ -21,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/platform"
+	"repro/internal/simtime"
 )
 
 // Request asks for resources for one entity.
@@ -47,11 +54,13 @@ type Placement struct {
 // must not call back into the scheduler synchronously except Release.
 type PlaceFn func(Placement)
 
-// Scheduler performs continuous first-fit scheduling over a fixed node
-// set.
+// Scheduler performs continuous policy-driven scheduling over a fixed
+// node set.
 type Scheduler struct {
-	nodes []*platform.Node
-	place PlaceFn
+	nodes  []*platform.Node
+	place  PlaceFn
+	policy Policy
+	clock  simtime.Clock
 	// specs are the distinct node hardware shapes, computed once so the
 	// per-submit satisfiability check is O(distinct specs), not O(nodes).
 	specs []platform.NodeSpec
@@ -91,16 +100,47 @@ func (e ErrUnsatisfiable) Error() string {
 		e.Req.UID, e.Req.Cores, e.Req.GPUs, e.Req.MemGB)
 }
 
+// Option configures a Scheduler at construction time.
+type Option func(*Scheduler)
+
+// WithPolicy selects the placement policy (default Strict). The policy
+// instance must be exclusive to this scheduler: backfill policies keep
+// per-head starvation state.
+func WithPolicy(p Policy) Option {
+	return func(s *Scheduler) {
+		if p != nil {
+			s.policy = p
+		}
+	}
+}
+
+// WithClock sets the clock backing the backfill starvation time bound and
+// Pool.Now (default: the wall clock). Pilots pass their simulation clock
+// so the T bound is measured in simulated time.
+func WithClock(c simtime.Clock) Option {
+	return func(s *Scheduler) {
+		if c != nil {
+			s.clock = c
+		}
+	}
+}
+
 // New starts a scheduler over nodes, delivering placements to place.
-func New(nodes []*platform.Node, place PlaceFn) *Scheduler {
+// Without options it schedules with the Strict policy on the wall clock.
+func New(nodes []*platform.Node, place PlaceFn, opts ...Option) *Scheduler {
 	s := &Scheduler{
 		nodes:     nodes,
 		place:     place,
+		policy:    Strict(),
+		clock:     simtime.NewReal(),
 		index:     newNodeIndex(nodes),
 		nodeOf:    make(map[*platform.Node]int, len(nodes)),
 		kick:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
 		seenEpoch: platform.ReleaseEpoch(),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	for i, n := range nodes {
 		s.nodeOf[n] = i
@@ -179,6 +219,9 @@ func (s *Scheduler) Release(a *platform.Allocation) {
 	s.poke()
 }
 
+// Policy returns the scheduler's placement policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
 // Waiting returns the wait-pool depth.
 func (s *Scheduler) Waiting() int {
 	s.mu.Lock()
@@ -223,27 +266,27 @@ func (s *Scheduler) loop() {
 	}
 }
 
-// schedule drains as much of the wait pool as currently fits. Priority
-// order is strict: a large high-priority request at the head blocks lower
-// priority work (no backfill) so that services cannot be starved by a
-// stream of small tasks — the readiness guarantee of §III outweighs
-// utilization here. The ablation benchmark BenchmarkAblationBackfill
+// schedule drains as much of the wait pool as the policy will grant. What
+// "grantable" means is the policy's call: Strict stops at the first
+// blocked head (the readiness guarantee of §III outweighs utilization),
+// Backfill/BestFit keep granting fitting lower-priority work within the
+// starvation bound. The ablation benchmark BenchmarkAblationBackfill
 // quantifies the trade-off.
 //
-// Each pass collects every grantable head under one lock acquisition and
-// delivers the whole batch after unlocking, so PlaceFn work (and the
+// Each pass collects every grantable request under one lock acquisition
+// and delivers the whole batch after unlocking, so PlaceFn work (and the
 // Releases it may perform) never holds up grant decisions.
 func (s *Scheduler) schedule() {
 	for {
 		s.mu.Lock()
+		pool := Pool{s: s}
 		s.batch = s.batch[:0]
 		for !s.closed && len(s.waiting) > 0 {
-			it := s.waiting[0]
-			alloc := s.tryPlace(it.req)
+			pos, alloc := s.policy.Grant(&pool)
 			if alloc == nil {
-				break // head does not fit: wait for a release
+				break // nothing grantable: wait for a release
 			}
-			s.waiting.popHead()
+			it := s.waiting.removeAt(pos)
 			s.scheduled++
 			s.batch = append(s.batch, Placement{Req: it.req, Alloc: alloc})
 		}
@@ -257,12 +300,17 @@ func (s *Scheduler) schedule() {
 	}
 }
 
-// tryPlace attempts first-fit placement of req via the capacity index.
-// Callers hold s.mu.
-func (s *Scheduler) tryPlace(req Request) *platform.Allocation {
+// tryPlace attempts placement of req via the capacity index: first-fit
+// (lowest fitting node index) by default, least-leftover when bestFit is
+// set. Callers hold s.mu.
+func (s *Scheduler) tryPlace(req Request, bestFit bool) *platform.Allocation {
+	find := s.index.find
+	if bestFit {
+		find = s.index.findBest
+	}
 	refreshed := false
 	for {
-		i := s.index.find(req.Cores, req.GPUs, req.MemGB)
+		i := find(req.Cores, req.GPUs, req.MemGB)
 		if i < 0 {
 			if refreshed {
 				return nil
@@ -291,6 +339,22 @@ func (s *Scheduler) tryPlace(req Request) *platform.Allocation {
 	}
 }
 
+// fits reports whether some node's current free capacity covers req,
+// re-syncing the index once when an out-of-band release may have returned
+// capacity behind the scheduler's back. Callers hold s.mu.
+func (s *Scheduler) fits(req Request) bool {
+	if s.index.find(req.Cores, req.GPUs, req.MemGB) >= 0 {
+		return true
+	}
+	epoch := platform.ReleaseEpoch()
+	if epoch == s.seenEpoch {
+		return false
+	}
+	s.seenEpoch = epoch
+	s.index.refreshAll()
+	return s.index.find(req.Cores, req.GPUs, req.MemGB) >= 0
+}
+
 // --- wait pool --------------------------------------------------------------
 
 type waitItem struct {
@@ -312,8 +376,29 @@ func (h waitHeap) less(i, j int) bool {
 
 func (h *waitHeap) push(it waitItem) {
 	*h = append(*h, it)
+	h.siftUp(len(*h) - 1)
+}
+
+// removeAt deletes and returns the item at backing-array position pos
+// (0 = head). Backfill policies grant from arbitrary positions, so the
+// vacated slot's replacement may need to move either direction.
+func (h *waitHeap) removeAt(pos int) waitItem {
 	q := *h
-	for i := len(q) - 1; i > 0; {
+	it := q[pos]
+	last := len(q) - 1
+	q[pos] = q[last]
+	q[last] = waitItem{} // release references held by the vacated slot
+	*h = q[:last]
+	if pos < last {
+		h.siftDown(pos)
+		h.siftUp(pos)
+	}
+	return it
+}
+
+func (h *waitHeap) siftUp(i int) {
+	q := *h
+	for i > 0 {
 		parent := (i - 1) / 2
 		if !q.less(i, parent) {
 			break
@@ -323,28 +408,21 @@ func (h *waitHeap) push(it waitItem) {
 	}
 }
 
-func (h *waitHeap) popHead() waitItem {
+func (h *waitHeap) siftDown(i int) {
 	q := *h
-	head := q[0]
-	last := len(q) - 1
-	q[0] = q[last]
-	q[last] = waitItem{} // release references held by the vacated slot
-	*h = q[:last]
-	q = q[:last]
-	for i := 0; ; {
+	for {
 		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(q) && q.less(l, smallest) {
-			smallest = l
+		first := i
+		if l < len(q) && q.less(l, first) {
+			first = l
 		}
-		if r < len(q) && q.less(r, smallest) {
-			smallest = r
+		if r < len(q) && q.less(r, first) {
+			first = r
 		}
-		if smallest == i {
-			break
+		if first == i {
+			return
 		}
-		q[i], q[smallest] = q[smallest], q[i]
-		i = smallest
+		q[i], q[first] = q[first], q[i]
+		i = first
 	}
-	return head
 }

@@ -1,0 +1,183 @@
+// Command lintdoc enforces the repository's documentation floor, CI-side:
+//
+//   - every package under internal/ must carry a package-level godoc
+//     comment ("// Package xyz ..."),
+//   - every command under cmd/ must carry a command doc comment,
+//   - in the fully documented packages (scheduler, msgq, pilot), every
+//     exported top-level declaration — funcs, methods, types, and each
+//     exported const/var group — must have a doc comment.
+//
+// It exits non-zero listing every violation, so `go run
+// ./internal/tools/lintdoc` acts as the exported-comment check the docs
+// CI job runs (a revive/golint subset with no external dependency).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// fullDoc lists the packages whose exported identifiers must all carry
+// doc comments (the runtime's load-bearing public surfaces).
+var fullDoc = map[string]bool{
+	"internal/scheduler": true,
+	"internal/msgq":      true,
+	"internal/pilot":     true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+	report := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	dirs := packageDirs(root, report)
+	for _, dir := range dirs {
+		checkDir(root, dir, report)
+	}
+
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "lintdoc: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Printf("lintdoc: %d packages documented\n", len(dirs))
+}
+
+// packageDirs returns every directory under internal/ and cmd/ that
+// contains non-test Go files, relative to root.
+func packageDirs(root string, report func(string, ...any)) []string {
+	var dirs []string
+	for _, top := range []string{"internal", "cmd"} {
+		_ = filepath.WalkDir(filepath.Join(root, top), func(path string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return nil
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				report("lintdoc: %s: %v", path, err)
+				return nil
+			}
+			for _, e := range ents {
+				name := e.Name()
+				if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+					rel, _ := filepath.Rel(root, path)
+					dirs = append(dirs, filepath.ToSlash(rel))
+					break
+				}
+			}
+			return nil
+		})
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+func checkDir(root, dir string, report func(string, ...any)) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join(root, dir), func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		report("%s: parse: %v", dir, err)
+		return
+	}
+	for _, pkg := range pkgs {
+		if !hasPackageDoc(pkg) {
+			report("%s: package %s has no package-level doc comment", dir, pkg.Name)
+		}
+		if !fullDoc[dir] {
+			continue
+		}
+		for fileName, file := range pkg.Files {
+			checkExported(fset, fileName, file, report)
+		}
+	}
+}
+
+// hasPackageDoc reports whether any file of the package carries a
+// package doc comment.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExported reports every exported top-level declaration in file
+// that lacks a doc comment.
+func checkExported(fset *token.FileSet, fileName string, file *ast.File, report func(string, ...any)) {
+	pos := func(n ast.Node) string {
+		p := fset.Position(n.Pos())
+		return fmt.Sprintf("%s:%d", filepath.ToSlash(p.Filename), p.Line)
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			label := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				label = fmt.Sprintf("(%s).%s", recvName(d.Recv.List[0].Type), d.Name.Name)
+			}
+			report("%s: exported %s has no doc comment", pos(d), label)
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, s := range d.Specs {
+					ts := s.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+						report("%s: exported type %s has no doc comment", pos(ts), ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				// A group comment covers the whole block; otherwise each
+				// exported spec needs its own.
+				if d.Doc != nil {
+					continue
+				}
+				for _, s := range d.Specs {
+					vs := s.(*ast.ValueSpec)
+					if vs.Doc != nil {
+						continue
+					}
+					for _, name := range vs.Names {
+						if name.IsExported() {
+							report("%s: exported %s %s has no doc comment",
+								pos(vs), strings.ToLower(d.Tok.String()), name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// recvName renders a method receiver type for messages.
+func recvName(t ast.Expr) string {
+	switch x := t.(type) {
+	case *ast.StarExpr:
+		return "*" + recvName(x.X)
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr:
+		return recvName(x.X)
+	}
+	return "?"
+}
