@@ -400,6 +400,82 @@ func BenchmarkAblationBackfill(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationFragmentation quantifies first-fit vs best-fit
+// placement on a saturated mixed 1024-node pool — the heterogeneous
+// regime best-fit exists for. The pool is 64 fat nodes (128c/16g) in
+// front of 960 thin nodes (16c, no GPUs); the workload is 512 thin-sized
+// smalls (16 cores each) followed by 64 whole-fat-node larges
+// (128c/16g), no releases. First-fit lands the smalls on the lowest
+// node indexes — the fat partition — consuming exactly all 64 fat
+// nodes' cores (8 smalls each), so zero larges fit; best-fit packs
+// every small onto a thin node (least weighted leftover) and grants all
+// 64 larges. The "larges-granted" metric is that count; ns/op is the
+// full scenario (pool build + all grants), so it also reflects the
+// augmented findBest's per-grant cost at 1024 nodes.
+func BenchmarkAblationFragmentation(b *testing.B) {
+	const nFat, nThin, nSmall, nLarge = 64, 960, 512, 64
+	fat := platform.NodeSpec{Cores: 128, GPUs: 16, MemGB: 1024}
+	thin := platform.NodeSpec{Cores: 16, GPUs: 0, MemGB: 64}
+	policies := []struct {
+		name string
+		mk   func() scheduler.Policy
+		// deterministic outcome: total grants and larges among them
+		larges int
+	}{
+		{"first-fit", func() scheduler.Policy { return scheduler.Strict() }, 0},
+		{"best-fit", func() scheduler.Policy {
+			return scheduler.BestFit(scheduler.BackfillConfig{MaxBypass: -1, MaxDelay: -1})
+		}, nLarge},
+	}
+	for _, pol := range policies {
+		b.Run(pol.name, func(b *testing.B) {
+			var largesGranted int64
+			for i := 0; i < b.N; i++ {
+				plat := platform.NewMixed("bench", []platform.NodeGroup{
+					{Count: nFat, Spec: fat}, {Count: nThin, Spec: thin},
+				})
+				placed := make(chan scheduler.Placement, nSmall+nLarge)
+				sched := scheduler.New(plat.Nodes(), func(p scheduler.Placement) { placed <- p },
+					scheduler.WithPolicy(pol.mk()))
+				for t := 0; t < nSmall; t++ {
+					if err := sched.Submit(scheduler.Request{UID: "small", Cores: thin.Cores}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// all smalls fit under both policies: drain their grants so
+				// the large offers meet the fully fragmented/packed pool
+				for g := 0; g < nSmall; g++ {
+					<-placed
+				}
+				for t := 0; t < nLarge; t++ {
+					if err := sched.Submit(scheduler.Request{UID: "large", Cores: fat.Cores, GPUs: fat.GPUs}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				got := 0
+				for g := 0; g < pol.larges; g++ {
+					p := <-placed
+					if p.Req.UID != "large" {
+						b.Fatalf("unexpected grant %q", p.Req.UID)
+					}
+					got++
+				}
+				if got != pol.larges {
+					b.Fatalf("granted %d larges under %s, expected %d", got, pol.name, pol.larges)
+				}
+				// no releases happen, so the ungranted larges are exactly
+				// the wait-pool remainder — deterministic under both policies
+				if w := sched.Waiting(); w != nLarge-pol.larges {
+					b.Fatalf("%s left %d waiting, expected %d", pol.name, w, nLarge-pol.larges)
+				}
+				largesGranted += int64(got)
+				sched.Close()
+			}
+			b.ReportMetric(float64(largesGranted)/float64(b.N), "larges-granted")
+		})
+	}
+}
+
 // BenchmarkAblationPartitionedBootstrap quantifies the paper's §IV-B
 // mitigation for the launch penalty: partitioning a 640-instance
 // bootstrap into ≤160-instance waves keeps per-instance launch time at

@@ -1,7 +1,9 @@
 // Command rpexp regenerates the paper's tables and figures: Table I (use
 // cases), Table II (experiment setup), Fig. 3 (Exp 1, bootstrap-time
 // scaling), Figs. 4/5 (Exp 2, local/remote NOOP response time) and Fig. 6
-// (Exp 3, llama inference time).
+// (Exp 3, llama inference time) — plus the fragmentation ablation on a
+// heterogeneous (mixed node shape) pilot, which the paper's homogeneous
+// testbeds cannot exhibit.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 //	rpexp -exp 1 -counts 1,8,64,320,640
 //	rpexp -exp 2 -deploy remote -scaling weak
 //	rpexp -exp 3 -deploy local -requests 4
+//	rpexp -exp frag -platform hetero -sched best-fit
 package main
 
 import (
@@ -25,13 +28,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1|2|3|table1|table2|all")
+	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|table1|table2|all")
 	deploy := flag.String("deploy", "both", "deployment for exp 2/3: local|remote|both")
 	scaling := flag.String("scaling", "both", "scaling for exp 2/3: strong|weak|both")
 	counts := flag.String("counts", "", "comma-separated instance counts for exp 1 (default: paper sweep)")
 	requests := flag.Int("requests", 0, "requests per client (default: paper values)")
 	seed := flag.Uint64("seed", 0, "override RNG seed (0: per-experiment defaults)")
 	sched := flag.String("sched", "", "pilot scheduling policy: strict|backfill[:k=N,t=D]|best-fit[:k=N,t=D] (default strict)")
+	plat := flag.String("platform", "hetero", "mixed-shape platform for the fragmentation ablation")
 	flag.Parse()
 
 	if _, err := scheduler.PolicyByName(*sched); err != nil {
@@ -100,6 +104,24 @@ func main() {
 		default:
 			return []experiments.Scaling{experiments.ScalingStrong, experiments.ScalingWeak}
 		}
+	}
+	if want("frag") {
+		run("Fragmentation ablation (heterogeneous pilot)", func() error {
+			cfg := experiments.DefaultFragConfig()
+			cfg.Platform = *plat
+			if *sched != "" {
+				cfg.Policy = *sched
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			res, err := experiments.RunFrag(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table().Render())
+			return nil
+		})
 	}
 	if want("2") {
 		for _, d := range deployments() {

@@ -7,7 +7,10 @@
 // The pilot's placement policy is configurable with -sched
 // (strict|backfill|best-fit), threading the scheduler's Policy seam
 // end-to-end: with -sched backfill, small client tasks keep flowing even
-// while a large request blocks the head of the pilot's wait pool.
+// while a large request blocks the head of the pilot's wait pool. The
+// hosting platform is configurable with -platform: "delta" (the paper's
+// homogeneous testbed) or "hetero", the mixed-shape campus, where
+// -sched best-fit keeps the fat GPU nodes whole.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/loadbal"
 	"repro/internal/metrics"
+	"repro/internal/platform"
 	"repro/internal/scheduler"
 	"repro/internal/simtime"
 	"repro/internal/spec"
@@ -29,14 +33,16 @@ import (
 func main() {
 	sched := flag.String("sched", scheduler.PolicyStrict,
 		"pilot scheduling policy: strict|backfill[:k=N,t=D]|best-fit[:k=N,t=D]")
+	plat := flag.String("platform", "delta",
+		"hosting platform: delta (homogeneous) or hetero (mixed node shapes)")
 	flag.Parse()
-	if err := run(*sched); err != nil {
+	if err := run(*sched, *plat); err != nil {
 		fmt.Fprintf(os.Stderr, "loadbalance: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(sched string) error {
+func run(sched, plat string) error {
 	sess, err := core.NewSession(core.SessionConfig{
 		Seed:        5,
 		Clock:       simtime.NewScaled(2000, core.DefaultOrigin),
@@ -48,9 +54,20 @@ func run(sched string) error {
 	}
 	defer sess.Close()
 
-	p, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Cores: 256, GPUs: 16})
+	// On a homogeneous platform the fleet needs 256 cores / 16 GPUs; on a
+	// mixed platform take the whole machine instead — a capacity request
+	// would be satisfied by the (index-leading) fat partition alone,
+	// leaving the pilot homogeneous and nothing for best-fit to win.
+	desc := spec.PilotDescription{Platform: plat, Cores: 256, GPUs: 16}
+	if hosting := sess.Topology().Platform(plat); hosting != nil && len(hosting.Shapes()) > 1 {
+		desc = spec.PilotDescription{Platform: plat, Nodes: len(hosting.Nodes())}
+	}
+	p, err := sess.PilotManager().Submit(desc)
 	if err != nil {
 		return err
+	}
+	if shapes := p.Shapes(); len(shapes) > 1 {
+		fmt.Printf("pilot spans mixed node shapes: %s\n", platform.FormatShapes(shapes))
 	}
 	sm := sess.ServiceManager()
 	sm.AddPilot(p)
@@ -84,7 +101,7 @@ func run(sched string) error {
 		{"least-pending (future-work rerouting)", loadbal.NewLeastPending(sm.QueueDepth)},
 	}
 	for _, s := range strategies {
-		pool, err := sess.Pool("delta//burst-client", "llama-8b", s.bal)
+		pool, err := sess.Pool(platform.Addr(plat, "", "burst-client"), "llama-8b", s.bal)
 		if err != nil {
 			return err
 		}

@@ -46,8 +46,8 @@ type SessionConfig struct {
 	Seed uint64
 	// Clock defaults to a 1000x scaled clock at DefaultOrigin.
 	Clock simtime.Clock
-	// Topology defaults to the paper's three platforms (frontier, delta,
-	// r3).
+	// Topology defaults to the full catalog topology: the paper's three
+	// platforms (frontier, delta, r3) plus the mixed-shape hetero campus.
 	Topology *platform.Topology
 	// FastBoot zeroes pilot boot, launch and publish overheads. Use for
 	// runs that measure steady-state behaviour (the paper's Exp 2/3, where

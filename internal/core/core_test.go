@@ -397,6 +397,109 @@ func TestPolicyBackfillKeepsTasksFlowingEndToEnd(t *testing.T) {
 	}
 }
 
+// TestHeteroPilotBestFitEndToEnd drives node heterogeneity through the
+// whole stack: a session on a mixed-shape platform acquires one pilot
+// spanning both shapes, and the pilot's best-fit scheduler packs small
+// CPU tasks onto the thin partition so large GPU tasks still fit the
+// fat one — while a strict (first-fit) twin session fragments the fat
+// partition with the same workload and wedges the second large task.
+func TestHeteroPilotBestFitEndToEnd(t *testing.T) {
+	fat := platform.NodeSpec{Cores: 64, GPUs: 8, MemGB: 256}
+	thin := platform.NodeSpec{Cores: 16, GPUs: 0, MemGB: 64}
+	// ≈36s real at the test scale: far past the assertion window even on
+	// a loaded -race/-shuffle CI run, so the holders can never complete
+	// and free capacity mid-test (the leaked sleeps die with the binary)
+	hold := rng.ConstDuration(1000 * time.Hour)
+
+	waitState := func(task *pilot.Task, want states.State) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for task.State() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("task %s stuck in %s, want %s", task.UID(), task.State(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// run returns the two large tasks after the 8 small tasks are running.
+	run := func(pol string) (*Session, []*pilot.Task) {
+		mix := platform.NewMixed("campus", []platform.NodeGroup{
+			{Count: 2, Spec: fat}, {Count: 4, Spec: thin},
+		})
+		s, err := NewSession(SessionConfig{
+			Seed:        5,
+			Clock:       simtime.NewScaled(100000, DefaultOrigin),
+			Topology:    platform.NewTopology(mix),
+			FastBoot:    true,
+			SchedPolicy: pol,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		p, err := s.PilotManager().Submit(spec.PilotDescription{Platform: "campus", Nodes: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shapes := p.Shapes(); len(shapes) != 2 || shapes[0].Spec != fat || shapes[1].Spec != thin {
+			t.Fatalf("pilot shapes = %+v, want fat + thin", shapes)
+		}
+		tm := s.TaskManager()
+		tm.AddPilot(p)
+		ctx := context.Background()
+		var descs []spec.TaskDescription
+		for i := 0; i < 8; i++ { // 8×8 cores: exactly the thin partition's capacity
+			descs = append(descs, spec.TaskDescription{Name: "small", Cores: 8, Duration: hold})
+		}
+		smalls, err := tm.Submit(ctx, descs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range smalls {
+			waitState(task, states.TaskExecuting)
+		}
+		larges, err := tm.Submit(ctx,
+			spec.TaskDescription{Name: "large-0", Cores: 64, GPUs: 8, Duration: hold},
+			spec.TaskDescription{Name: "large-1", Cores: 64, GPUs: 8, Duration: hold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, larges
+	}
+
+	// best-fit: smalls packed onto thin nodes, both fat nodes stay whole
+	_, larges := run("best-fit")
+	waitState(larges[0], states.TaskExecuting)
+	waitState(larges[1], states.TaskExecuting)
+
+	// strict/first-fit control: the smalls fragment fat node 0, so only
+	// one large can run and the other stays stuck in scheduling. The two
+	// larges race each other to the scheduler (per-task goroutines), so
+	// which one wins is not deterministic — only that exactly one does.
+	_, larges = run("strict")
+	var stuck *pilot.Task
+	deadline := time.Now().Add(10 * time.Second)
+	for stuck == nil {
+		switch {
+		case larges[0].State() == states.TaskExecuting:
+			stuck = larges[1]
+		case larges[1].State() == states.TaskExecuting:
+			stuck = larges[0]
+		case time.Now().After(deadline):
+			t.Fatalf("no large task started under strict (states %s/%s)",
+				larges[0].State(), larges[1].State())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	time.Sleep(150 * time.Millisecond)
+	if st := stuck.State(); st != states.TaskScheduling {
+		t.Fatalf("second large = %s under strict, want stuck in %s (fat partition fragmented)",
+			st, states.TaskScheduling)
+	}
+}
+
 func TestSessionDeterministicUID(t *testing.T) {
 	a, _ := NewSession(SessionConfig{Seed: 9, Clock: simtime.NewScaled(1000, DefaultOrigin)})
 	defer a.Close()

@@ -1,0 +1,287 @@
+package experiments
+
+// Fragmentation ablation on heterogeneous pilots: the paper's three
+// testbeds are each internally homogeneous, but campus-scale machines
+// mix node shapes — and there first-fit placement fragments the large
+// nodes with small tasks until large work no longer fits, while
+// best-fit packs small tasks onto the small nodes and keeps the large
+// nodes whole. RunFrag drives that comparison end to end (session →
+// pilot spanning mixed shapes → policy-driven scheduler) at figure
+// scale: saturate a mixed pilot with small holders, then offer one
+// whole-fat-node task per fat node and count how many are granted under
+// each policy.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+)
+
+// FragConfig parameterizes the fragmentation ablation.
+type FragConfig struct {
+	// Platform names the (mixed-shape) catalog platform (default
+	// "hetero"). The pilot spans every node of it.
+	Platform string
+	// Policy is the challenger placement policy compared against the
+	// strict/first-fit baseline (default "best-fit"; any
+	// scheduler.PolicyByName form works, e.g. "best-fit:k=-1,t=-1").
+	Policy string
+	// Smalls is the number of small holder tasks, each demanding one
+	// whole thin-shaped node's cores (default: the thin partition size).
+	Smalls int
+	// Larges is the number of large tasks, each demanding one whole
+	// fat-shaped node (default: the fat partition size).
+	Larges int
+	// Scale is the clock compression (default 2000).
+	Scale float64
+	// Seed drives determinism.
+	Seed uint64
+}
+
+// DefaultFragConfig returns the figure-scale parameterization on the
+// hetero campus: enough smalls to fragment a third of the fat partition
+// under first-fit, and one large per fat node.
+func DefaultFragConfig() FragConfig {
+	return FragConfig{
+		Platform: "hetero",
+		Policy:   "best-fit",
+		Scale:    2000,
+		Seed:     4,
+	}
+}
+
+// FragRow is one policy's outcome on the saturated mixed pilot.
+type FragRow struct {
+	Policy       string
+	SmallGranted int
+	LargeGranted int
+	Waiting      int
+	CoreUtil     float64
+	GPUUtil      float64
+}
+
+// FragResult is the fragmentation-ablation dataset.
+type FragResult struct {
+	Cfg FragConfig
+	// Shapes is the pilot's node composition (e.g. "32×128c/16g + 96×16c/0g").
+	Shapes string
+	// SmallCores / LargeCores / LargeGPUs are the per-task demands derived
+	// from the platform's thin and fat shapes.
+	SmallCores, LargeCores, LargeGPUs int
+	Rows                              []FragRow
+}
+
+// RunFrag executes the fragmentation ablation: once under strict
+// (first-fit) placement, once under cfg.Policy, on identical workloads.
+func RunFrag(ctx context.Context, cfg FragConfig) (*FragResult, error) {
+	if cfg.Platform == "" {
+		cfg.Platform = "hetero"
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "best-fit"
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 2000
+	}
+	// Resolve the workload from the platform's shape mix once, up front:
+	// every session instantiates the catalog platform identically, so the
+	// shapes (and the defaults derived from them) are the same per policy.
+	plat := platform.DefaultTopology().Platform(cfg.Platform)
+	if plat == nil {
+		return nil, fmt.Errorf("experiments: frag: unknown platform %q", cfg.Platform)
+	}
+	shapes := plat.Shapes()
+	thin, fat := thinAndFat(shapes)
+	if cfg.Smalls <= 0 {
+		cfg.Smalls = thin.Count
+	}
+	if cfg.Larges <= 0 {
+		cfg.Larges = fat.Count
+	}
+	res := &FragResult{
+		Cfg:        cfg,
+		Shapes:     platform.FormatShapes(shapes),
+		SmallCores: thin.Spec.Cores,
+		LargeCores: fat.Spec.Cores,
+		LargeGPUs:  fat.Spec.GPUs,
+	}
+	policies := []string{"strict"}
+	if cfg.Policy != "strict" {
+		policies = append(policies, cfg.Policy)
+	}
+	for _, pol := range policies {
+		row, err := runFragPoint(ctx, cfg, pol, len(plat.Nodes()), thin.Spec, fat.Spec)
+		if err != nil {
+			return res, fmt.Errorf("experiments: frag %s on %s: %w", pol, cfg.Platform, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// thinAndFat picks the smallest- and largest-capacity shapes of a
+// (possibly mixed) node-group list, ranked on the same weighted scale
+// best-fit placement optimizes.
+func thinAndFat(groups []platform.NodeGroup) (thin, fat platform.NodeGroup) {
+	weight := func(s platform.NodeSpec) float64 {
+		return scheduler.WeightedCapacity(s.Cores, s.GPUs, s.MemGB)
+	}
+	thin, fat = groups[0], groups[0]
+	for _, g := range groups[1:] {
+		if weight(g.Spec) < weight(thin.Spec) {
+			thin = g
+		}
+		if weight(g.Spec) > weight(fat.Spec) {
+			fat = g
+		}
+	}
+	return thin, fat
+}
+
+// runFragPoint runs the workload under one policy on a whole-platform
+// pilot of nodeCount nodes, with small tasks shaped to thin and large
+// tasks shaped to fat.
+func runFragPoint(ctx context.Context, cfg FragConfig, policy string, nodeCount int, thin, fat platform.NodeSpec) (FragRow, error) {
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed:        cfg.Seed,
+		Clock:       simtime.NewScaled(cfg.Scale, core.DefaultOrigin),
+		FastBoot:    true,
+		SchedPolicy: policy,
+	})
+	if err != nil {
+		return FragRow{}, err
+	}
+	defer sess.Close()
+	p, err := sess.PilotManager().Submit(spec.PilotDescription{
+		Platform: cfg.Platform, Nodes: nodeCount,
+	})
+	if err != nil {
+		return FragRow{}, err
+	}
+
+	tm := sess.TaskManager()
+	tm.AddPilot(p)
+	// Holders sleep far past the measurement window; cancelling taskCtx
+	// on return aborts their payloads so the session shuts down cleanly.
+	taskCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hold := rng.ConstDuration(1000 * time.Hour)
+
+	sched := p.Scheduler()
+	// allGranted waits until exactly target grants have happened.
+	allGranted := func(target int) error {
+		deadline := time.Now().Add(10 * time.Second)
+		for sched.Scheduled() != target {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("scheduler did not settle (granted %d/%d)", sched.Scheduled(), target)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return nil
+	}
+	// quiesced waits until every accepted request is either granted or
+	// waiting (all submissions reached the scheduler) and the grant count
+	// has stopped moving.
+	quiesced := func(total int) error {
+		deadline := time.Now().Add(10 * time.Second)
+		stable, last := 0, -1
+		for {
+			g, w := sched.Scheduled(), sched.Waiting()
+			if g+w == total && g == last {
+				if stable++; stable >= 3 {
+					return nil
+				}
+			} else {
+				stable = 0
+			}
+			last = g
+			if time.Now().After(deadline) {
+				return fmt.Errorf("scheduler did not quiesce (granted %d, waiting %d, want total %d)", g, w, total)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: small holders — every one of them fits, so wait for all
+	// grants before offering large work (inter-class submission order
+	// must not race, or the fragmentation pattern would be noisy).
+	smallDescs := make([]spec.TaskDescription, cfg.Smalls)
+	for i := range smallDescs {
+		smallDescs[i] = spec.TaskDescription{
+			Name: fmt.Sprintf("small-%04d", i), Cores: thin.Cores, Duration: hold,
+		}
+	}
+	if _, err := tm.Submit(taskCtx, smallDescs...); err != nil {
+		return FragRow{}, err
+	}
+	if err := allGranted(cfg.Smalls); err != nil {
+		return FragRow{}, fmt.Errorf("small holders: %w", err)
+	}
+
+	// Phase 2: one whole-fat-node task per fat node.
+	largeDescs := make([]spec.TaskDescription, cfg.Larges)
+	for i := range largeDescs {
+		largeDescs[i] = spec.TaskDescription{
+			Name:  fmt.Sprintf("large-%04d", i),
+			Cores: fat.Cores, GPUs: fat.GPUs, Duration: hold,
+		}
+	}
+	if _, err := tm.Submit(taskCtx, largeDescs...); err != nil {
+		return FragRow{}, err
+	}
+	if err := quiesced(cfg.Smalls + cfg.Larges); err != nil {
+		return FragRow{}, fmt.Errorf("large offers: %w", err)
+	}
+
+	granted := sched.Scheduled()
+	row := FragRow{
+		Policy:       policy,
+		SmallGranted: cfg.Smalls,
+		LargeGranted: granted - cfg.Smalls,
+		Waiting:      sched.Waiting(),
+	}
+	var totCores, totGPUs, freeCores, freeGPUs int
+	for _, n := range p.Nodes() {
+		sp := n.Spec()
+		totCores += sp.Cores
+		totGPUs += sp.GPUs
+		fc, fg, _ := n.Free()
+		freeCores += fc
+		freeGPUs += fg
+	}
+	if totCores > 0 {
+		row.CoreUtil = 1 - float64(freeCores)/float64(totCores)
+	}
+	if totGPUs > 0 {
+		row.GPUUtil = 1 - float64(freeGPUs)/float64(totGPUs)
+	}
+	return row, nil
+}
+
+// Table renders the fragmentation ablation.
+func (r *FragResult) Table() metrics.Table {
+	t := metrics.Table{
+		Title: fmt.Sprintf(
+			"Fragmentation ablation — %s (%s), %d smalls (%dc) then %d larges (%dc/%dg)",
+			r.Cfg.Platform, r.Shapes, r.Cfg.Smalls, r.SmallCores,
+			r.Cfg.Larges, r.LargeCores, r.LargeGPUs),
+		Header: []string{"policy", "smalls granted", "larges granted", "waiting", "core util", "gpu util"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Policy,
+			fmt.Sprintf("%d/%d", row.SmallGranted, r.Cfg.Smalls),
+			fmt.Sprintf("%d/%d", row.LargeGranted, r.Cfg.Larges),
+			fmt.Sprintf("%d", row.Waiting),
+			fmt.Sprintf("%.3f", row.CoreUtil),
+			fmt.Sprintf("%.3f", row.GPUUtil))
+	}
+	return t
+}

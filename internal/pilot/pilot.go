@@ -184,53 +184,66 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 }
 
 // acquire reserves whole nodes on the platform and builds the pilot's
-// virtual node view.
+// virtual node view. Platforms may mix node shapes (platform.NewMixed):
+// a Nodes-based request takes the first available nodes regardless of
+// shape, while a Cores/GPUs-based request accumulates capacity across
+// whatever shapes the platform offers — skipping nodes that contribute
+// nothing to the still-unmet dimensions, so a GPU request on a mixed
+// campus does not pointlessly reserve its CPU-only partition.
+//
+// When every demanded dimension exists somewhere on the platform, this
+// acquires exactly the nodes the previous ceil-over-one-spec
+// computation selected on homogeneous platforms. One deliberate
+// divergence: demanding a dimension no node shape provides (e.g. GPUs
+// on a GPU-less machine) now fails with ErrInsufficient, where the old
+// path silently granted an under-provisioned pilot whose scheduler
+// would then reject every GPU task as unsatisfiable anyway.
 func (p *Pilot) acquire() error {
 	plat := p.cfg.Platform
-	var nodeSpec platform.NodeSpec
-	if ns := plat.Nodes(); len(ns) > 0 {
-		nodeSpec = ns[0].Spec()
+	needNodes := p.desc.Nodes
+	needCores, needGPUs := 0, 0
+	if needNodes == 0 {
+		needCores, needGPUs = p.desc.Cores, p.desc.GPUs
+		if needCores <= 0 && needGPUs <= 0 {
+			return ErrInsufficient
+		}
 	}
-	need := p.desc.Nodes
-	if need == 0 {
-		need = nodesFor(p.desc, nodeSpec)
-	}
-	if need <= 0 {
-		return ErrInsufficient
+	gotCores, gotGPUs := 0, 0
+	done := func() bool {
+		if needNodes > 0 {
+			return len(p.allocs) == needNodes
+		}
+		return gotCores >= needCores && gotGPUs >= needGPUs
 	}
 	for _, n := range plat.Nodes() {
-		if len(p.allocs) == need {
+		if done() {
 			break
 		}
 		sp := n.Spec()
+		if needNodes == 0 {
+			contributes := (gotCores < needCores && sp.Cores > 0) ||
+				(gotGPUs < needGPUs && sp.GPUs > 0)
+			if !contributes {
+				continue
+			}
+		}
 		if a := n.TryAlloc(sp.Cores, sp.GPUs, sp.MemGB); a != nil {
 			p.allocs = append(p.allocs, a)
 			p.nodes = append(p.nodes, platform.NewNode(n.Name(), sp))
+			gotCores += sp.Cores
+			gotGPUs += sp.GPUs
 		}
 	}
-	if len(p.allocs) < need {
+	if !done() {
+		got := len(p.allocs)
 		p.release()
-		return fmt.Errorf("%w: got %d/%d nodes on %s", ErrInsufficient, len(p.allocs), need, plat.Name())
+		if needNodes > 0 {
+			return fmt.Errorf("%w: got %d/%d nodes on %s", ErrInsufficient, got, needNodes, plat.Name())
+		}
+		return fmt.Errorf("%w: got %d/%d cores, %d/%d gpus on %s",
+			ErrInsufficient, gotCores, needCores, gotGPUs, needGPUs, plat.Name())
 	}
 	return nil
-}
-
-// nodesFor converts a cores/GPUs request into whole nodes.
-func nodesFor(d spec.PilotDescription, ns platform.NodeSpec) int {
-	need := 0
-	if d.Cores > 0 && ns.Cores > 0 {
-		n := (d.Cores + ns.Cores - 1) / ns.Cores
-		if n > need {
-			need = n
-		}
-	}
-	if d.GPUs > 0 && ns.GPUs > 0 {
-		n := (d.GPUs + ns.GPUs - 1) / ns.GPUs
-		if n > need {
-			need = n
-		}
-	}
-	return need
 }
 
 func (p *Pilot) release() {
@@ -251,6 +264,12 @@ func (p *Pilot) Description() spec.PilotDescription { return p.desc }
 
 // Nodes returns the pilot's virtual nodes.
 func (p *Pilot) Nodes() []*platform.Node { return p.nodes }
+
+// Shapes returns the node-shape composition of the pilot's allocation,
+// as consecutive runs of identical specs in node order. Pilots on mixed
+// platforms report more than one group; the scheduler underneath places
+// across all of them.
+func (p *Pilot) Shapes() []platform.NodeGroup { return platform.ShapesOf(p.nodes) }
 
 // Services returns the pilot's ServiceManager.
 func (p *Pilot) Services() *service.Manager { return p.svcMgr }

@@ -310,6 +310,116 @@ func TestSubmitTaskAfterShutdown(t *testing.T) {
 	}
 }
 
+// newPilotOn launches a pilot on an arbitrary platform (newPilot is
+// pinned to Delta).
+func newPilotOn(t *testing.T, plat *platform.Platform, desc spec.PilotDescription, polName string) *Pilot {
+	t.Helper()
+	clock := simtime.NewScaled(100000, origin)
+	src := rng.New(11)
+	net := msgq.NewNetwork(clock, src.Derive("net"), platform.NewTopology(plat).Resolver())
+	p, err := Launch(Config{
+		Clock: clock, Src: src, Net: net, Platform: plat, SchedPolicy: polName,
+	}, desc)
+	if err != nil {
+		net.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.State() == states.PilotActive {
+			_ = p.Shutdown()
+		}
+		net.Close()
+	})
+	return p
+}
+
+// TestLaunchSpansMixedShapes pins heterogeneous acquisition: a
+// whole-campus pilot on a mixed platform owns nodes of every shape and
+// reports them through Shapes.
+func TestLaunchSpansMixedShapes(t *testing.T) {
+	plat := platform.NewHeteroCampus()
+	p := newPilotOn(t, plat, spec.PilotDescription{
+		Platform: "hetero", Nodes: len(plat.Nodes()),
+	}, "")
+	if len(p.Nodes()) != len(plat.Nodes()) {
+		t.Fatalf("pilot nodes = %d, want the whole campus (%d)", len(p.Nodes()), len(plat.Nodes()))
+	}
+	shapes := p.Shapes()
+	if len(shapes) != 2 {
+		t.Fatalf("pilot shapes = %+v, want fat + thin", shapes)
+	}
+	if shapes[0].Spec != platform.HeteroFatSpec || shapes[1].Spec != platform.HeteroThinSpec {
+		t.Fatalf("pilot shape specs = %+v", shapes)
+	}
+	if plat.FreeCores() != 0 || plat.FreeGPUs() != 0 {
+		t.Fatal("whole-campus pilot left platform capacity unreserved")
+	}
+}
+
+// TestLaunchMixedCapacityAccumulates pins the Cores/GPUs acquisition
+// path on a mixed platform: demand is met by accumulating capacity
+// across shapes, and nodes contributing nothing toward the unmet
+// dimensions are skipped.
+func TestLaunchMixedCapacityAccumulates(t *testing.T) {
+	fat := platform.NodeSpec{Cores: 64, GPUs: 8, MemGB: 256}
+	thin := platform.NodeSpec{Cores: 8, GPUs: 0, MemGB: 32}
+
+	// cores-dominated demand spans both shapes: 2 fat (128c) + 4 thin
+	// (32c) reach 160 cores
+	plat := platform.NewMixed("mix", []platform.NodeGroup{{Count: 2, Spec: fat}, {Count: 8, Spec: thin}})
+	p := newPilotOn(t, plat, spec.PilotDescription{Platform: "mix", Cores: 160}, "")
+	if len(p.Nodes()) != 6 {
+		t.Fatalf("pilot nodes = %d, want 6 (2 fat + 4 thin)", len(p.Nodes()))
+	}
+
+	// a GPU demand on a thin-first platform must skip the GPU-less
+	// partition instead of reserving it
+	plat = platform.NewMixed("mix2", []platform.NodeGroup{{Count: 8, Spec: thin}, {Count: 2, Spec: fat}})
+	p = newPilotOn(t, plat, spec.PilotDescription{Platform: "mix2", GPUs: 16}, "")
+	if len(p.Nodes()) != 2 {
+		t.Fatalf("pilot nodes = %d, want 2 fat nodes only", len(p.Nodes()))
+	}
+	for _, n := range p.Nodes() {
+		if n.Spec() != fat {
+			t.Fatalf("GPU pilot acquired a %+v node", n.Spec())
+		}
+	}
+	if free := plat.FreeCores(); free != 8*8 {
+		t.Fatalf("thin partition cores reserved by a GPU pilot: %d free, want 64", free)
+	}
+
+	// a dimension no shape provides fails fast instead of silently
+	// granting an under-provisioned pilot (deliberate divergence from
+	// the pre-mixed-shapes behavior: such a pilot's scheduler would
+	// reject every task demanding that dimension anyway)
+	cpuOnly := platform.New("cpuonly", 4, thin)
+	cpuNet := msgq.NewNetwork(simtime.NewScaled(100000, origin), rng.New(1), nil)
+	defer cpuNet.Close()
+	_, err := Launch(Config{
+		Clock: simtime.NewScaled(100000, origin), Src: rng.New(1), Net: cpuNet, Platform: cpuOnly,
+	}, spec.PilotDescription{Platform: "cpuonly", Cores: 8, GPUs: 1})
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("GPU demand on a GPU-less platform = %v, want ErrInsufficient", err)
+	}
+	if cpuOnly.FreeCores() != cpuOnly.TotalCores() {
+		t.Fatal("failed GPU-less launch leaked core allocations")
+	}
+
+	// over-demand fails cleanly and releases everything
+	plat = platform.NewMixed("mix3", []platform.NodeGroup{{Count: 8, Spec: thin}, {Count: 2, Spec: fat}})
+	net := msgq.NewNetwork(simtime.NewScaled(100000, origin), rng.New(1), nil)
+	defer net.Close()
+	_, err = Launch(Config{
+		Clock: simtime.NewScaled(100000, origin), Src: rng.New(1), Net: net, Platform: plat,
+	}, spec.PilotDescription{Platform: "mix3", GPUs: 999})
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("over-demand err = %v", err)
+	}
+	if plat.FreeGPUs() != 16 || plat.FreeCores() != plat.TotalCores() {
+		t.Fatal("failed mixed launch leaked allocations")
+	}
+}
+
 // TestPolicyResolutionPrecedence pins the policy fallback chain: an
 // explicit Config.SchedPolicy wins, otherwise the platform's default
 // applies, otherwise strict — and a bad name fails the launch before any

@@ -9,7 +9,9 @@ import (
 // This file is the platform catalog: constructors for the three machines
 // of the paper's evaluation (Table II), parameterized with the latencies
 // the paper reports and launch models calibrated to reproduce the Fig. 3
-// shape.
+// shape — plus the mixed-shape hetero campus, which combines a fat GPU
+// partition with a thin CPU partition so heterogeneous pilots and
+// fragmentation-aware placement can be exercised at figure scale.
 
 // Paper §IV-C measured latencies.
 const (
@@ -79,10 +81,55 @@ func NewR3() *Platform {
 	return p
 }
 
-// DefaultTopology wires the three paper platforms into one topology with
-// the Delta↔R3 WAN latency as the default wide-area link.
+// Hetero-campus node shapes: the fat partition is R3-class (128 cores,
+// 16 GPUs), the thin partition is a diskless CPU blade. The fat
+// partition comes first in node order on purpose — index-ordered
+// first-fit placement then fragments the fat nodes with small tasks,
+// which is exactly the failure mode best-fit placement is for.
+var (
+	// HeteroFatSpec is the hetero campus's GPU-partition node shape.
+	HeteroFatSpec = NodeSpec{Cores: 128, GPUs: 16, MemGB: 1024}
+	// HeteroThinSpec is the hetero campus's CPU-partition node shape.
+	HeteroThinSpec = NodeSpec{Cores: 16, GPUs: 0, MemGB: 64}
+)
+
+// Hetero-campus partition sizes.
+const (
+	// HeteroFatNodes is the number of fat (GPU) nodes in the campus.
+	HeteroFatNodes = 32
+	// HeteroThinNodes is the number of thin (CPU) nodes in the campus.
+	HeteroThinNodes = 96
+)
+
+// NewHeteroCampus models a mixed-shape campus cluster — the kind of
+// machine the paper's three single-shape testbeds bracket but never
+// combine: a fat GPU partition (32 × 128 cores/16 GPUs/1024 GB) in front
+// of a thin CPU partition (96 × 16 cores/64 GB, no GPUs) behind one
+// batch system. It exists to exercise heterogeneous pilots end to end:
+// whole-campus pilots span both shapes, and the fragmentation ablation
+// (`rpexp -exp frag`) compares first-fit against best-fit placement on
+// it at figure scale.
+func NewHeteroCampus() *Platform {
+	p := NewMixed("hetero", []NodeGroup{
+		{Count: HeteroFatNodes, Spec: HeteroFatSpec},
+		{Count: HeteroThinNodes, Spec: HeteroThinSpec},
+	})
+	p.IntraNodeLatency = localLatency(5*time.Microsecond, 1*time.Microsecond)
+	p.LocalLatency = localLatency(90*time.Microsecond, 20*time.Microsecond)
+	p.WANLatency["r3"] = rng.NormalDuration(DeltaToR3LatencyMean, DeltaToR3LatencyStd)
+	p.Launch = LaunchModel{
+		Base:       rng.NormalDuration(2000*time.Millisecond, 300*time.Millisecond),
+		Saturation: 128,
+		PenaltyExp: 1.5,
+	}
+	return p
+}
+
+// DefaultTopology wires the three paper platforms plus the mixed-shape
+// hetero campus into one topology with the Delta↔R3 WAN latency as the
+// default wide-area link.
 func DefaultTopology() *Topology {
-	t := NewTopology(NewFrontier(), NewDelta(), NewR3())
+	t := NewTopology(NewFrontier(), NewDelta(), NewR3(), NewHeteroCampus())
 	t.DefaultWAN = rng.NormalDuration(DeltaToR3LatencyMean, DeltaToR3LatencyStd)
 	return t
 }

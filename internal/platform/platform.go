@@ -36,6 +36,14 @@ type NodeSpec struct {
 	MemGB float64
 }
 
+// NodeGroup is a run of identically shaped nodes inside a platform.
+// Mixed-shape platforms (NewMixed) are described as an ordered list of
+// groups; Shapes reports the same structure back for any node set.
+type NodeGroup struct {
+	Count int
+	Spec  NodeSpec
+}
+
 // Node is one allocatable machine. All methods are safe for concurrent
 // use.
 //
@@ -235,12 +243,35 @@ func New(name string, n int, spec NodeSpec) *Platform {
 	if n <= 0 {
 		panic(fmt.Sprintf("platform: %s with %d nodes", name, n))
 	}
+	return NewMixed(name, []NodeGroup{{Count: n, Spec: spec}})
+}
+
+// NewMixed assembles a heterogeneous platform from an ordered list of
+// node groups. Nodes are numbered consecutively across groups, so group
+// order is placement order for index-based (first-fit) schedulers: a
+// fragmentation-sensitive catalog entry puts its large nodes first to
+// expose the first-fit failure mode that best-fit placement avoids.
+func NewMixed(name string, groups []NodeGroup) *Platform {
+	total := 0
+	for _, g := range groups {
+		if g.Count <= 0 {
+			panic(fmt.Sprintf("platform: %s group with %d nodes", name, g.Count))
+		}
+		total += g.Count
+	}
+	if total == 0 {
+		panic(fmt.Sprintf("platform: %s with no node groups", name))
+	}
 	p := &Platform{
 		name:       name,
 		WANLatency: make(map[string]rng.DurationDist),
 	}
-	for i := 0; i < n; i++ {
-		p.nodes = append(p.nodes, NewNode(fmt.Sprintf("%s-node%04d", name, i), spec))
+	i := 0
+	for _, g := range groups {
+		for k := 0; k < g.Count; k++ {
+			p.nodes = append(p.nodes, NewNode(fmt.Sprintf("%s-node%04d", name, i), g.Spec))
+			i++
+		}
 	}
 	return p
 }
@@ -260,6 +291,38 @@ func (p *Platform) Node(name string) *Node {
 		}
 	}
 	return nil
+}
+
+// Shapes returns the platform's node composition as consecutive runs of
+// identical specs, in node order.
+func (p *Platform) Shapes() []NodeGroup { return ShapesOf(p.nodes) }
+
+// ShapesOf compresses a node list into consecutive runs of identical
+// specs, in node order. Pilots use it to report the shape mix of their
+// virtual node view; a single-group result means a homogeneous pool.
+func ShapesOf(nodes []*Node) []NodeGroup {
+	var groups []NodeGroup
+	for _, n := range nodes {
+		if len(groups) > 0 && groups[len(groups)-1].Spec == n.spec {
+			groups[len(groups)-1].Count++
+			continue
+		}
+		groups = append(groups, NodeGroup{Count: 1, Spec: n.spec})
+	}
+	return groups
+}
+
+// FormatShapes renders a node-group list compactly, e.g.
+// "32×128c/16g + 96×16c/0g".
+func FormatShapes(groups []NodeGroup) string {
+	var b strings.Builder
+	for i, g := range groups {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%d×%dc/%dg", g.Count, g.Spec.Cores, g.Spec.GPUs)
+	}
+	return b.String()
 }
 
 // TotalCores returns the core count across all nodes.

@@ -315,7 +315,86 @@ func TestTopologyAccessors(t *testing.T) {
 		t.Fatal("Platform lookup broken")
 	}
 	names := topo.PlatformNames()
-	if len(names) != 3 || names[0] != "delta" || names[1] != "frontier" || names[2] != "r3" {
-		t.Fatalf("PlatformNames = %v", names)
+	want := []string{"delta", "frontier", "hetero", "r3"}
+	if len(names) != len(want) {
+		t.Fatalf("PlatformNames = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("PlatformNames = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestNewMixedShapes(t *testing.T) {
+	fat := NodeSpec{Cores: 64, GPUs: 8, MemGB: 512}
+	thin := NodeSpec{Cores: 8, GPUs: 0, MemGB: 32}
+	p := NewMixed("mix", []NodeGroup{{Count: 2, Spec: fat}, {Count: 3, Spec: thin}})
+	if len(p.Nodes()) != 5 {
+		t.Fatalf("nodes = %d, want 5", len(p.Nodes()))
+	}
+	// Node numbering is consecutive across groups, group order preserved.
+	for i, wantSpec := range []NodeSpec{fat, fat, thin, thin, thin} {
+		n := p.Nodes()[i]
+		if n.Spec() != wantSpec {
+			t.Fatalf("node %d spec = %+v, want %+v", i, n.Spec(), wantSpec)
+		}
+		if want := "mix-node000" + string(rune('0'+i)); n.Name() != want {
+			t.Fatalf("node %d name = %q, want %q", i, n.Name(), want)
+		}
+	}
+	if p.TotalCores() != 2*64+3*8 || p.TotalGPUs() != 16 {
+		t.Fatalf("totals = %d cores / %d gpus", p.TotalCores(), p.TotalGPUs())
+	}
+	shapes := p.Shapes()
+	if len(shapes) != 2 || shapes[0] != (NodeGroup{2, fat}) || shapes[1] != (NodeGroup{3, thin}) {
+		t.Fatalf("Shapes = %+v", shapes)
+	}
+	if got := FormatShapes(shapes); got != "2×64c/8g + 3×8c/0g" {
+		t.Fatalf("FormatShapes = %q", got)
+	}
+	// A homogeneous platform compresses to one group.
+	if shapes := New("homo", 4, fat).Shapes(); len(shapes) != 1 || shapes[0].Count != 4 {
+		t.Fatalf("homogeneous Shapes = %+v", shapes)
+	}
+}
+
+func TestNewMixedPanicsOnBadGroup(t *testing.T) {
+	for _, groups := range [][]NodeGroup{
+		nil,
+		{},
+		{{Count: 0, Spec: NodeSpec{Cores: 1}}},
+		{{Count: 2, Spec: NodeSpec{Cores: 1}}, {Count: -1, Spec: NodeSpec{Cores: 1}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewMixed(%+v) did not panic", groups)
+				}
+			}()
+			NewMixed("bad", groups)
+		}()
+	}
+}
+
+func TestHeteroCampusCatalog(t *testing.T) {
+	p := NewHeteroCampus()
+	shapes := p.Shapes()
+	if len(shapes) != 2 {
+		t.Fatalf("hetero campus shapes = %+v, want fat + thin", shapes)
+	}
+	if shapes[0] != (NodeGroup{HeteroFatNodes, HeteroFatSpec}) {
+		t.Fatalf("fat partition = %+v", shapes[0])
+	}
+	if shapes[1] != (NodeGroup{HeteroThinNodes, HeteroThinSpec}) {
+		t.Fatalf("thin partition = %+v", shapes[1])
+	}
+	// The fat partition must come first in node order: the fragmentation
+	// ablation depends on first-fit landing small tasks on fat nodes.
+	if p.Nodes()[0].Spec() != HeteroFatSpec {
+		t.Fatal("hetero campus does not lead with the fat partition")
+	}
+	if p.TotalGPUs() != HeteroFatNodes*HeteroFatSpec.GPUs {
+		t.Fatalf("hetero GPUs = %d", p.TotalGPUs())
 	}
 }

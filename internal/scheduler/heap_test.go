@@ -1,0 +1,105 @@
+package scheduler
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// verifyHeapShape asserts the binary-heap invariant: no element sorts
+// strictly before its parent under (priority desc, seq asc).
+func verifyHeapShape(t *testing.T, h waitHeap) {
+	t.Helper()
+	for i := 1; i < len(h); i++ {
+		if parent := (i - 1) / 2; h.less(i, parent) {
+			t.Fatalf("heap shape violated: h[%d] (prio %d, seq %d) sorts before its parent h[%d] (prio %d, seq %d)",
+				i, h[i].req.Priority, h[i].seq, parent, h[parent].req.Priority, h[parent].seq)
+		}
+	}
+}
+
+// strictSort orders items the way the scheduler must grant them:
+// priority descending, submission sequence ascending.
+func strictSort(items []waitItem) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].req.Priority != items[j].req.Priority {
+			return items[i].req.Priority > items[j].req.Priority
+		}
+		return items[i].seq < items[j].seq
+	})
+}
+
+// TestWaitHeapProperty drives random interleavings of push, head pop
+// (removeAt(0)) and arbitrary-position removeAt — the operation mix the
+// backfill policies produce — and asserts after every step that the
+// heap shape holds, that removeAt returned exactly the item that sat at
+// the requested position, and that the head is always the strict-order
+// minimum of the reference multiset. removeAt had no direct coverage
+// before this test: its vacated-slot replacement must be able to sift
+// in either direction.
+func TestWaitHeapProperty(t *testing.T) {
+	src := rng.New(31)
+	for trial := 0; trial < 40; trial++ {
+		var h waitHeap
+		var ref []waitItem
+		seq := uint64(0)
+		removeRef := func(it waitItem) {
+			for i := range ref {
+				if ref[i].seq == it.seq {
+					ref = append(ref[:i], ref[i+1:]...)
+					return
+				}
+			}
+			t.Fatalf("trial %d: removeAt returned seq %d not present in reference", trial, it.seq)
+		}
+		for step := 0; step < 150; step++ {
+			switch {
+			case len(h) == 0 || src.Intn(5) > 1: // push-biased
+				seq++
+				it := waitItem{req: Request{Priority: src.Intn(4) * 10}, seq: seq}
+				h.push(it)
+				ref = append(ref, it)
+			case src.Intn(2) == 0: // head pop
+				want := h[0]
+				if got := h.removeAt(0); got != want {
+					t.Fatalf("trial %d step %d: removeAt(0) = %+v, head was %+v", trial, step, got, want)
+				}
+				removeRef(want)
+			default: // remove from an arbitrary backing-array position
+				pos := src.Intn(len(h))
+				want := h[pos]
+				if got := h.removeAt(pos); got != want {
+					t.Fatalf("trial %d step %d: removeAt(%d) = %+v, slot held %+v", trial, step, pos, got, want)
+				}
+				removeRef(want)
+			}
+			if len(h) != len(ref) {
+				t.Fatalf("trial %d step %d: heap has %d items, reference %d", trial, step, len(h), len(ref))
+			}
+			verifyHeapShape(t, h)
+			if len(h) > 0 {
+				want := append([]waitItem{}, ref...)
+				strictSort(want)
+				if h[0] != want[0] {
+					t.Fatalf("trial %d step %d: head = %+v, strict order wants %+v", trial, step, h[0], want[0])
+				}
+			}
+		}
+		// drain through the head: items must come out in exactly
+		// (priority desc, seq asc) order
+		want := append([]waitItem{}, ref...)
+		strictSort(want)
+		for i, w := range want {
+			got := h.removeAt(0)
+			if got != w {
+				t.Fatalf("trial %d: drain position %d = (prio %d, seq %d), want (prio %d, seq %d)",
+					trial, i, got.req.Priority, got.seq, w.req.Priority, w.seq)
+			}
+			verifyHeapShape(t, h)
+		}
+		if len(h) != 0 {
+			t.Fatalf("trial %d: %d items left after drain", trial, len(h))
+		}
+	}
+}

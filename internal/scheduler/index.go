@@ -1,6 +1,10 @@
 package scheduler
 
-import "repro/internal/platform"
+import (
+	"math"
+
+	"repro/internal/platform"
+)
 
 // nodeIndex is a max-capacity segment tree over the scheduler's node list.
 // Each leaf mirrors one node's free cores / GPUs / memory; each inner
@@ -28,6 +32,15 @@ type nodeIndex struct {
 	cores []int
 	gpus  []int
 	mem   []float64
+	// score is the min-leftover augmentation: each leaf holds the node's
+	// weighted free capacity (WeightedCapacity of its free counters;
+	// +Inf for padding leaves), each inner segment
+	// the minimum over its children. For a fixed demand, least leftover =
+	// least weighted free among fitting leaves, so findBest can prune any
+	// segment whose minimum cannot beat the best leaf found so far and
+	// typically descends a single root-to-leaf path instead of visiting
+	// every fitting leaf.
+	score []float64
 }
 
 func newNodeIndex(nodes []*platform.Node) *nodeIndex {
@@ -41,21 +54,33 @@ func newNodeIndex(nodes []*platform.Node) *nodeIndex {
 		cores: make([]int, 2*size),
 		gpus:  make([]int, 2*size),
 		mem:   make([]float64, 2*size),
+		score: make([]float64, 2*size),
 	}
 	ix.refreshAll()
 	return ix
 }
 
+// WeightedCapacity folds a capacity (or demand) triple onto the scale
+// best-fit placement optimizes: cores + bestFitGPUWeight·gpus +
+// bestFitMemWeight·memGB. Exported so shape-classification logic
+// elsewhere (e.g. the fragmentation experiment's thin/fat split) ranks
+// node capacity on exactly the scale placement minimizes leftovers on.
+func WeightedCapacity(cores, gpus int, memGB float64) float64 {
+	return float64(cores) + bestFitGPUWeight*float64(gpus) + bestFitMemWeight*memGB
+}
+
 // refresh re-reads one node's free counters into its leaf and bubbles the
-// maxima up.
+// per-dimension maxima and the min score up.
 func (ix *nodeIndex) refresh(i int) {
 	leaf := ix.size + i
 	ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf] = ix.nodes[i].Free()
+	ix.score[leaf] = WeightedCapacity(ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf])
 	for p := leaf / 2; p >= 1; p /= 2 {
 		l, r := 2*p, 2*p+1
 		ix.cores[p] = max(ix.cores[l], ix.cores[r])
 		ix.gpus[p] = max(ix.gpus[l], ix.gpus[r])
-		ix.mem[p] = maxf(ix.mem[l], ix.mem[r])
+		ix.mem[p] = max(ix.mem[l], ix.mem[r])
+		ix.score[p] = min(ix.score[l], ix.score[r])
 	}
 }
 
@@ -64,16 +89,20 @@ func (ix *nodeIndex) refreshAll() {
 	for i := range ix.nodes {
 		leaf := ix.size + i
 		ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf] = ix.nodes[i].Free()
+		ix.score[leaf] = WeightedCapacity(ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf])
 	}
 	for i := len(ix.nodes); i < ix.size; i++ {
 		leaf := ix.size + i
 		ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf] = 0, 0, 0
+		// padding leaves must never look like attractive best-fit targets
+		ix.score[leaf] = math.Inf(1)
 	}
 	for p := ix.size - 1; p >= 1; p-- {
 		l, r := 2*p, 2*p+1
 		ix.cores[p] = max(ix.cores[l], ix.cores[r])
 		ix.gpus[p] = max(ix.gpus[l], ix.gpus[r])
-		ix.mem[p] = maxf(ix.mem[l], ix.mem[r])
+		ix.mem[p] = max(ix.mem[l], ix.mem[r])
+		ix.score[p] = min(ix.score[l], ix.score[r])
 	}
 }
 
@@ -113,50 +142,53 @@ func (ix *nodeIndex) covers(p, cores, gpus int, memGB float64) bool {
 // Best-fit leftover weights: one GPU counts like 16 cores (the catalog's
 // node shapes carry 8-16 cores per GPU) and 4 GB of memory like one core,
 // so the score compares leftovers of different dimensions on one scale.
+// WeightedCapacity is the one shared fold onto this scale.
 const (
 	bestFitGPUWeight = 16
 	bestFitMemWeight = 0.25
 )
 
-// findBest returns the fitting node index whose free capacity exceeds the
-// demand by the least (weighted leftover cores + GPUs + memory), or -1.
-// Ties break toward the lower index, so on homogeneous pools with equal
-// residuals best-fit degenerates to first-fit. Unlike find, the search
-// must visit every fitting leaf (pruning only non-fitting subtrees):
-// best-fit trades O(fitting nodes) placement cost for lower
-// fragmentation.
+// findBest returns the fitting node index whose free capacity exceeds
+// the demand by the least (weighted leftover cores + GPUs + memory), or
+// -1. Ties break toward the lower index, so on homogeneous pools with
+// equal residuals best-fit degenerates to first-fit.
+//
+// The search is a branch-and-bound over the min-leftover augmentation:
+// for a fixed demand the leftover score of a leaf is its weighted free
+// capacity minus a constant, so a segment whose min score cannot
+// strictly beat the best fitting leaf found so far is pruned — as is,
+// via the per-dimension maxima, any segment with no fitting leaf at
+// all. Descending left-first makes the pruning inequality (≥) implement
+// the lowest-index tie-break, and on pools where equal-score leaves
+// dominate (homogeneous, or saturated to near-uniform residuals) the
+// walk collapses to one root-to-leaf path: O(log n) against the
+// exhaustive O(fitting leaves) scan it replaces, which
+// TestFindBestMatchesExhaustiveOracle keeps as the reference.
 func (ix *nodeIndex) findBest(cores, gpus int, memGB float64) int {
-	best, bestScore := -1, 0.0
+	if len(ix.nodes) == 0 {
+		return -1
+	}
+	wDemand := WeightedCapacity(cores, gpus, memGB)
+	best, bestScore := -1, math.Inf(1)
 	var walk func(p int)
 	walk = func(p int) {
 		if !ix.covers(p, cores, gpus, memGB) {
 			return
 		}
+		if ix.score[p]-wDemand >= bestScore {
+			return // no leaf below can strictly beat the current best
+		}
 		if p >= ix.size {
-			i := p - ix.size
-			if i >= len(ix.nodes) {
-				return
-			}
-			score := float64(ix.cores[p]-cores) +
-				bestFitGPUWeight*float64(ix.gpus[p]-gpus) +
-				bestFitMemWeight*(ix.mem[p]-memGB)
-			if best < 0 || score < bestScore {
-				best, bestScore = i, score
+			if i := p - ix.size; i < len(ix.nodes) {
+				// leaf counters are exact and the bound check passed:
+				// this leaf fits and strictly improves on best
+				best, bestScore = i, ix.score[p]-wDemand
 			}
 			return
 		}
 		walk(2 * p)
 		walk(2*p + 1)
 	}
-	if len(ix.nodes) > 0 {
-		walk(1)
-	}
+	walk(1)
 	return best
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -70,6 +70,108 @@ func TestNodeIndexMatchesLinearScan(t *testing.T) {
 	}
 }
 
+// findBestExhaustive is the PR-2 best-fit query kept as a test-only
+// oracle: visit every fitting leaf (pruning only non-fitting subtrees)
+// and keep the least weighted leftover, ties toward the lower index.
+// The augmented findBest must agree with it on every pool state.
+func findBestExhaustive(ix *nodeIndex, cores, gpus int, memGB float64) int {
+	best, bestScore := -1, 0.0
+	var walk func(p int)
+	walk = func(p int) {
+		if !ix.covers(p, cores, gpus, memGB) {
+			return
+		}
+		if p >= ix.size {
+			i := p - ix.size
+			if i >= len(ix.nodes) {
+				return
+			}
+			score := float64(ix.cores[p]-cores) +
+				bestFitGPUWeight*float64(ix.gpus[p]-gpus) +
+				bestFitMemWeight*(ix.mem[p]-memGB)
+			if best < 0 || score < bestScore {
+				best, bestScore = i, score
+			}
+			return
+		}
+		walk(2 * p)
+		walk(2*p + 1)
+	}
+	if len(ix.nodes) > 0 {
+		walk(1)
+	}
+	return best
+}
+
+// leftoverScore recomputes a node's weighted leftover for a demand, for
+// tie verification in the differential test.
+func leftoverScore(ix *nodeIndex, i, cores, gpus int, memGB float64) float64 {
+	leaf := ix.size + i
+	return float64(ix.cores[leaf]-cores) +
+		bestFitGPUWeight*float64(ix.gpus[leaf]-gpus) +
+		bestFitMemWeight*(ix.mem[leaf]-memGB)
+}
+
+// TestFindBestMatchesExhaustiveOracle is the differential test for the
+// min-leftover augmentation: on randomized mixed pools under random
+// allocation/release churn, the O(log n) branch-and-bound findBest must
+// pick the same node as the exhaustive least-leftover scan — or, on a
+// tie, a node with exactly equal leftover.
+func TestFindBestMatchesExhaustiveOracle(t *testing.T) {
+	specs := []platform.NodeSpec{
+		{Cores: 128, GPUs: 16, MemGB: 1024},
+		{Cores: 64, GPUs: 8, MemGB: 256},
+		{Cores: 16, GPUs: 0, MemGB: 64},
+		{Cores: 8, GPUs: 2, MemGB: 32},
+	}
+	for trial := 0; trial < 5; trial++ {
+		src := rng.New(uint64(9000 + trial))
+		var nodes []*platform.Node
+		n := 17 + src.Intn(48) // deliberately spans non-power-of-two sizes
+		for i := 0; i < n; i++ {
+			sp := specs[src.Intn(len(specs))]
+			nodes = append(nodes, platform.NewNode(fmt.Sprintf("n%02d", i), sp))
+		}
+		ix := newNodeIndex(nodes)
+		var live []*platform.Allocation
+		for step := 0; step < 1500; step++ {
+			if src.Intn(3) == 0 && len(live) > 0 {
+				k := src.Intn(len(live))
+				a := live[k]
+				live = append(live[:k], live[k+1:]...)
+				a.Release()
+				ix.refresh(indexOf(nodes, a.Node()))
+				continue
+			}
+			cores, gpus := src.Intn(20), src.Intn(4)
+			mem := float64(src.Intn(96))
+			got := ix.findBest(cores, gpus, mem)
+			want := findBestExhaustive(ix, cores, gpus, mem)
+			switch {
+			case got == want:
+			case got < 0 || want < 0:
+				t.Fatalf("trial %d step %d: findBest(%d,%d,%.0f) = %d, oracle = %d",
+					trial, step, cores, gpus, mem, got, want)
+			default:
+				gs := leftoverScore(ix, got, cores, gpus, mem)
+				ws := leftoverScore(ix, want, cores, gpus, mem)
+				if gs != ws {
+					t.Fatalf("trial %d step %d: findBest(%d,%d,%.0f) = %d (leftover %v), oracle = %d (leftover %v)",
+						trial, step, cores, gpus, mem, got, gs, want, ws)
+				}
+			}
+			if got >= 0 {
+				a := nodes[got].TryAlloc(cores, gpus, mem)
+				if a == nil {
+					t.Fatalf("trial %d step %d: findBest pointed at node %d but TryAlloc failed", trial, step, got)
+				}
+				live = append(live, a)
+				ix.refresh(got)
+			}
+		}
+	}
+}
+
 func indexOf(nodes []*platform.Node, n *platform.Node) int {
 	for i, m := range nodes {
 		if m == n {

@@ -83,9 +83,11 @@ func (p *Pool) Place(i int) *platform.Allocation {
 
 // PlaceBestFit places the request at position i on the fitting node with
 // the least leftover capacity instead of the lowest index, returning nil
-// when no node fits. The scan visits every fitting node (the capacity
-// index prunes non-fitting subtrees), trading placement cost for lower
-// fragmentation on heterogeneous pools.
+// when no node fits. The query runs on the capacity index's min-leftover
+// augmentation — O(log nodes) on pools with near-uniform residuals,
+// degrading toward the exhaustive fitting-node scan only when leftover
+// scores are highly diverse — so fragmentation avoidance on
+// heterogeneous pools no longer carries a per-grant cost premium.
 func (p *Pool) PlaceBestFit(i int) *platform.Allocation {
 	return p.s.tryPlace(p.s.waiting[i].req, true)
 }
