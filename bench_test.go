@@ -565,3 +565,49 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		sched.Release(p.Alloc)
 	}
 }
+
+// BenchmarkAblationRoute quantifies session-level routing on mismatched
+// pilots — the late-binding regime the Router seam exists for. The
+// hetero campus is split into a fat pilot (32×128c/16g) and a thin pilot
+// (96×16c): blind round-robin dispatch binds every second whole-fat-node
+// task to the thin pilot, whose shapes can never run it (the task fails
+// as unsatisfiable), while capacity-fit consults pilot shapes plus live
+// scheduler snapshots and completes all of them. The "fat-done" metric
+// is the deterministic per-router completion count; ns/op covers the
+// full scenario (session + two pilots + all task lifecycles).
+func BenchmarkAblationRoute(b *testing.B) {
+	const nFat, nThin = 8, 16
+	routers := []struct {
+		name    string
+		fatDone int
+	}{
+		{"round-robin", nFat / 2},
+		{"capacity-fit", nFat},
+	}
+	for _, rt := range routers {
+		b.Run(rt.name, func(b *testing.B) {
+			var fatDone int64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunRoute(context.Background(), experiments.RouteConfig{
+					Platform: "hetero",
+					Routers:  []string{rt.name},
+					FatTasks: nFat, ThinTasks: nThin,
+					Scale: 2000, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				if row.FatDone != rt.fatDone {
+					b.Fatalf("%s completed %d/%d fat tasks, expected %d",
+						rt.name, row.FatDone, nFat, rt.fatDone)
+				}
+				if row.ThinDone != nThin {
+					b.Fatalf("%s completed %d/%d thin tasks", rt.name, row.ThinDone, nThin)
+				}
+				fatDone += int64(row.FatDone)
+			}
+			b.ReportMetric(float64(fatDone)/float64(b.N), "fat-done")
+		})
+	}
+}

@@ -12,6 +12,9 @@
 //	rpexp -exp 2 -deploy remote -scaling weak
 //	rpexp -exp 3 -deploy local -requests 4
 //	rpexp -exp frag -platform hetero -sched best-fit
+//	rpexp -exp frag -churn
+//	rpexp -exp route -platform hetero
+//	rpexp -exp route -router capacity-fit
 package main
 
 import (
@@ -23,22 +26,29 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/router"
 	"repro/internal/scheduler"
 	"repro/internal/usecases"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|table1|table2|all")
+	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|table1|table2|all")
 	deploy := flag.String("deploy", "both", "deployment for exp 2/3: local|remote|both")
 	scaling := flag.String("scaling", "both", "scaling for exp 2/3: strong|weak|both")
 	counts := flag.String("counts", "", "comma-separated instance counts for exp 1 (default: paper sweep)")
 	requests := flag.Int("requests", 0, "requests per client (default: paper values)")
 	seed := flag.Uint64("seed", 0, "override RNG seed (0: per-experiment defaults)")
 	sched := flag.String("sched", "", "pilot scheduling policy: strict|backfill[:k=N,t=D]|best-fit[:k=N,t=D] (default strict)")
-	plat := flag.String("platform", "hetero", "mixed-shape platform for the fragmentation ablation")
+	rt := flag.String("router", "", "session task router: round-robin|least-loaded|capacity-fit (default round-robin; for -exp route it selects the single challenger row)")
+	plat := flag.String("platform", "hetero", "mixed-shape platform for the frag/route ablations")
+	churn := flag.Bool("churn", false, "steady-state fragmentation ablation: transient holders + arrival waves")
 	flag.Parse()
 
 	if _, err := scheduler.PolicyByName(*sched); err != nil {
+		fmt.Fprintf(os.Stderr, "rpexp: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := router.ByName(*rt); err != nil {
 		fmt.Fprintf(os.Stderr, "rpexp: %v\n", err)
 		os.Exit(2)
 	}
@@ -77,6 +87,7 @@ func main() {
 				cfg.Seed = *seed
 			}
 			cfg.SchedPolicy = *sched
+			cfg.Router = *rt
 			res, err := experiments.RunBT(ctx, cfg)
 			if err != nil {
 				return err
@@ -109,6 +120,7 @@ func main() {
 		run("Fragmentation ablation (heterogeneous pilot)", func() error {
 			cfg := experiments.DefaultFragConfig()
 			cfg.Platform = *plat
+			cfg.Churn = *churn
 			if *sched != "" {
 				cfg.Policy = *sched
 			}
@@ -116,6 +128,24 @@ func main() {
 				cfg.Seed = *seed
 			}
 			res, err := experiments.RunFrag(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table().Render())
+			return nil
+		})
+	}
+	if want("route") {
+		run("Route ablation (mismatched pilots)", func() error {
+			cfg := experiments.DefaultRouteConfig()
+			cfg.Platform = *plat
+			if *rt != "" {
+				cfg.Routers = []string{"round-robin", *rt}
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			res, err := experiments.RunRoute(ctx, cfg)
 			if err != nil {
 				return err
 			}
@@ -136,6 +166,7 @@ func main() {
 						cfg.Seed = *seed
 					}
 					cfg.SchedPolicy = *sched
+					cfg.Router = *rt
 					res, err := experiments.RunRT(ctx, cfg)
 					if err != nil {
 						return err
@@ -159,6 +190,7 @@ func main() {
 						cfg.Seed = *seed
 					}
 					cfg.SchedPolicy = *sched
+					cfg.Router = *rt
 					res, err := experiments.RunRT(ctx, cfg)
 					if err != nil {
 						return err

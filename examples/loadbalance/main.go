@@ -10,7 +10,11 @@
 // while a large request blocks the head of the pilot's wait pool. The
 // hosting platform is configurable with -platform: "delta" (the paper's
 // homogeneous testbed) or "hetero", the mixed-shape campus, where
-// -sched best-fit keeps the fat GPU nodes whole.
+// -sched best-fit keeps the fat GPU nodes whole. The session's
+// task→pilot router is configurable with -router
+// (round-robin|least-loaded|capacity-fit) — one pilot here, so it only
+// changes which strategy the TaskManager reports, but it mirrors the
+// rpexp -router seam end to end.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"repro/internal/loadbal"
 	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/router"
 	"repro/internal/scheduler"
 	"repro/internal/simtime"
 	"repro/internal/spec"
@@ -35,19 +40,22 @@ func main() {
 		"pilot scheduling policy: strict|backfill[:k=N,t=D]|best-fit[:k=N,t=D]")
 	plat := flag.String("platform", "delta",
 		"hosting platform: delta (homogeneous) or hetero (mixed node shapes)")
+	rt := flag.String("router", router.NameRoundRobin,
+		"session task router: round-robin|least-loaded|capacity-fit")
 	flag.Parse()
-	if err := run(*sched, *plat); err != nil {
+	if err := run(*sched, *plat, *rt); err != nil {
 		fmt.Fprintf(os.Stderr, "loadbalance: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(sched, plat string) error {
+func run(sched, plat, rt string) error {
 	sess, err := core.NewSession(core.SessionConfig{
 		Seed:        5,
 		Clock:       simtime.NewScaled(2000, core.DefaultOrigin),
 		FastBoot:    true,
 		SchedPolicy: sched,
+		Router:      rt,
 	})
 	if err != nil {
 		return err
@@ -90,8 +98,8 @@ func run(sched, plat string) error {
 	if err := sm.WaitReady(ctx, uids...); err != nil {
 		return err
 	}
-	fmt.Printf("fleet of %d llama-8b services ready (scheduling policy: %s)\n",
-		fleet, p.Scheduler().Policy().Name())
+	fmt.Printf("fleet of %d llama-8b services ready (scheduling policy: %s, task router: %s)\n",
+		fleet, p.Scheduler().Policy().Name(), sess.TaskManager().RouterName())
 
 	strategies := []struct {
 		name string

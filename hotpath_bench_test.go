@@ -173,3 +173,40 @@ func BenchmarkSchedulerBackfillThroughput1024(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSchedulerSnapshot1024Mixed measures the router-facing load
+// probe on a busy mixed 1024-node pool: one Snapshot per op, interleaved
+// with a grant/release cycle so the per-shape aggregates are genuinely
+// churning. The aggregates are maintained incrementally by the capacity
+// index, so a snapshot is one lock acquisition plus an O(distinct
+// shapes) copy — it must stay in the same per-op band as a grant, or
+// per-task routing would tax the scheduler hot path.
+func BenchmarkSchedulerSnapshot1024Mixed(b *testing.B) {
+	fat := platform.NodeSpec{Cores: 128, GPUs: 16, MemGB: 1024}
+	thin := platform.NodeSpec{Cores: 16, GPUs: 0, MemGB: 64}
+	plat := platform.NewMixed("bench", []platform.NodeGroup{
+		{Count: 64, Spec: fat}, {Count: 960, Spec: thin},
+	})
+	nodes := plat.Nodes()
+	for _, n := range nodes[:len(nodes)-1] {
+		sp := n.Spec()
+		if a := n.TryAlloc(sp.Cores-1, sp.GPUs, 0); a == nil {
+			b.Fatal("saturation alloc failed")
+		}
+	}
+	done := make(chan scheduler.Placement, 16)
+	sched := scheduler.New(nodes, func(p scheduler.Placement) { done <- p })
+	defer sched.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sched.Submit(scheduler.Request{UID: "t", Cores: 1}); err != nil {
+			b.Fatal(err)
+		}
+		p := <-done
+		sn := sched.Snapshot()
+		if len(sn.Shapes) != 2 {
+			b.Fatalf("shapes = %d", len(sn.Shapes))
+		}
+		sched.Release(p.Alloc)
+	}
+}

@@ -14,9 +14,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/executor"
 	"repro/internal/loadbal"
 	"repro/internal/metrics"
 	"repro/internal/msgq"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/restapi"
 	"repro/internal/rng"
+	"repro/internal/router"
 	"repro/internal/scheduler"
 	"repro/internal/service"
 	"repro/internal/simtime"
@@ -58,6 +61,10 @@ type SessionConfig struct {
 	// scheduler uses ("strict", "backfill", "best-fit"). Empty defers to
 	// the platform's default, then to strict.
 	SchedPolicy string
+	// Router names the session-level task→pilot routing strategy of the
+	// TaskManager ("round-robin", "least-loaded", "capacity-fit"). Empty
+	// selects round-robin, the seed dispatch.
+	Router string
 }
 
 // Session is one runtime instance.
@@ -91,8 +98,13 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.Topology == nil {
 		cfg.Topology = platform.DefaultTopology()
 	}
-	// Fail fast on a bad policy name instead of at the first pilot launch.
+	// Fail fast on a bad policy or router name instead of at the first
+	// pilot launch / task submission.
 	if _, err := scheduler.PolicyByName(cfg.SchedPolicy); err != nil {
+		return nil, err
+	}
+	rt, err := router.ByName(cfg.Router)
+	if err != nil {
 		return nil, err
 	}
 	src := rng.New(cfg.Seed)
@@ -116,7 +128,12 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	}
 	s.updates = pub
 	s.pm = &PilotManager{sess: s, pilots: make(map[string]*pilot.Pilot)}
-	s.tm = &TaskManager{sess: s}
+	s.tm = &TaskManager{
+		sess:     s,
+		rt:       rt,
+		tasks:    make(map[string]*Task),
+		overflow: make(map[string]*Task),
+	}
 	s.sm = &ServiceManager{sess: s, owner: make(map[string]*pilot.Pilot)}
 	return s, nil
 }
@@ -218,7 +235,9 @@ func (s *Session) Pool(clientAddr, model string, bal loadbal.Balancer) (*service
 	})
 }
 
-// Close shuts the session down: pilots, services, network.
+// Close shuts the session down: pilots, services, network. Tasks still
+// parked in the TaskManager's overflow pool fail with ErrSessionClosed,
+// and the pilot shutdowns fail queued tasks instead of re-routing them.
 func (s *Session) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -227,6 +246,7 @@ func (s *Session) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.tm.close()
 	s.pm.shutdownAll()
 	s.net.Close()
 }
@@ -315,73 +335,430 @@ func (pm *PilotManager) shutdownAll() {
 
 // --- TaskManager -------------------------------------------------------------
 
-// TaskManager submits compute tasks across the session's pilots.
+// ErrSessionClosed is the failure overflow-pooled tasks receive when the
+// session shuts down before new capacity arrives for them.
+var ErrSessionClosed = errors.New("core: session closed")
+
+// TaskManager submits compute tasks across the session's pilots. Which
+// pilot a task binds to is the pluggable Router's decision (default:
+// round-robin, the seed dispatch; see SessionConfig.Router), made one
+// task at a time against the pilots' live capacity snapshots — the
+// session-level half of the pilot abstraction's late binding.
+//
+// Submission is transactional per description: Submit returns the
+// successfully submitted prefix together with the error that stopped the
+// batch. Validation failures and routing rejections stop the batch
+// before any routing state moves, so resubmitting the remainder
+// continues the sequence exactly where it stopped. (A pilot dying in
+// the instant between routing and dispatch re-enters routing instead of
+// erroring; only that race consumes extra rotation steps.)
+//
+// Tasks whose pilot shuts down before granting them resources are
+// re-routed to another active pilot; when none is attached they park in
+// a session-level overflow pool that AddPilot drains, so late-bound work
+// survives pilot churn. Tasks pinned to a pilot (TaskDescription.Pilot)
+// and tasks already executing are not re-routed: the former fail with
+// pilot.ErrPilotStopped, the latter keep their own lifecycle.
 type TaskManager struct {
 	sess *Session
 
-	mu     sync.Mutex
-	pilots []*pilot.Pilot
-	rr     int
-	owner  sync.Map // task UID → *pilot.Pilot
+	mu       sync.Mutex
+	pilots   []*pilot.Pilot
+	rt       router.Router
+	seq      int
+	tasks    map[string]*Task
+	overflow map[string]*Task
+	closed   bool
 }
 
-// AddPilot attaches a pilot to the task manager.
+// Task is a session-level task handle. It follows one logical task
+// across pilot re-routes: the underlying pilot task may be replaced when
+// a pilot dies, but the UID, description and completion channel stay.
+type Task struct {
+	tm  *TaskManager
+	uid string
+	// desc and ctx are fixed at submission; re-dispatches reuse both.
+	desc spec.TaskDescription
+	ctx  context.Context
+
+	mu       sync.Mutex
+	cur      *pilot.Task
+	p        *pilot.Pilot
+	reroutes int
+	finished bool
+	err      error
+	done     chan struct{}
+}
+
+// UID returns the stable logical task UID.
+func (t *Task) UID() string { return t.uid }
+
+// Description returns the submitted description.
+func (t *Task) Description() spec.TaskDescription { return t.desc }
+
+// State returns the task's current lifecycle state. A task parked in the
+// session overflow pool (no pilot bound) reports TMGR_SCHEDULING.
+func (t *Task) State() states.State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur != nil {
+		return t.cur.State()
+	}
+	if t.finished {
+		if t.err != nil {
+			return states.TaskFailed
+		}
+		return states.TaskDone
+	}
+	return states.TaskTmgrScheduling
+}
+
+// Result returns the execution result (valid once Done() is closed).
+func (t *Task) Result() executor.Result {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur != nil {
+		return t.cur.Result()
+	}
+	return executor.Result{Err: t.err}
+}
+
+// Pilot returns the UID of the pilot currently running the task, or ""
+// while it sits in the session overflow pool.
+func (t *Task) Pilot() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.p == nil {
+		return ""
+	}
+	return t.p.UID()
+}
+
+// Reroutes counts how many times the session re-bound this task to a new
+// pilot after its previous one shut down.
+func (t *Task) Reroutes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reroutes
+}
+
+// Done returns a channel closed when the logical task reaches a final
+// state — including across re-routes, which the per-pilot task handles
+// underneath cannot express.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Err returns the task's final error (nil on success; undefined before
+// Done() closes).
+func (t *Task) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// finish seals the logical task exactly once.
+func (t *Task) finish(err error) {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.err = err
+	t.mu.Unlock()
+	close(t.done)
+}
+
+// AddPilot attaches a pilot to the task manager and offers it to every
+// task parked in the overflow pool.
 func (tm *TaskManager) AddPilot(p *pilot.Pilot) {
 	tm.mu.Lock()
 	tm.pilots = append(tm.pilots, p)
+	pending := make([]*Task, 0, len(tm.overflow))
+	for _, t := range tm.overflow {
+		pending = append(pending, t)
+	}
+	for _, t := range pending {
+		delete(tm.overflow, t.uid)
+	}
 	tm.mu.Unlock()
+	// Drain deterministically in submission order (UIDs embed the
+	// session sequence number).
+	sortTasks(pending)
+	for _, t := range pending {
+		tm.requeue(t)
+	}
 }
 
-// Submit dispatches descriptions round-robin over attached pilots.
-func (tm *TaskManager) Submit(ctx context.Context, descs ...spec.TaskDescription) ([]*pilot.Task, error) {
+// RouterName returns the name of the active task→pilot router.
+func (tm *TaskManager) RouterName() string {
 	tm.mu.Lock()
-	if len(tm.pilots) == 0 {
-		tm.mu.Unlock()
-		return nil, errors.New("core: task manager has no pilots")
-	}
-	pilots := append([]*pilot.Pilot{}, tm.pilots...)
-	start := tm.rr
-	tm.rr += len(descs)
-	tm.mu.Unlock()
+	defer tm.mu.Unlock()
+	return tm.rt.Name()
+}
 
-	tasks := make([]*pilot.Task, 0, len(descs))
-	for i, d := range descs {
-		p := pilots[(start+i)%len(pilots)]
-		t, err := p.SubmitTask(ctx, d)
+// Submit routes and dispatches descriptions over the attached pilots,
+// one at a time in order. On error it returns the successfully submitted
+// prefix together with the error; descriptions after the failure are
+// neither submitted nor accounted in any router state, so a retry of the
+// remainder continues the task→pilot sequence unperturbed.
+func (tm *TaskManager) Submit(ctx context.Context, descs ...spec.TaskDescription) ([]*Task, error) {
+	tasks := make([]*Task, 0, len(descs))
+	for _, d := range descs {
+		t, err := tm.submitOne(ctx, d)
 		if err != nil {
 			return tasks, err
 		}
-		tm.owner.Store(t.UID(), p)
 		tasks = append(tasks, t)
 	}
 	return tasks, nil
 }
 
-// Wait blocks until the listed tasks finish; with none listed it waits for
-// every task on every attached pilot.
-func (tm *TaskManager) Wait(ctx context.Context, tasks ...*pilot.Task) error {
-	if len(tasks) == 0 {
+// submitOne validates, routes and dispatches a single description.
+// Validation runs before routing so a malformed description cannot
+// advance the router's selection state, and a pilot that leaves ACTIVE
+// between routing and dispatch triggers a re-route over the survivors
+// rather than an error — only validation failures, routing rejections
+// and capacity exhaustion surface to the caller.
+func (tm *TaskManager) submitOne(ctx context.Context, d spec.TaskDescription) (*Task, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	for {
 		tm.mu.Lock()
-		pilots := append([]*pilot.Pilot{}, tm.pilots...)
+		if tm.closed {
+			tm.mu.Unlock()
+			return nil, ErrSessionClosed
+		}
+		if len(tm.pilots) == 0 {
+			tm.mu.Unlock()
+			return nil, errors.New("core: task manager has no pilots")
+		}
+		if d.UID == "" {
+			tm.seq++
+			d.UID = fmt.Sprintf("%s.task.%06d", tm.sess.uid, tm.seq)
+		}
+		if _, dup := tm.tasks[d.UID]; dup {
+			tm.mu.Unlock()
+			return nil, fmt.Errorf("core: duplicate task UID %s", d.UID)
+		}
+		p, err := tm.routeLocked(d)
+		if err != nil {
+			tm.mu.Unlock()
+			return nil, err
+		}
+		t := &Task{tm: tm, uid: d.UID, desc: d, ctx: ctx, done: make(chan struct{})}
+		tm.tasks[d.UID] = t
 		tm.mu.Unlock()
-		for _, p := range pilots {
-			if err := p.WaitTasks(ctx); err != nil {
-				return err
+
+		if err := tm.dispatch(t, p); err != nil {
+			// The routed pilot left ACTIVE between routing and dispatch.
+			// Seal and drop the handle (a concurrent Wait/Tasks snapshot
+			// may already hold it), then retry: the state filter now
+			// excludes the dead pilot. Terminal pilot states make the
+			// retry count finite.
+			t.finish(err)
+			tm.mu.Lock()
+			delete(tm.tasks, d.UID)
+			tm.mu.Unlock()
+			if pinned := d.Pilot != ""; pinned {
+				return nil, err
+			}
+			continue
+		}
+		return t, nil
+	}
+}
+
+// routeLocked picks the destination pilot for d: the pinned pilot when
+// the description names one, the Router's choice over the currently
+// active pilots otherwise. Callers hold tm.mu.
+func (tm *TaskManager) routeLocked(d spec.TaskDescription) (*pilot.Pilot, error) {
+	if d.Pilot != "" {
+		for _, p := range tm.pilots {
+			if p.UID() == d.Pilot {
+				if p.State() != states.PilotActive {
+					return nil, fmt.Errorf("core: task %s pinned to pilot %s in state %s",
+						d.UID, d.Pilot, p.State())
+				}
+				return p, nil
 			}
 		}
-		return nil
+		return nil, fmt.Errorf("core: task %s pinned to unknown pilot %q", d.UID, d.Pilot)
+	}
+	targets, live := tm.activeTargetsLocked()
+	if len(live) == 0 {
+		return nil, errors.New("core: no active pilots")
+	}
+	i, err := tm.rt.Route(targets, d)
+	if err != nil {
+		return nil, err
+	}
+	return live[i], nil
+}
+
+// activeTargetsLocked returns the attached pilots that are currently
+// ACTIVE, as router targets and as pilots (same order). Callers hold
+// tm.mu.
+func (tm *TaskManager) activeTargetsLocked() ([]router.Target, []*pilot.Pilot) {
+	targets := make([]router.Target, 0, len(tm.pilots))
+	live := make([]*pilot.Pilot, 0, len(tm.pilots))
+	for _, p := range tm.pilots {
+		if p.State() != states.PilotActive {
+			continue
+		}
+		targets = append(targets, p)
+		live = append(live, p)
+	}
+	return targets, live
+}
+
+// dispatch submits the task to p and starts its watcher.
+func (tm *TaskManager) dispatch(t *Task, p *pilot.Pilot) error {
+	pt, err := p.SubmitTask(t.ctx, t.desc)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.cur, t.p = pt, p
+	t.mu.Unlock()
+	go tm.watch(t, pt, p)
+	return nil
+}
+
+// watch follows one pilot-level task to a final state and settles or
+// re-routes the logical task: DONE finishes it, a queued-at-shutdown
+// failure (pilot.ErrPilotStopped, unpinned) re-enters routing, anything
+// else fails it.
+func (tm *TaskManager) watch(t *Task, pt *pilot.Task, p *pilot.Pilot) {
+	// The pilot drives every task to a final state (context cancellation
+	// and pilot shutdown are both failure paths), so this wait needs no
+	// deadline of its own.
+	_ = p.WaitTasks(context.Background(), pt.UID())
+	if pt.State() == states.TaskDone {
+		t.finish(nil)
+		return
+	}
+	err := pt.Result().Err
+	if errors.Is(err, pilot.ErrPilotStopped) && t.desc.Pilot == "" {
+		tm.requeue(t)
+		return
+	}
+	if err == nil {
+		err = fmt.Errorf("core: task %s failed", t.uid)
+	}
+	t.finish(err)
+}
+
+// requeue re-routes a task whose pilot stopped before granting it
+// resources: to another active pilot when one can take it, into the
+// overflow pool when none is attached, or to failure when no attached
+// pilot's shapes could ever fit it (shape-aware routers reject it the
+// same way they would at submit). A pilot that dies between routing and
+// dispatch just re-enters routing — terminal pilot states keep the
+// retry count bounded by the number of attached pilots.
+func (tm *TaskManager) requeue(t *Task) {
+	t.mu.Lock()
+	t.cur, t.p = nil, nil
+	t.reroutes++
+	t.mu.Unlock()
+
+	for {
+		tm.mu.Lock()
+		if tm.closed {
+			tm.mu.Unlock()
+			t.finish(ErrSessionClosed)
+			return
+		}
+		targets, live := tm.activeTargetsLocked()
+		if len(live) == 0 {
+			tm.overflow[t.uid] = t
+			tm.mu.Unlock()
+			return
+		}
+		i, err := tm.rt.Route(targets, t.desc)
+		tm.mu.Unlock()
+		if err != nil {
+			t.finish(err)
+			return
+		}
+		if err := tm.dispatch(t, live[i]); err != nil {
+			continue
+		}
+		return
+	}
+}
+
+// close fails every overflow-pooled task and stops further submissions.
+func (tm *TaskManager) close() {
+	tm.mu.Lock()
+	tm.closed = true
+	pending := make([]*Task, 0, len(tm.overflow))
+	for uid, t := range tm.overflow {
+		pending = append(pending, t)
+		delete(tm.overflow, uid)
+	}
+	tm.mu.Unlock()
+	for _, t := range pending {
+		t.finish(ErrSessionClosed)
+	}
+}
+
+// Wait blocks until the listed tasks reach a final state (following them
+// across re-routes); with none listed it waits for every task submitted
+// through this manager so far. It returns the first task failure, or the
+// context error if ctx expires first.
+func (tm *TaskManager) Wait(ctx context.Context, tasks ...*Task) error {
+	if len(tasks) == 0 {
+		tm.mu.Lock()
+		tasks = make([]*Task, 0, len(tm.tasks))
+		for _, t := range tm.tasks {
+			tasks = append(tasks, t)
+		}
+		tm.mu.Unlock()
+		sortTasks(tasks)
 	}
 	var firstErr error
 	for _, t := range tasks {
-		v, ok := tm.owner.Load(t.UID())
-		if !ok {
+		if t.tm != tm {
 			return fmt.Errorf("core: task %s not owned by this manager", t.UID())
 		}
-		if err := v.(*pilot.Pilot).WaitTasks(ctx, t.UID()); err != nil && firstErr == nil {
-			firstErr = err
+		select {
+		case <-t.done:
+			if err := t.Err(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
 		}
 	}
 	return firstErr
+}
+
+// Tasks returns every task submitted through this manager, in submission
+// order.
+func (tm *TaskManager) Tasks() []*Task {
+	tm.mu.Lock()
+	out := make([]*Task, 0, len(tm.tasks))
+	for _, t := range tm.tasks {
+		out = append(out, t)
+	}
+	tm.mu.Unlock()
+	sortTasks(out)
+	return out
+}
+
+// Overflow reports how many tasks are parked in the session overflow
+// pool awaiting an active pilot.
+func (tm *TaskManager) Overflow() int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return len(tm.overflow)
+}
+
+// sortTasks orders tasks by UID — submission order for manager-assigned
+// UIDs, which embed the session sequence number.
+func sortTasks(tasks []*Task) {
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].uid < tasks[j].uid })
 }
 
 // --- ServiceManager -----------------------------------------------------------

@@ -5,7 +5,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/pilot"
 	"repro/internal/platform"
 	"repro/internal/proto"
 	"repro/internal/rng"
@@ -340,7 +339,7 @@ func TestPolicyBackfillKeepsTasksFlowingEndToEnd(t *testing.T) {
 
 	// Tasks run through the scheduler asynchronously, so sequence on
 	// observed task states rather than submission order.
-	waitState := func(task *pilot.Task, want states.State) {
+	waitState := func(task *Task, want states.State) {
 		t.Helper()
 		deadline := time.Now().Add(10 * time.Second)
 		for task.State() != want {
@@ -411,7 +410,7 @@ func TestHeteroPilotBestFitEndToEnd(t *testing.T) {
 	// and free capacity mid-test (the leaked sleeps die with the binary)
 	hold := rng.ConstDuration(1000 * time.Hour)
 
-	waitState := func(task *pilot.Task, want states.State) {
+	waitState := func(task *Task, want states.State) {
 		t.Helper()
 		deadline := time.Now().Add(10 * time.Second)
 		for task.State() != want {
@@ -423,7 +422,7 @@ func TestHeteroPilotBestFitEndToEnd(t *testing.T) {
 	}
 
 	// run returns the two large tasks after the 8 small tasks are running.
-	run := func(pol string) (*Session, []*pilot.Task) {
+	run := func(pol string) (*Session, []*Task) {
 		mix := platform.NewMixed("campus", []platform.NodeGroup{
 			{Count: 2, Spec: fat}, {Count: 4, Spec: thin},
 		})
@@ -478,7 +477,7 @@ func TestHeteroPilotBestFitEndToEnd(t *testing.T) {
 	// larges race each other to the scheduler (per-task goroutines), so
 	// which one wins is not deterministic — only that exactly one does.
 	_, larges = run("strict")
-	var stuck *pilot.Task
+	var stuck *Task
 	deadline := time.Now().Add(10 * time.Second)
 	for stuck == nil {
 		switch {

@@ -78,6 +78,9 @@ type BTConfig struct {
 	// SchedPolicy selects the pilot scheduler's placement policy
 	// ("strict", "backfill", "best-fit"; empty = strict).
 	SchedPolicy string
+	// Router selects the session's task routing strategy ("round-robin",
+	// "least-loaded", "capacity-fit"; empty = round-robin).
+	Router string
 }
 
 // DefaultBTConfig returns the paper's Exp 1 parameterization.
@@ -141,6 +144,7 @@ func runBTPoint(ctx context.Context, cfg BTConfig, n int) (BTRow, error) {
 		Seed:        cfg.Seed + uint64(n),
 		Clock:       simtime.NewScaled(cfg.Scale, core.DefaultOrigin),
 		SchedPolicy: cfg.SchedPolicy,
+		Router:      cfg.Router,
 	})
 	if err != nil {
 		return BTRow{}, err
@@ -248,6 +252,9 @@ type RTConfig struct {
 	// SchedPolicy selects the pilot scheduler's placement policy
 	// ("strict", "backfill", "best-fit"; empty = strict).
 	SchedPolicy string
+	// Router selects the session's task routing strategy ("round-robin",
+	// "least-loaded", "capacity-fit"; empty = round-robin).
+	Router string
 }
 
 // DefaultExp2Config returns the paper's Exp 2 parameterization for the
@@ -330,6 +337,7 @@ func runRTPoint(ctx context.Context, cfg RTConfig, clients, services int) (RTRow
 		// sleeps, which at low scales would cost real wall time.
 		FastBoot:    true,
 		SchedPolicy: cfg.SchedPolicy,
+		Router:      cfg.Router,
 	})
 	if err != nil {
 		return RTRow{}, err

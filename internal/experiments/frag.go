@@ -23,6 +23,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/simtime"
 	"repro/internal/spec"
+	"repro/internal/states"
 )
 
 // FragConfig parameterizes the fragmentation ablation.
@@ -44,6 +45,20 @@ type FragConfig struct {
 	Scale float64
 	// Seed drives determinism.
 	Seed uint64
+
+	// Churn switches to the steady-state variant: only half the small
+	// holders run forever; the other half complete after SmallHold of
+	// simulated time, and ChurnWaves waves of Smalls/4 fresh smalls
+	// arrive after the larges are offered. This measures how much of
+	// best-fit's fragmentation win survives realistic task turnover —
+	// under first-fit the permanent holders keep part of the fat
+	// partition fragmented forever, while the transient churn releases
+	// the rest back to the waiting larges.
+	Churn bool
+	// ChurnWaves is the number of arrival waves (default 2).
+	ChurnWaves int
+	// SmallHold is the transient smalls' simulated duration (default 60s).
+	SmallHold time.Duration
 }
 
 // DefaultFragConfig returns the figure-scale parameterization on the
@@ -91,6 +106,14 @@ func RunFrag(ctx context.Context, cfg FragConfig) (*FragResult, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 2000
 	}
+	if cfg.Churn {
+		if cfg.ChurnWaves <= 0 {
+			cfg.ChurnWaves = 2
+		}
+		if cfg.SmallHold <= 0 {
+			cfg.SmallHold = 60 * time.Second
+		}
+	}
 	// Resolve the workload from the platform's shape mix once, up front:
 	// every session instantiates the catalog platform identically, so the
 	// shapes (and the defaults derived from them) are the same per policy.
@@ -118,7 +141,13 @@ func RunFrag(ctx context.Context, cfg FragConfig) (*FragResult, error) {
 		policies = append(policies, cfg.Policy)
 	}
 	for _, pol := range policies {
-		row, err := runFragPoint(ctx, cfg, pol, len(plat.Nodes()), thin.Spec, fat.Spec)
+		var row FragRow
+		var err error
+		if cfg.Churn {
+			row, err = runFragChurnPoint(ctx, cfg, pol, len(plat.Nodes()), thin.Spec, fat.Spec)
+		} else {
+			row, err = runFragPoint(ctx, cfg, pol, len(plat.Nodes()), thin.Spec, fat.Spec)
+		}
 		if err != nil {
 			return res, fmt.Errorf("experiments: frag %s on %s: %w", pol, cfg.Platform, err)
 		}
@@ -176,39 +205,8 @@ func runFragPoint(ctx context.Context, cfg FragConfig, policy string, nodeCount 
 	hold := rng.ConstDuration(1000 * time.Hour)
 
 	sched := p.Scheduler()
-	// allGranted waits until exactly target grants have happened.
-	allGranted := func(target int) error {
-		deadline := time.Now().Add(10 * time.Second)
-		for sched.Scheduled() != target {
-			if time.Now().After(deadline) {
-				return fmt.Errorf("scheduler did not settle (granted %d/%d)", sched.Scheduled(), target)
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-		return nil
-	}
-	// quiesced waits until every accepted request is either granted or
-	// waiting (all submissions reached the scheduler) and the grant count
-	// has stopped moving.
-	quiesced := func(total int) error {
-		deadline := time.Now().Add(10 * time.Second)
-		stable, last := 0, -1
-		for {
-			g, w := sched.Scheduled(), sched.Waiting()
-			if g+w == total && g == last {
-				if stable++; stable >= 3 {
-					return nil
-				}
-			} else {
-				stable = 0
-			}
-			last = g
-			if time.Now().After(deadline) {
-				return fmt.Errorf("scheduler did not quiesce (granted %d, waiting %d, want total %d)", g, w, total)
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-	}
+	allGranted := func(target int) error { return waitGranted(sched, target) }
+	quiesced := func(total int) error { return waitQuiesced(sched, total) }
 
 	// Phase 1: small holders — every one of them fits, so wait for all
 	// grants before offering large work (inter-class submission order
@@ -266,18 +264,210 @@ func runFragPoint(ctx context.Context, cfg FragConfig, policy string, nodeCount 
 	return row, nil
 }
 
+// waitGranted polls until exactly target grants have happened.
+func waitGranted(sched *scheduler.Scheduler, target int) error {
+	deadline := time.Now().Add(20 * time.Second)
+	for sched.Scheduled() != target {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scheduler did not settle (granted %d/%d)", sched.Scheduled(), target)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+// waitAdmitted polls until at least total accepted requests have reached
+// the scheduler (granted or waiting). The sum only grows, so this
+// serializes submission phases whose relative wait-pool order matters.
+func waitAdmitted(sched *scheduler.Scheduler, total int) error {
+	deadline := time.Now().Add(20 * time.Second)
+	for sched.Scheduled()+sched.Waiting() < total {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scheduler did not admit the batch (granted %d, waiting %d, want %d)",
+				sched.Scheduled(), sched.Waiting(), total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+// waitQuiesced polls until every accepted request is either granted or
+// waiting (all submissions reached the scheduler) and the grant count has
+// stopped moving.
+func waitQuiesced(sched *scheduler.Scheduler, total int) error {
+	deadline := time.Now().Add(20 * time.Second)
+	stable, last := 0, -1
+	for {
+		g, w := sched.Scheduled(), sched.Waiting()
+		if g+w == total && g == last {
+			if stable++; stable >= 3 {
+				return nil
+			}
+		} else {
+			stable = 0
+		}
+		last = g
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scheduler did not quiesce (granted %d, waiting %d, want total %d)", g, w, total)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// runFragChurnPoint is the steady-state variant of runFragPoint: half
+// the smalls hold forever (the persistent load), half complete after
+// cfg.SmallHold; the larges are offered against that mix, and fresh
+// small arrivals keep churning while the transients drain. The end state
+// is deterministic: under first-fit the permanent holders pin part of
+// the fat partition fragmented, the transient releases hand the rest to
+// the waiting larges; under best-fit every small (initial or arriving)
+// packs onto the thin partition and all larges run.
+func runFragChurnPoint(ctx context.Context, cfg FragConfig, policy string, nodeCount int, thin, fat platform.NodeSpec) (FragRow, error) {
+	holders := cfg.Smalls / 2
+	transients := cfg.Smalls - holders
+	waveSize := cfg.Smalls / 4
+
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed:        cfg.Seed,
+		Clock:       simtime.NewScaled(cfg.Scale, core.DefaultOrigin),
+		FastBoot:    true,
+		SchedPolicy: policy,
+	})
+	if err != nil {
+		return FragRow{}, err
+	}
+	defer sess.Close()
+	p, err := sess.PilotManager().Submit(spec.PilotDescription{
+		Platform: cfg.Platform, Nodes: nodeCount,
+	})
+	if err != nil {
+		return FragRow{}, err
+	}
+	tm := sess.TaskManager()
+	tm.AddPilot(p)
+	taskCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hold := rng.ConstDuration(1000 * time.Hour)
+	churn := rng.ConstDuration(cfg.SmallHold)
+	sched := p.Scheduler()
+
+	submitSmalls := func(n int, label string, dur rng.DurationDist) error {
+		descs := make([]spec.TaskDescription, n)
+		for i := range descs {
+			descs[i] = spec.TaskDescription{
+				Name: fmt.Sprintf("%s-%04d", label, i), Cores: thin.Cores, Duration: dur,
+			}
+		}
+		_, err := tm.Submit(taskCtx, descs...)
+		return err
+	}
+	// Phase 1: the steady load — permanent holders, then transients.
+	// Both classes fit entirely; wait for all grants so the placement
+	// pattern is deterministic before any large work is offered.
+	if err := submitSmalls(holders, "perm", hold); err != nil {
+		return FragRow{}, err
+	}
+	if err := waitGranted(sched, holders); err != nil {
+		return FragRow{}, fmt.Errorf("permanent holders: %w", err)
+	}
+	if err := submitSmalls(transients, "churn", churn); err != nil {
+		return FragRow{}, err
+	}
+	if err := waitGranted(sched, holders+transients); err != nil {
+		return FragRow{}, fmt.Errorf("transient holders: %w", err)
+	}
+
+	// Phase 2: offer the larges; they hold whatever they win.
+	largeDescs := make([]spec.TaskDescription, cfg.Larges)
+	for i := range largeDescs {
+		largeDescs[i] = spec.TaskDescription{
+			Name:  fmt.Sprintf("large-%04d", i),
+			Cores: fat.Cores, GPUs: fat.GPUs, Duration: hold,
+		}
+	}
+	larges, err := tm.Submit(taskCtx, largeDescs...)
+	if err != nil {
+		return FragRow{}, err
+	}
+	// Tasks reach the scheduler from per-task goroutines, so wait until
+	// every large is admitted (granted or waiting) before offering the
+	// waves — otherwise an arrival could race ahead of a large in
+	// submission-sequence order and be granted past the blocked head.
+	if err := waitAdmitted(sched, cfg.Smalls+cfg.Larges); err != nil {
+		return FragRow{}, fmt.Errorf("large offers: %w", err)
+	}
+
+	// Phase 3: arrival churn behind the larges.
+	for w := 0; w < cfg.ChurnWaves; w++ {
+		if err := submitSmalls(waveSize, fmt.Sprintf("wave%d", w), churn); err != nil {
+			return FragRow{}, err
+		}
+	}
+
+	// Phase 4: let the turnover drain. Transient and wave smalls either
+	// complete or stay blocked behind an ungrantable large head; the end
+	// state is stable either way.
+	total := cfg.Smalls + cfg.Larges + cfg.ChurnWaves*waveSize
+	if err := waitQuiesced(sched, total); err != nil {
+		return FragRow{}, fmt.Errorf("churn: %w", err)
+	}
+
+	largeGranted := 0
+	for _, t := range larges {
+		if t.State() == states.TaskExecuting {
+			largeGranted++
+		}
+	}
+	row := FragRow{
+		Policy:       policy,
+		SmallGranted: sched.Scheduled() - largeGranted,
+		LargeGranted: largeGranted,
+		Waiting:      sched.Waiting(),
+	}
+	var totCores, totGPUs, freeCores, freeGPUs int
+	for _, n := range p.Nodes() {
+		sp := n.Spec()
+		totCores += sp.Cores
+		totGPUs += sp.GPUs
+		fc, fg, _ := n.Free()
+		freeCores += fc
+		freeGPUs += fg
+	}
+	if totCores > 0 {
+		row.CoreUtil = 1 - float64(freeCores)/float64(totCores)
+	}
+	if totGPUs > 0 {
+		row.GPUUtil = 1 - float64(freeGPUs)/float64(totGPUs)
+	}
+	return row, nil
+}
+
+// TotalSmalls returns how many small tasks the configuration submits in
+// total: the initial holders plus, under churn, every arrival wave.
+func (c FragConfig) TotalSmalls() int {
+	if !c.Churn {
+		return c.Smalls
+	}
+	return c.Smalls + c.ChurnWaves*(c.Smalls/4)
+}
+
 // Table renders the fragmentation ablation.
 func (r *FragResult) Table() metrics.Table {
+	title := fmt.Sprintf(
+		"Fragmentation ablation — %s (%s), %d smalls (%dc) then %d larges (%dc/%dg)",
+		r.Cfg.Platform, r.Shapes, r.Cfg.Smalls, r.SmallCores,
+		r.Cfg.Larges, r.LargeCores, r.LargeGPUs)
+	if r.Cfg.Churn {
+		title += fmt.Sprintf(" — churn: half the smalls complete after %s, %d waves of %d more arrive",
+			r.Cfg.SmallHold, r.Cfg.ChurnWaves, r.Cfg.Smalls/4)
+	}
 	t := metrics.Table{
-		Title: fmt.Sprintf(
-			"Fragmentation ablation — %s (%s), %d smalls (%dc) then %d larges (%dc/%dg)",
-			r.Cfg.Platform, r.Shapes, r.Cfg.Smalls, r.SmallCores,
-			r.Cfg.Larges, r.LargeCores, r.LargeGPUs),
+		Title:  title,
 		Header: []string{"policy", "smalls granted", "larges granted", "waiting", "core util", "gpu util"},
 	}
 	for _, row := range r.Rows {
 		t.AddRow(row.Policy,
-			fmt.Sprintf("%d/%d", row.SmallGranted, r.Cfg.Smalls),
+			fmt.Sprintf("%d/%d", row.SmallGranted, r.Cfg.TotalSmalls()),
 			fmt.Sprintf("%d/%d", row.LargeGranted, r.Cfg.Larges),
 			fmt.Sprintf("%d", row.Waiting),
 			fmt.Sprintf("%.3f", row.CoreUtil),

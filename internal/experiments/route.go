@@ -1,0 +1,260 @@
+package experiments
+
+// Route ablation on mismatched pilots: the paper's prototype dispatches
+// tasks to pilots round-robin ("only a rudimentary load balancing"),
+// which binds a task to a pilot at submission time — the opposite of the
+// late binding the pilot abstraction promises. On a session holding two
+// deliberately mismatched pilots (the hetero campus's fat GPU partition
+// and its thin CPU partition as separate pilots), round-robin sends half
+// of the whole-fat-node tasks to the thin pilot, where no node shape can
+// ever run them; the capacity-fit router consults pilot shapes and live
+// scheduler snapshots and runs every task. RunRoute drives that
+// comparison end to end and is the `rpexp -exp route` table.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/router"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/states"
+)
+
+// RouteConfig parameterizes the routing ablation.
+type RouteConfig struct {
+	// Platform names a mixed-shape catalog platform (default "hetero");
+	// one pilot is acquired per node-shape partition.
+	Platform string
+	// Routers are the strategies compared (default: round-robin,
+	// least-loaded, capacity-fit).
+	Routers []string
+	// FatTasks is the number of whole-fat-node tasks (default: the fat
+	// partition size). These are the shape-constrained probes only the
+	// fat pilot can ever run.
+	FatTasks int
+	// ThinTasks is the number of thin tasks (default: the thin partition
+	// size). Any pilot can run these.
+	ThinTasks int
+	// TaskTime is the simulated task duration (default 5s).
+	TaskTime time.Duration
+	// Scale is the clock compression (default 2000).
+	Scale float64
+	// Seed drives determinism.
+	Seed uint64
+}
+
+// DefaultRouteConfig returns the figure-scale parameterization: one
+// whole-node task per fat node plus one thin task per thin node, on the
+// hetero campus split into a fat pilot and a thin pilot.
+func DefaultRouteConfig() RouteConfig {
+	return RouteConfig{
+		Platform: "hetero",
+		Routers:  []string{router.NameRoundRobin, router.NameLeastLoaded, router.NameCapacityFit},
+		TaskTime: 5 * time.Second,
+		Scale:    2000,
+		Seed:     6,
+	}
+}
+
+// RouteRow is one router's outcome on the mismatched pilots.
+type RouteRow struct {
+	Router     string
+	FatDone    int
+	FatFailed  int
+	ThinDone   int
+	ThinFailed int
+	// Rejected counts tasks refused at submit (capacity-fit rejects
+	// tasks that fit no pilot's shapes; with this workload it stays 0 —
+	// every task fits somewhere).
+	Rejected int
+	// Reroutes counts session-level re-binds (pilot churn; 0 here).
+	Reroutes int
+}
+
+// RouteResult is the routing-ablation dataset.
+type RouteResult struct {
+	Cfg RouteConfig
+	// FatPilotShapes / ThinPilotShapes describe the two mismatched pilots.
+	FatPilotShapes, ThinPilotShapes string
+	// FatCores/FatGPUs and ThinCores are the per-task demands.
+	FatCores, FatGPUs, ThinCores int
+	Rows                         []RouteRow
+}
+
+// RunRoute executes the routing ablation: identical workloads on
+// identically mismatched pilots, once per router strategy.
+func RunRoute(ctx context.Context, cfg RouteConfig) (*RouteResult, error) {
+	if cfg.Platform == "" {
+		cfg.Platform = "hetero"
+	}
+	if len(cfg.Routers) == 0 {
+		cfg.Routers = DefaultRouteConfig().Routers
+	}
+	if cfg.TaskTime <= 0 {
+		cfg.TaskTime = 5 * time.Second
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 2000
+	}
+	plat := platform.DefaultTopology().Platform(cfg.Platform)
+	if plat == nil {
+		return nil, fmt.Errorf("experiments: route: unknown platform %q", cfg.Platform)
+	}
+	shapes := plat.Shapes()
+	if len(shapes) < 2 {
+		return nil, fmt.Errorf("experiments: route: platform %q is homogeneous (%s); mismatched pilots need a mixed platform",
+			cfg.Platform, platform.FormatShapes(shapes))
+	}
+	thin, fat := thinAndFat(shapes)
+	if cfg.FatTasks <= 0 {
+		cfg.FatTasks = fat.Count
+	}
+	if cfg.ThinTasks <= 0 {
+		cfg.ThinTasks = thin.Count
+	}
+	res := &RouteResult{
+		Cfg:       cfg,
+		FatCores:  fat.Spec.Cores,
+		FatGPUs:   fat.Spec.GPUs,
+		ThinCores: thin.Spec.Cores,
+	}
+	for _, rt := range cfg.Routers {
+		row, err := runRoutePoint(ctx, cfg, rt, res)
+		if err != nil {
+			return res, fmt.Errorf("experiments: route %s on %s: %w", rt, cfg.Platform, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runRoutePoint runs the workload under one router: a session holding
+// one pilot per node-shape partition of the platform, fat tasks
+// interleaving with the router's rotation, all task outcomes counted.
+func runRoutePoint(ctx context.Context, cfg RouteConfig, rt string, res *RouteResult) (RouteRow, error) {
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed:     cfg.Seed,
+		Clock:    simtime.NewScaled(cfg.Scale, core.DefaultOrigin),
+		FastBoot: true,
+		Router:   rt,
+	})
+	if err != nil {
+		return RouteRow{}, err
+	}
+	defer sess.Close()
+
+	// One pilot per consecutive shape partition: platform node order is
+	// partition order, so Nodes-count acquisition carves them exactly.
+	plat := sess.Topology().Platform(cfg.Platform)
+	tm := sess.TaskManager()
+	for _, g := range plat.Shapes() {
+		p, err := sess.PilotManager().Submit(spec.PilotDescription{
+			Platform: cfg.Platform, Nodes: g.Count,
+		})
+		if err != nil {
+			return RouteRow{}, err
+		}
+		pilotShapes := platform.FormatShapes(p.Shapes())
+		if g.Spec.GPUs > 0 && res.FatPilotShapes == "" {
+			res.FatPilotShapes = pilotShapes
+		} else if res.ThinPilotShapes == "" {
+			res.ThinPilotShapes = pilotShapes
+		}
+		tm.AddPilot(p)
+	}
+
+	row := RouteRow{Router: rt}
+	dur := rng.ConstDuration(cfg.TaskTime)
+	var fatTasks, thinTasks []*core.Task
+	submit := func(d spec.TaskDescription) (*core.Task, error) {
+		ts, err := tm.Submit(ctx, d)
+		if err != nil {
+			var unroutable router.ErrUnroutable
+			if errors.As(err, &unroutable) {
+				row.Rejected++
+				return nil, nil
+			}
+			return nil, err
+		}
+		return ts[0], nil
+	}
+	for i := 0; i < cfg.FatTasks; i++ {
+		t, err := submit(spec.TaskDescription{
+			Name:  fmt.Sprintf("fat-%04d", i),
+			Cores: res.FatCores, GPUs: res.FatGPUs, Duration: dur,
+		})
+		if err != nil {
+			return row, err
+		}
+		if t != nil {
+			fatTasks = append(fatTasks, t)
+		}
+	}
+	for i := 0; i < cfg.ThinTasks; i++ {
+		t, err := submit(spec.TaskDescription{
+			Name:  fmt.Sprintf("thin-%04d", i),
+			Cores: res.ThinCores, Duration: dur,
+		})
+		if err != nil {
+			return row, err
+		}
+		if t != nil {
+			thinTasks = append(thinTasks, t)
+		}
+	}
+
+	// Wait for every accepted task to settle (failures included — a
+	// misrouted fat task fails fast as unsatisfiable on the thin pilot).
+	waitCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	_ = tm.Wait(waitCtx, append(append([]*core.Task{}, fatTasks...), thinTasks...)...)
+	if err := waitCtx.Err(); err != nil {
+		return row, fmt.Errorf("tasks did not settle: %w", err)
+	}
+	count := func(tasks []*core.Task) (done, failed int, reroutes int) {
+		for _, t := range tasks {
+			switch t.State() {
+			case states.TaskDone:
+				done++
+			default:
+				failed++
+			}
+			reroutes += t.Reroutes()
+		}
+		return done, failed, reroutes
+	}
+	var rr int
+	row.FatDone, row.FatFailed, rr = count(fatTasks)
+	row.Reroutes += rr
+	row.ThinDone, row.ThinFailed, rr = count(thinTasks)
+	row.Reroutes += rr
+	return row, nil
+}
+
+// Table renders the routing ablation.
+func (r *RouteResult) Table() metrics.Table {
+	t := metrics.Table{
+		Title: fmt.Sprintf(
+			"Route ablation — %s split into mismatched pilots (%s | %s), %d fat tasks (%dc/%dg) + %d thin tasks (%dc)",
+			r.Cfg.Platform, r.FatPilotShapes, r.ThinPilotShapes,
+			r.Cfg.FatTasks, r.FatCores, r.FatGPUs, r.Cfg.ThinTasks, r.ThinCores),
+		Header: []string{"router", "fat done", "fat failed", "thin done", "thin failed", "rejected", "reroutes"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Router,
+			fmt.Sprintf("%d/%d", row.FatDone, r.Cfg.FatTasks),
+			fmt.Sprintf("%d", row.FatFailed),
+			fmt.Sprintf("%d/%d", row.ThinDone, r.Cfg.ThinTasks),
+			fmt.Sprintf("%d", row.ThinFailed),
+			fmt.Sprintf("%d", row.Rejected),
+			fmt.Sprintf("%d", row.Reroutes))
+	}
+	return t
+}

@@ -30,6 +30,11 @@ var (
 	ErrInsufficient = errors.New("pilot: platform cannot satisfy the pilot request")
 	ErrUnknownTask  = errors.New("pilot: unknown task")
 	ErrNotActive    = errors.New("pilot: not active")
+	// ErrPilotStopped marks a task that was still queued (not yet granted
+	// resources) when its pilot shut down. The seed wedged such tasks
+	// forever on a closed scheduler; now they fail fast with this sentinel
+	// so the session's TaskManager can re-route them to another pilot.
+	ErrPilotStopped = errors.New("pilot: pilot stopped before task placement")
 )
 
 // Config wires a Pilot.
@@ -74,6 +79,11 @@ type Pilot struct {
 	stage  *stager.Manager
 	svcMgr *service.Manager
 	reg    *service.Registry
+
+	// stopped is closed when the pilot shuts down, releasing every task
+	// still waiting on a scheduler grant (see runTask).
+	stopped  chan struct{}
+	stopOnce sync.Once
 
 	mu    sync.Mutex
 	seq   int
@@ -133,6 +143,7 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 		cfg:     cfg,
 		desc:    desc,
 		machine: states.NewMachine(desc.UID, states.PilotModel(), cfg.Clock),
+		stopped: make(chan struct{}),
 		tasks:   make(map[string]*Task),
 	}
 	if cfg.StateCallback != nil {
@@ -158,8 +169,14 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 		launch = *cfg.LaunchModel
 	}
 	p.router = scheduler.NewRouter()
-	p.sched = scheduler.New(p.nodes, func(pl scheduler.Placement) { p.router.Route(pl) },
-		scheduler.WithPolicy(policy), scheduler.WithClock(cfg.Clock))
+	p.sched = scheduler.New(p.nodes, func(pl scheduler.Placement) {
+		if !p.router.Route(pl) {
+			// The waiter cancelled (task ctx done, or pilot stopping)
+			// between grant and delivery: give the capacity back instead
+			// of leaking it.
+			p.sched.Release(pl.Alloc)
+		}
+	}, scheduler.WithPolicy(policy), scheduler.WithClock(cfg.Clock))
 	p.exec = executor.New(cfg.Clock, cfg.Src.Derive(desc.UID+".exec"), launch)
 	p.stage = stager.NewManager(cfg.Clock, cfg.Src.Derive(desc.UID+".stage"))
 	p.reg = service.NewRegistry(cfg.Clock, cfg.Src.Derive(desc.UID+".reg"), cfg.PublishOverhead)
@@ -287,6 +304,15 @@ func (p *Pilot) Executor() *executor.Executor { return p.exec }
 // can inspect wait depth, grant counts and the active placement policy).
 func (p *Pilot) Scheduler() *scheduler.Scheduler { return p.sched }
 
+// Snapshot returns the agent scheduler's live capacity/queue-depth view —
+// the load probe session-level routers rank pilots on. See
+// scheduler.Snapshot for what it carries and what it costs.
+func (p *Pilot) Snapshot() scheduler.Snapshot { return p.sched.Snapshot() }
+
+// Stopped returns a channel closed when the pilot shuts down. Tasks still
+// waiting for placement at that point fail with ErrPilotStopped.
+func (p *Pilot) Stopped() <-chan struct{} { return p.stopped }
+
 // SubmitTask validates d and drives it through the task lifecycle
 // asynchronously.
 func (p *Pilot) SubmitTask(ctx context.Context, d spec.TaskDescription) (*Task, error) {
@@ -345,14 +371,34 @@ func (p *Pilot) runTask(ctx context.Context, t *Task) {
 		UID: d.UID, Cores: d.Cores, GPUs: d.GPUs, MemGB: d.MemGB, Priority: d.Priority,
 	}); err != nil {
 		p.router.Cancel(d.UID)
+		if errors.Is(err, scheduler.ErrClosed) {
+			// The scheduler shut down between task admission and enqueue:
+			// same situation as a queued task at shutdown, same sentinel.
+			err = fmt.Errorf("%w: %v", ErrPilotStopped, err)
+		}
 		fail(err)
 		return
+	}
+	// abandon cancels the placement expectation. If the scheduler's
+	// router already committed a grant to this task (Cancel finds no
+	// waiter), exactly one placement is in flight on the buffered
+	// channel: receive it and give the capacity back, or it would stay
+	// allocated for the pilot's remaining lifetime.
+	abandon := func() {
+		if !p.router.Cancel(d.UID) {
+			pl := <-placed
+			p.sched.Release(pl.Alloc)
+		}
 	}
 	var pl scheduler.Placement
 	select {
 	case pl = <-placed:
+	case <-p.stopped:
+		abandon()
+		fail(fmt.Errorf("%w: %s", ErrPilotStopped, p.UID()))
+		return
 	case <-ctx.Done():
-		p.router.Cancel(d.UID)
+		abandon()
 		fail(ctx.Err())
 		return
 	}
@@ -439,10 +485,14 @@ func (p *Pilot) WaitTasks(ctx context.Context, uids ...string) error {
 }
 
 // Shutdown terminates the agent and releases the pilot's resources.
+// Tasks that were queued but never granted resources fail with
+// ErrPilotStopped (the stopped channel closes before the scheduler, so
+// they observe the shutdown rather than wedging on a closed wait pool).
 func (p *Pilot) Shutdown() error {
 	if p.machine.Current() != states.PilotActive {
 		return fmt.Errorf("%w: %s", ErrNotActive, p.machine.Current())
 	}
+	p.stopOnce.Do(func() { close(p.stopped) })
 	p.svcMgr.Close()
 	p.sched.Close()
 	p.release()

@@ -473,3 +473,85 @@ func TestPolicyResolutionPrecedence(t *testing.T) {
 		t.Fatal("Launch accepted an unknown policy name")
 	}
 }
+
+// TestShutdownFailsQueuedTasks pins the late-binding failure contract:
+// a task still waiting for a scheduler grant when the pilot shuts down
+// fails promptly with ErrPilotStopped (instead of wedging on the closed
+// wait pool), while a task that was already executing keeps its own
+// lifecycle.
+func TestShutdownFailsQueuedTasks(t *testing.T) {
+	p, _ := newPilot(t, 100000, spec.PilotDescription{Platform: "delta", Nodes: 1})
+	ctx := context.Background()
+	hold := rng.ConstDuration(1000 * time.Hour)
+
+	running, err := p.SubmitTask(ctx, spec.TaskDescription{Name: "holder", Cores: 64, Duration: hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(task *Task, want states.State) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for task.State() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("task %s stuck in %s, want %s", task.UID(), task.State(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(running, states.TaskExecuting)
+
+	// The node is saturated: this one queues in the scheduler wait pool.
+	queued, err := p.SubmitTask(ctx, spec.TaskDescription{Name: "queued", Cores: 64, Duration: hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(queued, states.TaskScheduling)
+
+	if err := p.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(queued, states.TaskFailed)
+	if err := queued.Result().Err; !errors.Is(err, ErrPilotStopped) {
+		t.Fatalf("queued task error = %v, want ErrPilotStopped", err)
+	}
+	select {
+	case <-p.Stopped():
+	default:
+		t.Fatal("Stopped channel not closed after Shutdown")
+	}
+}
+
+// TestPilotSnapshotReflectsLoad checks the router-facing load probe: the
+// snapshot reports the pilot's shape table, and its wait depth moves with
+// queued work.
+func TestPilotSnapshotReflectsLoad(t *testing.T) {
+	p, _ := newPilot(t, 100000, spec.PilotDescription{Platform: "delta", Nodes: 2})
+	sn := p.Snapshot()
+	if len(sn.Shapes) != 1 || sn.Shapes[0].Nodes != 2 || sn.Shapes[0].Spec.Cores != 64 {
+		t.Fatalf("snapshot shapes = %+v", sn.Shapes)
+	}
+	if sn.Waiting != 0 || !sn.MayFitNow(64, 4, 0) {
+		t.Fatalf("idle snapshot = %+v", sn)
+	}
+	hold := rng.ConstDuration(1000 * time.Hour)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // two run (one per node), one queues
+		if _, err := p.SubmitTask(ctx, spec.TaskDescription{Name: "t", Cores: 64, Duration: hold}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sn = p.Snapshot()
+		if sn.Scheduled == 2 && sn.Waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot never settled: %+v", sn)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if sn.MayFitNow(64, 0, 0) {
+		t.Fatal("saturated cores must fail the free-maxima check")
+	}
+}

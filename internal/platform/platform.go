@@ -36,6 +36,14 @@ type NodeSpec struct {
 	MemGB float64
 }
 
+// Covers reports whether a node of this shape could ever satisfy the
+// per-node demand — the one admission predicate shared by the
+// scheduler's satisfiability check, its snapshot's CanEverFit, and the
+// shape-aware task routers, so all three layers agree on what fits.
+func (s NodeSpec) Covers(cores, gpus int, memGB float64) bool {
+	return s.Cores >= cores && s.GPUs >= gpus && s.MemGB >= memGB
+}
+
 // NodeGroup is a run of identically shaped nodes inside a platform.
 // Mixed-shape platforms (NewMixed) are described as an ordered list of
 // groups; Shapes reports the same structure back for any node set.

@@ -33,7 +33,7 @@ type nodeIndex struct {
 	gpus  []int
 	mem   []float64
 	// score is the min-leftover augmentation: each leaf holds the node's
-	// weighted free capacity (WeightedCapacity of its free counters;
+	// weighted free capacity (w.Capacity of its free counters;
 	// +Inf for padding leaves), each inner segment
 	// the minimum over its children. For a fixed demand, least leftover =
 	// least weighted free among fitting leaves, so findBest can prune any
@@ -41,6 +41,18 @@ type nodeIndex struct {
 	// typically descends a single root-to-leaf path instead of visiting
 	// every fitting leaf.
 	score []float64
+	// w is the leftover exchange rate the score dimension folds on,
+	// calibrated per pool from the node shape mix (DeriveWeights).
+	w Weights
+	// shapeOf maps each node index to its entry in shapes.
+	shapeOf []int
+	// shapes holds per-distinct-spec free-capacity aggregates, maintained
+	// on every refresh so Scheduler.Snapshot is O(distinct shapes). Only
+	// read or written under the scheduler lock.
+	shapes []ShapeCapacity
+	// specs lists the distinct node shapes, immutable after construction —
+	// the lock-free satisfiability check reads this, never shapes.
+	specs []platform.NodeSpec
 }
 
 func newNodeIndex(nodes []*platform.Node) *nodeIndex {
@@ -49,32 +61,62 @@ func newNodeIndex(nodes []*platform.Node) *nodeIndex {
 		size <<= 1
 	}
 	ix := &nodeIndex{
-		nodes: nodes,
-		size:  size,
-		cores: make([]int, 2*size),
-		gpus:  make([]int, 2*size),
-		mem:   make([]float64, 2*size),
-		score: make([]float64, 2*size),
+		nodes:   nodes,
+		size:    size,
+		cores:   make([]int, 2*size),
+		gpus:    make([]int, 2*size),
+		mem:     make([]float64, 2*size),
+		score:   make([]float64, 2*size),
+		shapeOf: make([]int, len(nodes)),
 	}
+	pos := make(map[platform.NodeSpec]int)
+	for i, n := range nodes {
+		sp := n.Spec()
+		k, seen := pos[sp]
+		if !seen {
+			k = len(ix.shapes)
+			pos[sp] = k
+			ix.shapes = append(ix.shapes, ShapeCapacity{Spec: sp})
+		}
+		ix.shapes[k].Nodes++
+		ix.shapeOf[i] = k
+	}
+	for _, sh := range ix.shapes {
+		ix.specs = append(ix.specs, sh.Spec)
+	}
+	groups := make([]platform.NodeGroup, len(ix.shapes))
+	for k, sh := range ix.shapes {
+		groups[k] = platform.NodeGroup{Count: sh.Nodes, Spec: sh.Spec}
+	}
+	ix.w = DeriveWeights(groups)
 	ix.refreshAll()
 	return ix
 }
 
-// WeightedCapacity folds a capacity (or demand) triple onto the scale
-// best-fit placement optimizes: cores + bestFitGPUWeight·gpus +
-// bestFitMemWeight·memGB. Exported so shape-classification logic
-// elsewhere (e.g. the fragmentation experiment's thin/fat split) ranks
-// node capacity on exactly the scale placement minimizes leftovers on.
+// WeightedCapacity folds a capacity (or demand) triple onto the global
+// default scale (DefaultWeights): cores + bestFitGPUWeight·gpus +
+// bestFitMemWeight·memGB. Exported so cross-pool rankings — the
+// fragmentation experiment's thin/fat split, the least-loaded router's
+// free-capacity comparison — share one exchange rate. Placement inside a
+// pool uses the pool-calibrated Weights instead (DeriveWeights).
 func WeightedCapacity(cores, gpus int, memGB float64) float64 {
-	return float64(cores) + bestFitGPUWeight*float64(gpus) + bestFitMemWeight*memGB
+	return DefaultWeights.Capacity(cores, gpus, memGB)
 }
 
-// refresh re-reads one node's free counters into its leaf and bubbles the
+// refresh re-reads one node's free counters into its leaf, folds the
+// change into the node's per-shape aggregate, and bubbles the
 // per-dimension maxima and the min score up.
 func (ix *nodeIndex) refresh(i int) {
 	leaf := ix.size + i
+	sh := &ix.shapes[ix.shapeOf[i]]
+	sh.FreeCores -= ix.cores[leaf]
+	sh.FreeGPUs -= ix.gpus[leaf]
+	sh.FreeMemGB -= ix.mem[leaf]
 	ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf] = ix.nodes[i].Free()
-	ix.score[leaf] = WeightedCapacity(ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf])
+	sh.FreeCores += ix.cores[leaf]
+	sh.FreeGPUs += ix.gpus[leaf]
+	sh.FreeMemGB += ix.mem[leaf]
+	ix.score[leaf] = ix.w.Capacity(ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf])
 	for p := leaf / 2; p >= 1; p /= 2 {
 		l, r := 2*p, 2*p+1
 		ix.cores[p] = max(ix.cores[l], ix.cores[r])
@@ -84,12 +126,22 @@ func (ix *nodeIndex) refresh(i int) {
 	}
 }
 
-// refreshAll rebuilds the whole tree from the nodes' counters in O(n).
+// refreshAll rebuilds the whole tree and the per-shape aggregates from
+// the nodes' counters in O(n).
 func (ix *nodeIndex) refreshAll() {
+	for k := range ix.shapes {
+		ix.shapes[k].FreeCores = 0
+		ix.shapes[k].FreeGPUs = 0
+		ix.shapes[k].FreeMemGB = 0
+	}
 	for i := range ix.nodes {
 		leaf := ix.size + i
 		ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf] = ix.nodes[i].Free()
-		ix.score[leaf] = WeightedCapacity(ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf])
+		ix.score[leaf] = ix.w.Capacity(ix.cores[leaf], ix.gpus[leaf], ix.mem[leaf])
+		sh := &ix.shapes[ix.shapeOf[i]]
+		sh.FreeCores += ix.cores[leaf]
+		sh.FreeGPUs += ix.gpus[leaf]
+		sh.FreeMemGB += ix.mem[leaf]
 	}
 	for i := len(ix.nodes); i < ix.size; i++ {
 		leaf := ix.size + i
@@ -139,10 +191,12 @@ func (ix *nodeIndex) covers(p, cores, gpus int, memGB float64) bool {
 	return ix.cores[p] >= cores && ix.gpus[p] >= gpus && ix.mem[p] >= memGB
 }
 
-// Best-fit leftover weights: one GPU counts like 16 cores (the catalog's
-// node shapes carry 8-16 cores per GPU) and 4 GB of memory like one core,
-// so the score compares leftovers of different dimensions on one scale.
-// WeightedCapacity is the one shared fold onto this scale.
+// Default best-fit leftover weights: one GPU counts like 16 cores (the
+// catalog's node shapes carry 8-16 cores per GPU) and 4 GB of memory like
+// one core, so the score compares leftovers of different dimensions on
+// one scale. Mixed pools recalibrate both rates from their actual shape
+// mix (DeriveWeights); these constants remain the single-shape and
+// cross-pool scale via DefaultWeights.
 const (
 	bestFitGPUWeight = 16
 	bestFitMemWeight = 0.25
@@ -168,7 +222,7 @@ func (ix *nodeIndex) findBest(cores, gpus int, memGB float64) int {
 	if len(ix.nodes) == 0 {
 		return -1
 	}
-	wDemand := WeightedCapacity(cores, gpus, memGB)
+	wDemand := ix.w.Capacity(cores, gpus, memGB)
 	best, bestScore := -1, math.Inf(1)
 	var walk func(p int)
 	walk = func(p int) {

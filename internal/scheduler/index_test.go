@@ -87,8 +87,8 @@ func findBestExhaustive(ix *nodeIndex, cores, gpus int, memGB float64) int {
 				return
 			}
 			score := float64(ix.cores[p]-cores) +
-				bestFitGPUWeight*float64(ix.gpus[p]-gpus) +
-				bestFitMemWeight*(ix.mem[p]-memGB)
+				ix.w.GPU*float64(ix.gpus[p]-gpus) +
+				ix.w.Mem*(ix.mem[p]-memGB)
 			if best < 0 || score < bestScore {
 				best, bestScore = i, score
 			}
@@ -108,8 +108,8 @@ func findBestExhaustive(ix *nodeIndex, cores, gpus int, memGB float64) int {
 func leftoverScore(ix *nodeIndex, i, cores, gpus int, memGB float64) float64 {
 	leaf := ix.size + i
 	return float64(ix.cores[leaf]-cores) +
-		bestFitGPUWeight*float64(ix.gpus[leaf]-gpus) +
-		bestFitMemWeight*(ix.mem[leaf]-memGB)
+		ix.w.GPU*float64(ix.gpus[leaf]-gpus) +
+		ix.w.Mem*(ix.mem[leaf]-memGB)
 }
 
 // TestFindBestMatchesExhaustiveOracle is the differential test for the

@@ -25,11 +25,17 @@ func (r *Router) Expect(uid string) <-chan Placement {
 	return ch
 }
 
-// Cancel removes interest in uid (e.g. submission failed).
-func (r *Router) Cancel(uid string) {
+// Cancel removes interest in uid (e.g. submission failed, task context
+// cancelled, pilot stopping). It reports whether the waiter was still
+// registered: a false return means Route already committed to this uid —
+// exactly one placement is in flight to the channel and the caller must
+// receive and release it, or the allocation leaks.
+func (r *Router) Cancel(uid string) bool {
 	r.mu.Lock()
+	_, ok := r.chans[uid]
 	delete(r.chans, uid)
 	r.mu.Unlock()
+	return ok
 }
 
 // Route delivers p to its waiter and reports whether one existed. Use as

@@ -61,9 +61,6 @@ type Scheduler struct {
 	place  PlaceFn
 	policy Policy
 	clock  simtime.Clock
-	// specs are the distinct node hardware shapes, computed once so the
-	// per-submit satisfiability check is O(distinct specs), not O(nodes).
-	specs []platform.NodeSpec
 
 	mu      sync.Mutex
 	index   *nodeIndex
@@ -144,17 +141,6 @@ func New(nodes []*platform.Node, place PlaceFn, opts ...Option) *Scheduler {
 	}
 	for i, n := range nodes {
 		s.nodeOf[n] = i
-		sp := n.Spec()
-		seen := false
-		for _, u := range s.specs {
-			if u == sp {
-				seen = true
-				break
-			}
-		}
-		if !seen {
-			s.specs = append(s.specs, sp)
-		}
 	}
 	go s.loop()
 	return s
@@ -183,13 +169,15 @@ func (s *Scheduler) Submit(req Request) error {
 
 // satisfiable reports whether some node's total capacity covers req.
 // Negative demands are unsatisfiable: Node.TryAlloc rejects them on every
-// node, so admitting one would wedge the wait-pool head forever.
+// node, so admitting one would wedge the wait-pool head forever. The
+// check is O(distinct shapes) over the index's immutable spec list — no
+// lock needed.
 func (s *Scheduler) satisfiable(req Request) bool {
 	if req.Cores < 0 || req.GPUs < 0 || req.MemGB < 0 {
 		return false
 	}
-	for _, sp := range s.specs {
-		if sp.Cores >= req.Cores && sp.GPUs >= req.GPUs && sp.MemGB >= req.MemGB {
+	for _, sp := range s.index.specs {
+		if sp.Covers(req.Cores, req.GPUs, req.MemGB) {
 			return true
 		}
 	}

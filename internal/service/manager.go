@@ -278,6 +278,14 @@ func (m *Manager) bootstrap(inst *Instance) {
 	select {
 	case pl = <-placed:
 	case <-startDeadline.C():
+		// A grant may already be committed to this UID (Cancel finds no
+		// waiter): receive it and give the capacity back. A still-waiting
+		// request is cancelled here and, if granted later anyway, released
+		// by the pilot's unrouted-placement fallback.
+		if !m.cfg.Router.Cancel(d.UID) {
+			pl = <-placed
+			m.cfg.Sched.Release(pl.Alloc)
+		}
 		fail(fmt.Errorf("service %s: start timeout in scheduling", d.UID))
 		return
 	}

@@ -62,6 +62,11 @@ type TaskDescription struct {
 	// service priority so services start before compute tasks, as §III
 	// requires.
 	Priority int
+	// Pilot optionally pins the task to the named pilot, bypassing the
+	// session's task router. Pinned tasks are never re-routed: if the
+	// pilot shuts down first, the task fails. workflow.Stage.Pilot sets
+	// this for a whole stage.
+	Pilot string
 	// InputStaging and OutputStaging run before/after execution.
 	InputStaging  []StagingDirective
 	OutputStaging []StagingDirective

@@ -36,6 +36,12 @@ type Stage struct {
 	Services []spec.ServiceDescription
 	// Tasks are submitted together and awaited.
 	Tasks []spec.TaskDescription
+	// Pilot optionally routes this stage's tasks to the named pilot (a
+	// routing hint copied onto each task description that does not pin a
+	// pilot itself), so data-local stages can follow their staged inputs
+	// instead of the session router's choice. Empty leaves routing to the
+	// session's Router.
+	Pilot string
 	// Post runs after all tasks complete.
 	Post Hook
 	// KeepServices leaves this stage's services running after the
@@ -273,7 +279,17 @@ func (r *Runner) runStage(ctx context.Context, s *Stage, rep *StageReport, recor
 	rep.Services = len(svcUIDs)
 
 	if len(s.Tasks) > 0 {
-		tasks, err := r.sess.TaskManager().Submit(ctx, s.Tasks...)
+		descs := s.Tasks
+		if s.Pilot != "" {
+			descs = make([]spec.TaskDescription, len(s.Tasks))
+			copy(descs, s.Tasks)
+			for i := range descs {
+				if descs[i].Pilot == "" {
+					descs[i].Pilot = s.Pilot
+				}
+			}
+		}
+		tasks, err := r.sess.TaskManager().Submit(ctx, descs...)
 		if err != nil {
 			return fmt.Errorf("workflow: stage %s tasks: %w", s.Name, err)
 		}

@@ -279,3 +279,52 @@ func TestDiamondDependency(t *testing.T) {
 		t.Fatal("join started before branches finished")
 	}
 }
+
+// TestStagePilotRoutingHint pins the workflow-level routing hint: a
+// stage naming a pilot sends every one of its tasks there, bypassing the
+// session router, while an unhinted stage follows the router's choice.
+func TestStagePilotRoutingHint(t *testing.T) {
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed:  5,
+		Clock: simtime.NewScaled(100000, core.DefaultOrigin),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sess.Close)
+	p1, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(sess, p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &Pipeline{Name: "hinted", Stages: []*Stage{{
+		Name:  "pinned",
+		Pilot: p2.UID(),
+		Tasks: []spec.TaskDescription{
+			simTask("a", time.Second), simTask("b", time.Second), simTask("c", time.Second),
+		},
+	}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := r.Run(ctx, pl); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range sess.TaskManager().Tasks() {
+		if task.Pilot() != p2.UID() {
+			t.Fatalf("task %s ran on %s, want hinted pilot %s", task.UID(), task.Pilot(), p2.UID())
+		}
+	}
+	// The hint must not mutate the caller's stage descriptions.
+	for _, d := range pl.Stages[0].Tasks {
+		if d.Pilot != "" {
+			t.Fatalf("stage description mutated: Pilot = %q", d.Pilot)
+		}
+	}
+}
