@@ -506,6 +506,55 @@ func BenchmarkAblationPartitionedBootstrap(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationServiceFailover quantifies what the session endpoint
+// registry buys across a pilot death — the failure mode the paper's
+// in-pilot services cannot survive. The hetero campus is split into two
+// pilots; a noop service bootstraps on the first, a client streams
+// requests, the hosting pilot is killed mid-stream and the session
+// re-places + re-publishes the service on the survivor. The
+// endpoint-caching client (seed behaviour) recovers 0 post-failover
+// requests against the dead address; the registry-resolving client
+// detects the stale generation and recovers all of them. The "recovered"
+// metric is that deterministic count; ns/op covers the full scenario
+// (session + two pilots + service failover + all requests).
+func BenchmarkAblationServiceFailover(b *testing.B) {
+	const requests, killAfter = 8, 4
+	clients := []struct {
+		name      string
+		recovered int
+	}{
+		{experiments.SvcFailClientCaching, 0},
+		{experiments.SvcFailClientResolving, requests - killAfter},
+	}
+	for _, cl := range clients {
+		b.Run(cl.name, func(b *testing.B) {
+			var recovered int64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunSvcFail(context.Background(), experiments.SvcFailConfig{
+					Platform: "hetero",
+					Requests: requests, KillAfter: killAfter,
+					Clients: []string{cl.name},
+					Scale:   2000, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := res.Rows[0]
+				if row.Recovered != cl.recovered {
+					b.Fatalf("%s recovered %d/%d post-failover requests, expected %d",
+						cl.name, row.Recovered, requests-killAfter, cl.recovered)
+				}
+				if row.Replacements != 1 || row.Generation != 2 {
+					b.Fatalf("%s: replacements=%d generation=%d, want 1/2",
+						cl.name, row.Replacements, row.Generation)
+				}
+				recovered += int64(row.Recovered)
+			}
+			b.ReportMetric(float64(recovered)/float64(b.N), "recovered")
+		})
+	}
+}
+
 // --- micro-benchmarks on the substrates -----------------------------------------
 
 // BenchmarkInferenceRoundTrip measures one full client→service→client

@@ -15,6 +15,7 @@
 //	rpexp -exp frag -churn
 //	rpexp -exp route -platform hetero
 //	rpexp -exp route -router capacity-fit
+//	rpexp -exp svcfail -platform hetero
 package main
 
 import (
@@ -32,14 +33,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|table1|table2|all")
+	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|table1|table2|all")
 	deploy := flag.String("deploy", "both", "deployment for exp 2/3: local|remote|both")
 	scaling := flag.String("scaling", "both", "scaling for exp 2/3: strong|weak|both")
 	counts := flag.String("counts", "", "comma-separated instance counts for exp 1 (default: paper sweep)")
 	requests := flag.Int("requests", 0, "requests per client (default: paper values)")
 	seed := flag.Uint64("seed", 0, "override RNG seed (0: per-experiment defaults)")
 	sched := flag.String("sched", "", "pilot scheduling policy: strict|backfill[:k=N,t=D]|best-fit[:k=N,t=D] (default strict)")
-	rt := flag.String("router", "", "session task router: round-robin|least-loaded|capacity-fit (default round-robin; for -exp route it selects the single challenger row)")
+	rt := flag.String("router", "", "session task router: round-robin|least-loaded|capacity-fit, optionally +retry (default round-robin; for -exp route it selects the single challenger row)")
 	plat := flag.String("platform", "hetero", "mixed-shape platform for the frag/route ablations")
 	churn := flag.Bool("churn", false, "steady-state fragmentation ablation: transient holders + arrival waves")
 	flag.Parse()
@@ -146,6 +147,24 @@ func main() {
 				cfg.Seed = *seed
 			}
 			res, err := experiments.RunRoute(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table().Render())
+			return nil
+		})
+	}
+	if want("svcfail") {
+		run("Service-failover ablation (endpoint registry)", func() error {
+			cfg := experiments.DefaultSvcFailConfig()
+			cfg.Platform = *plat
+			if *requests > 0 {
+				cfg.Requests = *requests
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			res, err := experiments.RunSvcFail(ctx, cfg)
 			if err != nil {
 				return err
 			}

@@ -174,13 +174,46 @@ func BenchmarkSchedulerBackfillThroughput1024(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerSnapshotCached1024Mixed measures the generation-
+// cached probe: a saturated mixed 1024-node pool, with snapshots
+// repeating against an unchanged scheduler — the regime a session router
+// is in while it places a whole submit batch. A cache hit skips the lock
+// and the shape-table copy entirely (zero allocations), so the delta
+// against BenchmarkSchedulerSnapshot1024Mixed is the ROADMAP follow-up's
+// saving: probing no longer taxes the scheduler when nothing changed.
+func BenchmarkSchedulerSnapshotCached1024Mixed(b *testing.B) {
+	fat := platform.NodeSpec{Cores: 128, GPUs: 16, MemGB: 1024}
+	thin := platform.NodeSpec{Cores: 16, GPUs: 0, MemGB: 64}
+	plat := platform.NewMixed("bench", []platform.NodeGroup{
+		{Count: 64, Spec: fat}, {Count: 960, Spec: thin},
+	})
+	nodes := plat.Nodes()
+	for _, n := range nodes[:len(nodes)-1] {
+		sp := n.Spec()
+		if a := n.TryAlloc(sp.Cores-1, sp.GPUs, 0); a == nil {
+			b.Fatal("saturation alloc failed")
+		}
+	}
+	sched := scheduler.New(nodes, func(p scheduler.Placement) {})
+	defer sched.Close()
+	sched.Snapshot() // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn := sched.Snapshot()
+		if len(sn.Shapes) != 2 {
+			b.Fatalf("shapes = %d", len(sn.Shapes))
+		}
+	}
+}
+
 // BenchmarkSchedulerSnapshot1024Mixed measures the router-facing load
 // probe on a busy mixed 1024-node pool: one Snapshot per op, interleaved
 // with a grant/release cycle so the per-shape aggregates are genuinely
-// churning. The aggregates are maintained incrementally by the capacity
-// index, so a snapshot is one lock acquisition plus an O(distinct
-// shapes) copy — it must stay in the same per-op band as a grant, or
-// per-task routing would tax the scheduler hot path.
+// churning (every snapshot is a cache miss). The aggregates are
+// maintained incrementally by the capacity index, so a snapshot is one
+// lock acquisition plus an O(distinct shapes) copy — it must stay in the
+// same per-op band as a grant, or per-task routing would tax the
+// scheduler hot path.
 func BenchmarkSchedulerSnapshot1024Mixed(b *testing.B) {
 	fat := platform.NodeSpec{Cores: 128, GPUs: 16, MemGB: 1024}
 	thin := platform.NodeSpec{Cores: 16, GPUs: 0, MemGB: 64}

@@ -107,6 +107,14 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Routers keep per-selection state (the round-robin cursor) and are
+	// not safe to share: the task and service managers each get their own
+	// instance, which also preserves the seed's independent dispatch
+	// sequences.
+	srt, err := router.ByName(cfg.Router)
+	if err != nil {
+		return nil, err
+	}
 	src := rng.New(cfg.Seed)
 	net := msgq.NewNetwork(cfg.Clock, src.Derive("net"), cfg.Topology.Resolver())
 	s := &Session{
@@ -134,7 +142,12 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		tasks:    make(map[string]*Task),
 		overflow: make(map[string]*Task),
 	}
-	s.sm = &ServiceManager{sess: s, owner: make(map[string]*pilot.Pilot)}
+	s.sm = &ServiceManager{
+		sess:     s,
+		rt:       srt,
+		reg:      service.NewEndpointRegistry(),
+		services: make(map[string]*Service),
+	}
 	return s, nil
 }
 
@@ -235,6 +248,23 @@ func (s *Session) Pool(clientAddr, model string, bal loadbal.Balancer) (*service
 	})
 }
 
+// EndpointRegistry returns the session-level endpoint registry: the
+// authority mapping stable service UIDs to live, generation-stamped
+// endpoints across failover re-placements.
+func (s *Session) EndpointRegistry() *service.EndpointRegistry { return s.sm.reg }
+
+// DialService returns a registry-resolving Caller bound to a stable
+// service UID: every request resolves the UID through the session
+// EndpointRegistry, so the caller survives failure-driven re-placements —
+// when the hosting pilot dies and the service re-publishes from a new
+// pilot, the caller re-resolves and redials instead of erroring into the
+// dead address (the fate of a client that cached the raw endpoint).
+func (s *Session) DialService(clientAddr, uid string) (*service.Resolver, error) {
+	return service.NewResolver(s.sm.reg, uid, func(ep proto.Endpoint) (service.Caller, error) {
+		return s.Dial(clientAddr, ep)
+	}, 0)
+}
+
 // Close shuts the session down: pilots, services, network. Tasks still
 // parked in the TaskManager's overflow pool fail with ErrSessionClosed,
 // and the pilot shutdowns fail queued tasks instead of re-routing them.
@@ -246,6 +276,7 @@ func (s *Session) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.sm.close()
 	s.tm.close()
 	s.pm.shutdownAll()
 	s.net.Close()
@@ -290,6 +321,13 @@ func (pm *PilotManager) Submit(desc spec.PilotDescription) (*pilot.Pilot, error)
 		Platform:      plat,
 		SchedPolicy:   pm.sess.schedPol,
 		StateCallback: pm.sess.publishState("task"),
+		// Mirror every service endpoint publication into the session
+		// EndpointRegistry as part of the publish bootstrap phase, so a
+		// ready service is already resolvable session-wide. The pilot UID
+		// identifies the publishing incarnation: a straggling publication
+		// from a pilot the service has already migrated away from is
+		// dropped instead of overwriting the failover re-publication.
+		OnServicePublish: func(ep proto.Endpoint) { pm.sess.sm.mirrorPublish(desc.UID, ep) },
 	}
 	if pm.sess.fastBoot {
 		cfg.BootTime = rng.ConstDuration(0)
@@ -480,12 +518,43 @@ func (tm *TaskManager) AddPilot(p *pilot.Pilot) {
 	for _, t := range pending {
 		delete(tm.overflow, t.uid)
 	}
+	rt := tm.rt
 	tm.mu.Unlock()
-	// Drain deterministically in submission order (UIDs embed the
-	// session sequence number).
+	// Drain deterministically: submission order (UIDs embed the session
+	// sequence number), re-ordered by the router's own ranking when it has
+	// one — capacity-fit drains fits-now tasks first, so the new pilot
+	// starts real work instead of queueing a blocked head in front of it.
 	sortTasks(pending)
+	if ranker, ok := rt.(router.Ranker); ok && len(pending) > 1 {
+		descs := make([]spec.TaskDescription, len(pending))
+		for i, t := range pending {
+			descs[i] = t.desc
+		}
+		// Accept the ranking only if it is a genuine permutation: an
+		// out-of-range or duplicated index from a custom Ranker must not
+		// panic the drain or dispatch a task twice while dropping another.
+		ranked := make([]*Task, 0, len(pending))
+		seen := make([]bool, len(pending))
+		valid := true
+		for _, i := range ranker.RankDrain(p, descs) {
+			if i < 0 || i >= len(pending) || seen[i] {
+				valid = false
+				break
+			}
+			seen[i] = true
+			ranked = append(ranked, pending[i])
+		}
+		if valid && len(ranked) == len(pending) {
+			pending = ranked
+		}
+	}
 	for _, t := range pending {
-		tm.requeue(t)
+		// Ordered handoff: wait for each drained task to reach an agent
+		// scheduler before dispatching the next, so the drain order is
+		// also the scheduler arrival order — without it the per-task
+		// dispatch goroutines race and the ranking (or the seed's
+		// submission order) would only hold probabilistically.
+		tm.redispatch(t, true)
 	}
 }
 
@@ -573,36 +642,45 @@ func (tm *TaskManager) submitOne(ctx context.Context, d spec.TaskDescription) (*
 // the description names one, the Router's choice over the currently
 // active pilots otherwise. Callers hold tm.mu.
 func (tm *TaskManager) routeLocked(d spec.TaskDescription) (*pilot.Pilot, error) {
+	return pickPilot(tm.pilots, tm.rt, "task", d)
+}
+
+// pickPilot is the routing decision both session managers share: the
+// pinned pilot when d names one (it must be ACTIVE), the router's choice
+// over the ACTIVE subset of pilots otherwise. kind labels errors ("task"
+// or "service"). Callers hold the owning manager's lock, which also
+// serializes the router's per-selection state.
+func pickPilot(pilots []*pilot.Pilot, rt router.Router, kind string, d spec.TaskDescription) (*pilot.Pilot, error) {
 	if d.Pilot != "" {
-		for _, p := range tm.pilots {
+		for _, p := range pilots {
 			if p.UID() == d.Pilot {
 				if p.State() != states.PilotActive {
-					return nil, fmt.Errorf("core: task %s pinned to pilot %s in state %s",
-						d.UID, d.Pilot, p.State())
+					return nil, fmt.Errorf("core: %s %s pinned to pilot %s in state %s",
+						kind, d.UID, d.Pilot, p.State())
 				}
 				return p, nil
 			}
 		}
-		return nil, fmt.Errorf("core: task %s pinned to unknown pilot %q", d.UID, d.Pilot)
+		return nil, fmt.Errorf("core: %s %s pinned to unknown pilot %q", kind, d.UID, d.Pilot)
 	}
-	targets, live := tm.activeTargetsLocked()
+	targets, live := activePilots(pilots)
 	if len(live) == 0 {
 		return nil, errors.New("core: no active pilots")
 	}
-	i, err := tm.rt.Route(targets, d)
+	i, err := rt.Route(targets, d)
 	if err != nil {
 		return nil, err
 	}
 	return live[i], nil
 }
 
-// activeTargetsLocked returns the attached pilots that are currently
-// ACTIVE, as router targets and as pilots (same order). Callers hold
-// tm.mu.
-func (tm *TaskManager) activeTargetsLocked() ([]router.Target, []*pilot.Pilot) {
-	targets := make([]router.Target, 0, len(tm.pilots))
-	live := make([]*pilot.Pilot, 0, len(tm.pilots))
-	for _, p := range tm.pilots {
+// activePilots filters pilots to the ACTIVE subset, as router targets
+// and as pilots (same order) — the one liveness filter every routing
+// path shares.
+func activePilots(pilots []*pilot.Pilot) ([]router.Target, []*pilot.Pilot) {
+	targets := make([]router.Target, 0, len(pilots))
+	live := make([]*pilot.Pilot, 0, len(pilots))
+	for _, p := range pilots {
 		if p.State() != states.PilotActive {
 			continue
 		}
@@ -656,7 +734,13 @@ func (tm *TaskManager) watch(t *Task, pt *pilot.Task, p *pilot.Pilot) {
 // same way they would at submit). A pilot that dies between routing and
 // dispatch just re-enters routing — terminal pilot states keep the
 // retry count bounded by the number of attached pilots.
-func (tm *TaskManager) requeue(t *Task) {
+func (tm *TaskManager) requeue(t *Task) { tm.redispatch(t, false) }
+
+// redispatch is requeue's body. With ordered set (the AddPilot drain), it
+// additionally blocks until the dispatched task's request has reached the
+// destination pilot's agent scheduler, so consecutive drain dispatches
+// arrive in drain order.
+func (tm *TaskManager) redispatch(t *Task, ordered bool) {
 	t.mu.Lock()
 	t.cur, t.p = nil, nil
 	t.reroutes++
@@ -669,7 +753,7 @@ func (tm *TaskManager) requeue(t *Task) {
 			t.finish(ErrSessionClosed)
 			return
 		}
-		targets, live := tm.activeTargetsLocked()
+		targets, live := activePilots(tm.pilots)
 		if len(live) == 0 {
 			tm.overflow[t.uid] = t
 			tm.mu.Unlock()
@@ -681,10 +765,67 @@ func (tm *TaskManager) requeue(t *Task) {
 			t.finish(err)
 			return
 		}
-		if err := tm.dispatch(t, live[i]); err != nil {
+		p := live[i]
+		var before int
+		if ordered {
+			sn := p.Snapshot()
+			before = sn.Waiting + sn.Scheduled
+		}
+		if err := tm.dispatch(t, p); err != nil {
 			continue
 		}
+		if ordered {
+			tm.awaitEnqueued(t, p, before)
+		}
 		return
+	}
+}
+
+// awaitEnqueued blocks until t's resource request shows up in p's agent
+// scheduler — the pilot task advancing past its pre-scheduler states is
+// the signal (immune to unrelated grant/release traffic); the
+// Waiting+Scheduled sum rising past the pre-dispatch reading is only the
+// fallback when no pilot task handle is visible. It also returns when t
+// settles on a failure path that never reaches the scheduler or the
+// pilot leaves ACTIVE, and is deadline-bounded: a task whose input
+// staging runs long at a low clock scale falls back to the unordered
+// (pre-PR) drain behaviour rather than stalling the remaining drain.
+func (tm *TaskManager) awaitEnqueued(t *Task, p *pilot.Pilot, before int) {
+	t.mu.Lock()
+	pt := t.cur
+	t.mu.Unlock()
+	pollDelay := 50 * time.Microsecond
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if pt != nil {
+			switch pt.State() {
+			case states.TaskNew, states.TaskTmgrScheduling, states.TaskStagingInput:
+				// not yet at the scheduler
+			default:
+				return
+			}
+		} else if sn := p.Snapshot(); sn.Waiting+sn.Scheduled > before {
+			// Fallback signal only when no pilot task handle is visible:
+			// the sum also rises on unrelated concurrent submissions, which
+			// would void the ordering the handoff exists to provide.
+			return
+		}
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		if p.State() != states.PilotActive {
+			return
+		}
+		// Exponential backoff: the normal handoff completes within the
+		// first few 50µs polls; the pathological case (staging-bound task
+		// at a low clock scale) decays toward 2ms polls so waiting out the
+		// deadline costs negligible CPU.
+		time.Sleep(pollDelay)
+		if pollDelay < 2*time.Millisecond {
+			pollDelay *= 2
+		}
 	}
 }
 
@@ -764,14 +905,239 @@ func sortTasks(tasks []*Task) {
 // --- ServiceManager -----------------------------------------------------------
 
 // ServiceManager submits service tasks across pilots and aggregates
-// endpoint discovery over local pilots and remote registrations.
+// endpoint discovery over local pilots and remote registrations. Like the
+// TaskManager, it binds work to pilots through the session's pluggable
+// Router — a service is a task with raised priority, routed over the same
+// pilot shape/snapshot probes — and it survives pilot churn: when the
+// pilot hosting a service stops, the service is re-placed on a surviving
+// pilot through the router, re-bootstrapped under its stable UID, and its
+// endpoint atomically re-published in the session EndpointRegistry with a
+// bumped generation, so registry-resolving clients follow it while the
+// dead address is never handed out again. Services pinned to a pilot
+// (ServiceDescription.Pilot) are never re-placed: the pilot's death
+// surfaces as pilot.ErrPilotStopped, mirroring task semantics.
 type ServiceManager struct {
 	sess *Session
+	reg  *service.EndpointRegistry
 
-	mu     sync.Mutex
-	pilots []*pilot.Pilot
-	rr     int
-	owner  map[string]*pilot.Pilot // service UID → hosting pilot
+	mu       sync.Mutex
+	pilots   []*pilot.Pilot
+	rt       router.Router
+	seq      int
+	services map[string]*Service
+	closed   bool
+}
+
+// Service is a session-level service handle: it follows one logical
+// service across failure-driven re-placements. The pilot-level instance
+// underneath may be replaced when a pilot dies, but the UID, description
+// and completion channel stay.
+type Service struct {
+	sm   *ServiceManager
+	uid  string
+	desc spec.ServiceDescription
+
+	mu           sync.Mutex
+	inst         *service.Instance
+	p            *pilot.Pilot
+	swapped      chan struct{} // closed and re-made on every re-placement
+	replacements int
+	terminated   bool
+	finished     bool
+	err          error
+	done         chan struct{}
+}
+
+// UID returns the stable logical service UID — the key clients resolve
+// through the session EndpointRegistry.
+func (h *Service) UID() string { return h.uid }
+
+// Description returns the submitted description (after defaulting).
+func (h *Service) Description() spec.ServiceDescription { return h.desc }
+
+// Instance returns the current pilot-level instance. It changes across
+// re-placements and is nil for the instant between routing and dispatch;
+// prefer the handle's own accessors, which tolerate that window.
+func (h *Service) Instance() *service.Instance {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.inst
+}
+
+// State returns the current lifecycle state of the live instance (NEW
+// while dispatch is still in flight).
+func (h *Service) State() states.State {
+	if inst := h.Instance(); inst != nil {
+		return inst.State()
+	}
+	return states.ServiceNew
+}
+
+// Endpoint returns the service's current endpoint: the session registry's
+// live, generation-stamped record when published, the instance's own view
+// otherwise (zero before publication).
+func (h *Service) Endpoint() proto.Endpoint {
+	if ep, _, ok := h.sm.reg.Resolve(h.uid); ok {
+		return ep
+	}
+	if inst := h.Instance(); inst != nil {
+		return inst.Endpoint()
+	}
+	return proto.Endpoint{}
+}
+
+// Bootstrap returns the live instance's measured BT components. After a
+// re-placement these are the new instance's — the service paid a fresh
+// bootstrap on its new pilot.
+func (h *Service) Bootstrap() metrics.Breakdown {
+	if inst := h.Instance(); inst != nil {
+		return inst.Bootstrap()
+	}
+	return metrics.Breakdown{}
+}
+
+// QueueDepth returns the live instance's request queue depth.
+func (h *Service) QueueDepth() int {
+	if inst := h.Instance(); inst != nil {
+		return inst.QueueDepth()
+	}
+	return 0
+}
+
+// Kill injects a service-process crash into the live instance (failure
+// injection for tests; the liveness probe detects it).
+func (h *Service) Kill() {
+	if inst := h.Instance(); inst != nil {
+		inst.Kill()
+	}
+}
+
+// Pilot returns the UID of the pilot currently hosting the service.
+func (h *Service) Pilot() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.p == nil {
+		return ""
+	}
+	return h.p.UID()
+}
+
+// Replacements counts how many times the session re-placed this service
+// on a new pilot after its previous one stopped.
+func (h *Service) Replacements() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.replacements
+}
+
+// Done returns a channel closed when the logical service reaches a final
+// state — including across re-placements, which the per-pilot instances
+// underneath cannot express.
+func (h *Service) Done() <-chan struct{} { return h.done }
+
+// Err returns the service's final error (nil on graceful termination;
+// undefined before Done() closes).
+func (h *Service) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// finish seals the logical service exactly once.
+func (h *Service) finish(err error) {
+	h.mu.Lock()
+	if h.finished {
+		h.mu.Unlock()
+		return
+	}
+	h.finished = true
+	h.err = err
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// WaitReady blocks until the service is ACTIVE (following it across
+// re-placements: during a failover it waits for the replacement instead
+// of surfacing the transient failure), or returns the final error when
+// the service fails for good.
+func (h *Service) WaitReady(ctx context.Context) error {
+	for {
+		h.mu.Lock()
+		inst := h.inst
+		finished, err := h.finished, h.err
+		swapped := h.swapped
+		h.mu.Unlock()
+		if finished {
+			if err == nil {
+				err = fmt.Errorf("core: service %s reached a final state before ACTIVE", h.uid)
+			}
+			return err
+		}
+		if inst == nil {
+			// dispatch in flight (handle observed through Get between
+			// routing and submission): no instance to wait on yet — the
+			// window is host-scheduling bound, so poll on real time
+			select {
+			case <-h.done:
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		if inst.State() == states.ServiceActive {
+			return nil
+		}
+		ch := inst.Changed()
+		// re-check after registering the waiter (lost-wakeup race), then
+		// wait on whichever happens first: a state transition, a
+		// re-placement swap, or the handle settling.
+		if inst.State() == states.ServiceActive {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-swapped:
+		case <-h.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Registry returns the session EndpointRegistry services publish into.
+func (sm *ServiceManager) Registry() *service.EndpointRegistry { return sm.reg }
+
+// mirrorPublish is the pilot publish hook's session half: it mirrors an
+// endpoint publication into the session registry unless the publishing
+// pilot is no longer the service's current host — a bootstrap straggling
+// past its pilot's death must not overwrite the failover re-publication
+// with a dead address. Services without a session handle (submitted
+// directly to a pilot's agent manager) mirror unconditionally.
+//
+// Like the pilot-side stopped guard this is check-then-act: a straggler
+// publishing in the instant between passing this check and the watcher
+// re-pointing h.p is mirrored anyway, but it is then superseded by the
+// failover re-publication's higher generation (resolvers that woke into
+// the dead address retry into the newer one). Airtight exclusion would
+// need incarnation tokens on the registry — a PR-5 ROADMAP follow-up.
+func (sm *ServiceManager) mirrorPublish(pilotUID string, ep proto.Endpoint) {
+	if h, ok := sm.Get(ep.ServiceUID); ok {
+		h.mu.Lock()
+		cur := h.p
+		h.mu.Unlock()
+		if cur != nil && cur.UID() != pilotUID {
+			return
+		}
+	}
+	sm.reg.Publish(ep)
+}
+
+// RouterName returns the name of the active service→pilot router.
+func (sm *ServiceManager) RouterName() string {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.rt.Name()
 }
 
 // AddPilot attaches a pilot to the service manager.
@@ -781,63 +1147,294 @@ func (sm *ServiceManager) AddPilot(p *pilot.Pilot) {
 	sm.mu.Unlock()
 }
 
-// Submit dispatches one service description to the next pilot.
-func (sm *ServiceManager) Submit(d spec.ServiceDescription) (*service.Instance, error) {
-	sm.mu.Lock()
-	if len(sm.pilots) == 0 {
-		sm.mu.Unlock()
-		return nil, errors.New("core: service manager has no pilots")
-	}
-	p := sm.pilots[sm.rr%len(sm.pilots)]
-	sm.rr++
-	sm.mu.Unlock()
-
-	inst, err := p.Services().Submit(d)
-	if err != nil {
+// Submit routes one service description to a pilot and starts its
+// bootstrap. Routing mirrors the TaskManager: a description pinned to a
+// pilot (ServiceDescription.Pilot) goes exactly there or fails, anything
+// else is the Router's decision over the live pilot snapshots — made with
+// the service's raised priority already applied, since that is what the
+// agent scheduler will see.
+func (sm *ServiceManager) Submit(d spec.ServiceDescription) (*Service, error) {
+	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	sm.mu.Lock()
-	sm.owner[inst.UID()] = p
-	sm.mu.Unlock()
-	return inst, nil
+	for {
+		sm.mu.Lock()
+		if sm.closed {
+			sm.mu.Unlock()
+			return nil, ErrSessionClosed
+		}
+		if len(sm.pilots) == 0 {
+			sm.mu.Unlock()
+			return nil, errors.New("core: service manager has no pilots")
+		}
+		if d.UID == "" {
+			sm.seq++
+			d.UID = fmt.Sprintf("%s.svc.%04d", sm.sess.uid, sm.seq)
+		}
+		if d.Priority == 0 {
+			d.Priority = spec.ServicePriority
+		}
+		if _, dup := sm.services[d.UID]; dup {
+			sm.mu.Unlock()
+			return nil, fmt.Errorf("core: duplicate service UID %s", d.UID)
+		}
+		p, err := sm.routeLocked(d)
+		if err != nil {
+			sm.mu.Unlock()
+			return nil, err
+		}
+		// h.p is set before the handle becomes reachable (and before the
+		// bootstrap can publish), so the publish mirror can check the
+		// publishing incarnation; h.inst stays nil until dispatch returns
+		// and every accessor tolerates that window.
+		h := &Service{
+			sm: sm, uid: d.UID, desc: d, p: p,
+			swapped: make(chan struct{}), done: make(chan struct{}),
+		}
+		sm.services[d.UID] = h
+		sm.mu.Unlock()
+
+		inst, err := p.Services().Submit(d)
+		if err != nil {
+			sm.mu.Lock()
+			delete(sm.services, d.UID)
+			sm.mu.Unlock()
+			// The routed pilot left ACTIVE between routing and dispatch:
+			// retry against the survivors, exactly like task submission.
+			if p.State() != states.PilotActive && d.Pilot == "" {
+				continue
+			}
+			return nil, err
+		}
+		h.mu.Lock()
+		h.inst = inst
+		h.mu.Unlock()
+		go sm.watch(h)
+		return h, nil
+	}
 }
 
-// WaitReady blocks until the listed services are ACTIVE.
+// routeLocked picks the hosting pilot for d: the pinned pilot when the
+// description names one, the Router's choice over the active pilots
+// otherwise (routers see the embedded TaskDescription — a service is a
+// task with raised priority). Callers hold sm.mu.
+func (sm *ServiceManager) routeLocked(d spec.ServiceDescription) (*pilot.Pilot, error) {
+	return pickPilot(sm.pilots, sm.rt, "service", d.TaskDescription)
+}
+
+// watch follows one logical service across instances (endpoint
+// publication itself rides the pilot's OnServicePublish hook, ordered
+// before ACTIVE): on the hosting pilot stopping it re-places the service
+// (or fails a pinned one with pilot.ErrPilotStopped); instance failures
+// with a healthy pilot — bad model, liveness kill — settle the handle.
+//
+// The settle-vs-replace decision keys on pilot liveness plus the
+// session's terminate intent: a pilot shutdown tears ACTIVE services
+// down gracefully (nil-error DONE), so a nil-error final state cannot
+// mean "deliberately stopped" by itself. Terminate session-managed
+// services through ServiceManager.Terminate — a direct agent-level
+// Terminate that races a pilot shutdown is indistinguishable from the
+// shutdown's own teardown and will be re-placed.
+func (sm *ServiceManager) watch(h *Service) {
+	for {
+		h.mu.Lock()
+		inst, p := h.inst, h.p
+		h.mu.Unlock()
+
+		pilotDead := false
+		for !inst.Final() {
+			ch := inst.Changed()
+			// re-check after registering the waiter (lost-wakeup race)
+			if inst.Final() {
+				break
+			}
+			select {
+			case <-ch:
+			case <-p.Stopped():
+				pilotDead = true
+			}
+			if pilotDead {
+				break
+			}
+		}
+		if !pilotDead {
+			// The instance settled; a concurrent pilot shutdown may have
+			// been the cause (its stop channel closes before the service
+			// teardown starts, so this observation is ordered).
+			select {
+			case <-p.Stopped():
+				pilotDead = true
+			default:
+			}
+		}
+		h.mu.Lock()
+		terminated := h.terminated
+		h.mu.Unlock()
+
+		if terminated || !pilotDead {
+			// The handle is settling for good (session Terminate, an
+			// agent-level graceful termination via the control channel, or
+			// an own failure on a healthy pilot): tombstone the registry
+			// entry unconditionally — idempotent for the Terminate path —
+			// so parked resolvers fail with ErrWithdrawn instead of
+			// waiting forever for a re-publication.
+			sm.reg.Withdraw(h.uid)
+			h.finish(inst.Err())
+			return
+		}
+		if h.desc.Pilot != "" {
+			// Pinned services mirror pinned-task semantics: surface the
+			// pilot's death instead of migrating.
+			sm.reg.Withdraw(h.uid)
+			h.finish(fmt.Errorf("core: service %s pinned to pilot %s: %w",
+				h.uid, h.desc.Pilot, pilot.ErrPilotStopped))
+			return
+		}
+		// Failure-driven re-placement: suspend resolution (clients park in
+		// AwaitNewer instead of being handed the dead address), route the
+		// description over the survivors, re-bootstrap under the same UID.
+		sm.reg.Suspend(h.uid)
+		newInst, newP, err := sm.replace(h)
+		if err != nil {
+			sm.reg.Withdraw(h.uid)
+			h.finish(err)
+			return
+		}
+		h.mu.Lock()
+		h.inst, h.p = newInst, newP
+		h.replacements++
+		close(h.swapped)
+		h.swapped = make(chan struct{})
+		h.mu.Unlock()
+	}
+}
+
+// replace routes h's description onto a surviving active pilot and
+// re-submits it under the stable UID. A pilot dying between routing and
+// dispatch re-enters routing; terminal pilot states keep the retry count
+// bounded.
+func (sm *ServiceManager) replace(h *Service) (*service.Instance, *pilot.Pilot, error) {
+	d := h.desc
+	d.UID = h.uid
+	for {
+		sm.mu.Lock()
+		if sm.closed {
+			sm.mu.Unlock()
+			return nil, nil, ErrSessionClosed
+		}
+		p, err := sm.routeLocked(d)
+		sm.mu.Unlock()
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: service %s lost its pilot: %w (%v)",
+				h.uid, pilot.ErrPilotStopped, err)
+		}
+		// Point the handle at the new incarnation before its bootstrap can
+		// publish, so the publish mirror accepts the re-publication (and
+		// rejects any straggler from the dead pilot).
+		h.mu.Lock()
+		h.p = p
+		h.mu.Unlock()
+		inst, err := p.Services().Submit(d)
+		if err != nil {
+			if p.State() != states.PilotActive {
+				continue
+			}
+			return nil, nil, err
+		}
+		return inst, p, nil
+	}
+}
+
+// WaitReady blocks until every listed service is ACTIVE (or any fails for
+// good). During a failover it waits for the re-placed instance rather
+// than surfacing the transient pilot loss.
 func (sm *ServiceManager) WaitReady(ctx context.Context, uids ...string) error {
 	for _, uid := range uids {
-		sm.mu.Lock()
-		p, ok := sm.owner[uid]
-		sm.mu.Unlock()
+		h, ok := sm.Get(uid)
 		if !ok {
 			return fmt.Errorf("core: service %s not owned by this manager", uid)
 		}
-		if err := p.Services().WaitReady(ctx, uid); err != nil {
+		if err := h.WaitReady(ctx); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Terminate stops a managed service.
+// Terminate stops a managed service and withdraws its endpoint from the
+// session registry (parked resolvers fail with service.ErrWithdrawn
+// instead of waiting for a re-publication that will never come).
+//
+// Terminate targets the service's current incarnation: called while a
+// failover re-placement is in flight (the replacement not yet ACTIVE),
+// it returns service.ErrNotActive and the re-placement proceeds — wait
+// for readiness (WaitReady) and retry to stop the migrated instance.
 func (sm *ServiceManager) Terminate(uid string, drain bool) error {
-	sm.mu.Lock()
-	p, ok := sm.owner[uid]
-	sm.mu.Unlock()
+	h, ok := sm.Get(uid)
 	if !ok {
 		return fmt.Errorf("core: service %s not owned by this manager", uid)
 	}
-	return p.Services().Terminate(uid, drain)
+	h.mu.Lock()
+	if h.finished {
+		err := h.err
+		h.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("%w: service %s already settled: %v", service.ErrNotActive, uid, err)
+		}
+		return fmt.Errorf("%w: service %s already terminated", service.ErrNotActive, uid)
+	}
+	h.terminated = true
+	p := h.p
+	h.mu.Unlock()
+	if err := p.Services().Terminate(uid, drain); err != nil {
+		h.mu.Lock()
+		finishedMeanwhile := h.finished
+		h.terminated = false
+		h.mu.Unlock()
+		if finishedMeanwhile {
+			// The hosting pilot died while we were terminating and the
+			// watcher, observing the terminate intent, settled the handle
+			// instead of re-placing it. The service is down — which is
+			// exactly what Terminate asked for — so report success rather
+			// than leaking the lost race as an error.
+			sm.reg.Withdraw(uid)
+			return nil
+		}
+		if errors.Is(err, service.ErrUnknownService) {
+			// A failover re-placement is in flight: h.p already points at
+			// the new pilot but its agent manager has not registered the
+			// UID yet. Surface the documented not-active contract so
+			// callers retry after WaitReady instead of treating it as a
+			// hard failure.
+			return fmt.Errorf("%w: service %s re-placement in flight (%v)",
+				service.ErrNotActive, uid, err)
+		}
+		return err
+	}
+	sm.reg.Withdraw(uid)
+	return nil
 }
 
-// Get returns a managed instance.
-func (sm *ServiceManager) Get(uid string) (*service.Instance, bool) {
+// Get returns a managed service handle.
+func (sm *ServiceManager) Get(uid string) (*Service, bool) {
 	sm.mu.Lock()
-	p, ok := sm.owner[uid]
-	sm.mu.Unlock()
-	if !ok {
-		return nil, false
+	defer sm.mu.Unlock()
+	h, ok := sm.services[uid]
+	return h, ok
+}
+
+// Services returns every managed service handle, sorted by UID —
+// submission order for manager-assigned UIDs, which embed the session
+// sequence number (caller-supplied UIDs sort lexicographically).
+func (sm *ServiceManager) Services() []*Service {
+	sm.mu.Lock()
+	out := make([]*Service, 0, len(sm.services))
+	for _, h := range sm.services {
+		out = append(out, h)
 	}
-	return p.Services().Get(uid)
+	sm.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].uid < out[j].uid })
+	return out
 }
 
 // Endpoints returns every known endpoint for model (local pilots plus
@@ -858,8 +1455,16 @@ func (sm *ServiceManager) Endpoints(model string) []proto.Endpoint {
 // QueueDepth reports a managed service's live queue depth (remote
 // endpoints report 0: their depth is not observable from the client side).
 func (sm *ServiceManager) QueueDepth(uid string) int {
-	if inst, ok := sm.Get(uid); ok {
-		return inst.QueueDepth()
+	if h, ok := sm.Get(uid); ok {
+		return h.QueueDepth()
 	}
 	return 0
+}
+
+// close stops re-placements: handles losing their pilot after session
+// close settle with ErrSessionClosed instead of chasing dying pilots.
+func (sm *ServiceManager) close() {
+	sm.mu.Lock()
+	sm.closed = true
+	sm.mu.Unlock()
 }

@@ -399,3 +399,125 @@ func waitState(t *testing.T, task *Task, want states.State) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestOverflowDrainRankedByRouter pins the drain-order satellite: when a
+// new pilot attaches, a capacity-fit session drains the overflow pool
+// through the router's own ranking — fits-now tasks first — while blind
+// routers keep submission order. The scenario makes the order observable
+// through strict head-of-line blocking: the new pilot has 16 free cores,
+// the pool holds [big (64c), small (8c)] in submission order. Draining
+// big first wedges both behind an ungrantable head; draining small first
+// lets it run immediately.
+func TestOverflowDrainRankedByRouter(t *testing.T) {
+	run := func(t *testing.T, rt string) (*Task, *Task, *pilot.Pilot) {
+		t.Helper()
+		s, err := NewSession(SessionConfig{
+			Seed:   42,
+			Clock:  simtime.NewScaled(100000, DefaultOrigin),
+			Router: rt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		tm := s.TaskManager()
+		a, err := s.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Nodes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm.AddPilot(a)
+		ctx := context.Background()
+
+		// Saturate pilot A so big and small queue behind the holder, then
+		// kill A: both park in the overflow pool in submission order.
+		holder, err := tm.Submit(ctx, spec.TaskDescription{
+			Name: "holder", Cores: 64, Duration: rng.ConstDuration(1000 * time.Hour),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, holder[0], states.TaskExecuting)
+		big, err := tm.Submit(ctx, spec.TaskDescription{
+			Name: "big", Cores: 64, Duration: rng.ConstDuration(time.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := tm.Submit(ctx, spec.TaskDescription{
+			Name: "small", Cores: 8, Duration: rng.ConstDuration(time.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, big[0], states.TaskScheduling)
+		waitState(t, small[0], states.TaskScheduling)
+		if err := a.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for tm.Overflow() != 2 {
+			if time.Now().After(deadline) {
+				t.Fatalf("overflow = %d, want 2", tm.Overflow())
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		// Pilot B arrives with only 16 cores free: a direct holder keeps
+		// 48 occupied, so big can never start while it lives.
+		b, err := s.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Nodes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bHold, err := b.SubmitTask(ctx, spec.TaskDescription{
+			Name: "b-holder", Cores: 48, Duration: rng.ConstDuration(1000 * time.Hour),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline = time.Now().Add(10 * time.Second)
+		for bHold.State() != states.TaskExecuting {
+			if time.Now().After(deadline) {
+				t.Fatalf("b-holder stuck in %s", bHold.State())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		tm.AddPilot(b)
+		return big[0], small[0], b
+	}
+
+	t.Run("capacity-fit-ranks-fits-now-first", func(t *testing.T) {
+		big, small, b := run(t, "capacity-fit")
+		// small drained first: it runs to completion on B's free cores
+		// while big queues behind the occupied node.
+		select {
+		case <-small.Done():
+		case <-time.After(15 * time.Second):
+			t.Fatalf("small never completed (state %s) — drained behind the blocked big?", small.State())
+		}
+		if err := small.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if small.Pilot() != b.UID() {
+			t.Fatalf("small on %s, want %s", small.Pilot(), b.UID())
+		}
+		if st := big.State(); st != states.TaskScheduling {
+			t.Fatalf("big state = %s, want queued %s", st, states.TaskScheduling)
+		}
+	})
+	t.Run("round-robin-keeps-submission-order", func(t *testing.T) {
+		big, small, _ := run(t, "round-robin")
+		// big drained first and wedged at the strict head: small stays
+		// blocked behind it — the seed drain semantics, untouched.
+		select {
+		case <-small.Done():
+			t.Fatalf("small completed under round-robin drain (err %v) — submission order not preserved?", small.Err())
+		case <-time.After(250 * time.Millisecond):
+		}
+		if st := small.State(); st != states.TaskScheduling {
+			t.Fatalf("small state = %s, want queued", st)
+		}
+		if st := big.State(); st != states.TaskScheduling {
+			t.Fatalf("big state = %s, want queued", st)
+		}
+	})
+}

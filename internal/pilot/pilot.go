@@ -16,6 +16,7 @@ import (
 	"repro/internal/executor"
 	"repro/internal/msgq"
 	"repro/internal/platform"
+	"repro/internal/proto"
 	"repro/internal/rng"
 	"repro/internal/scheduler"
 	"repro/internal/service"
@@ -59,6 +60,11 @@ type Config struct {
 	// SchedPolicy, then to strict. Each pilot gets a fresh policy
 	// instance, so backfill starvation state is never shared.
 	SchedPolicy string
+	// OnServicePublish, when set, observes every service endpoint
+	// publication on this pilot (threaded into the agent ServiceManager's
+	// publish phase). The session installs its EndpointRegistry mirror
+	// here so local and re-placed services resolve session-wide.
+	OnServicePublish func(proto.Endpoint)
 	// StateCallback, when set, observes every task/service/pilot state
 	// transition (the Updater hook).
 	StateCallback states.Callback
@@ -180,10 +186,32 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 	p.exec = executor.New(cfg.Clock, cfg.Src.Derive(desc.UID+".exec"), launch)
 	p.stage = stager.NewManager(cfg.Clock, cfg.Src.Derive(desc.UID+".stage"))
 	p.reg = service.NewRegistry(cfg.Clock, cfg.Src.Derive(desc.UID+".reg"), cfg.PublishOverhead)
+	onPublish := cfg.OnServicePublish
+	if onPublish != nil {
+		inner := onPublish
+		stopped := p.stopped
+		// A publication from a pilot that has already stopped is stale by
+		// definition — the session is (or will be) re-placing the service
+		// elsewhere, and mirroring the dead address could overwrite the
+		// failover re-publication. Drop it at the source. (Best effort:
+		// this is a check-then-act against the stop signal, so a straggler
+		// can slip the instant before shutdown — the session's
+		// current-host check narrows the window further, and the failover
+		// re-publication supersedes anything that still slips both.)
+		onPublish = func(ep proto.Endpoint) {
+			select {
+			case <-stopped:
+				return
+			default:
+			}
+			inner(ep)
+		}
+	}
 	svcMgr, err := service.NewManager(service.Config{
 		Clock: cfg.Clock, Src: cfg.Src.Derive(desc.UID + ".svc"), Net: cfg.Net,
 		Sched: p.sched, Router: p.router, Exec: p.exec, Stage: p.stage,
-		Registry: p.reg, Platform: cfg.Platform.Name(),
+		Registry: p.reg, OnPublish: onPublish, Stopped: p.stopped,
+		Platform:  cfg.Platform.Name(),
 		UIDPrefix: desc.UID + ".",
 	})
 	if err != nil {

@@ -200,6 +200,11 @@ type Endpoint struct {
 	Protocol    string    `json:"protocol"` // "msgq" | "rest"
 	Node        string    `json:"node,omitempty"`
 	PublishedAt time.Time `json:"published_at"`
+	// Generation counts publications of this service UID: every re-publish
+	// (e.g. after a failover re-placement) increments it. Clients that
+	// cache an endpoint compare generations against the session endpoint
+	// registry to detect that their copy went stale and re-resolve.
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // StateUpdate is the payload of a KindStateUpdate message.

@@ -25,6 +25,7 @@ package router
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/platform"
 	"repro/internal/scheduler"
@@ -100,8 +101,18 @@ func (e ErrUnroutable) Error() string {
 // ByName returns a fresh instance of the named built-in router. The
 // empty name selects NameRoundRobin, keeping the seed dispatch the
 // default at every selection point (session config, rpexp -router,
-// examples/loadbalance -router).
+// examples/loadbalance -router). A "+retry" suffix (e.g.
+// "round-robin+retry") wraps the named router in WithRetry, giving blind
+// routers retry-on-unsatisfiable degradation without changing the
+// default dispatch sequence.
 func ByName(name string) (Router, error) {
+	if base, ok := strings.CutSuffix(name, "+retry"); ok && base != "" {
+		inner, err := ByName(base)
+		if err != nil {
+			return nil, err
+		}
+		return WithRetry(inner), nil
+	}
 	switch name {
 	case "", NameRoundRobin, "rr":
 		return NewRoundRobin(), nil
@@ -110,7 +121,7 @@ func ByName(name string) (Router, error) {
 	case NameCapacityFit, "capacity_fit", "capacityfit":
 		return NewCapacityFit(), nil
 	default:
-		return nil, fmt.Errorf("router: unknown router %q (want %s|%s|%s)",
+		return nil, fmt.Errorf("router: unknown router %q (want %s|%s|%s, optionally +retry)",
 			name, NameRoundRobin, NameLeastLoaded, NameCapacityFit)
 	}
 }
@@ -232,4 +243,36 @@ func (capacityFit) Route(targets []Target, d spec.TaskDescription) (int, error) 
 		return 0, ErrUnroutable{Task: name, Cores: d.Cores, GPUs: d.GPUs, MemGB: d.MemGB}
 	}
 	return best, nil
+}
+
+// --- overflow drain ranking --------------------------------------------------
+
+// Ranker is an optional Router capability: when a new pilot attaches and
+// the session drains its overflow pool onto it, a Ranker orders the
+// parked descriptions by how well the new target serves them, instead of
+// blind submission order. RankDrain returns a permutation of indices into
+// descs; routers without the capability keep the seed drain order.
+type Ranker interface {
+	// RankDrain orders descs for draining toward target.
+	RankDrain(target Target, descs []spec.TaskDescription) []int
+}
+
+// RankDrain implements Ranker for the capacity-fit router: descriptions
+// whose demand passes the new pilot's single-node free-maxima check
+// (may start right now) drain first, so the fresh capacity starts real
+// work immediately instead of queueing a blocked head in front of it;
+// within each class submission order is preserved, keeping the drain
+// deterministic.
+func (capacityFit) RankDrain(target Target, descs []spec.TaskDescription) []int {
+	sn := target.Snapshot()
+	order := make([]int, 0, len(descs))
+	var rest []int
+	for i, d := range descs {
+		if sn.MayFitNow(d.Cores, d.GPUs, d.MemGB) {
+			order = append(order, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	return append(order, rest...)
 }

@@ -202,3 +202,151 @@ func TestRoutersAreFreshInstances(t *testing.T) {
 		t.Fatalf("b first route = %d; cursors shared between instances", i)
 	}
 }
+
+// --- retry wrapper -----------------------------------------------------------
+
+// TestWithRetrySkipsNeverFittingPilots: a blind round-robin pick that
+// lands a fat task on a thin pilot is retried until a fitting pilot comes
+// up in rotation, while routable tasks keep the untouched inner sequence.
+func TestWithRetrySkipsNeverFittingPilots(t *testing.T) {
+	r := WithRetry(NewRoundRobin())
+	if r.Name() != NameRoundRobin+"+retry" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	targets := []Target{
+		mkTarget("fat0", fat, 2, 0, 256),
+		mkTarget("thin0", thin, 4, 0, 64),
+	}
+	fatTask := spec.TaskDescription{Name: "fat", Cores: fat.Cores, GPUs: fat.GPUs}
+	thinTask := spec.TaskDescription{Name: "thin", Cores: 1}
+
+	// Blind round-robin would route the second fat task to thin0 (it can
+	// never run there); the wrapper advances past it to fat0 every time.
+	for i := 0; i < 4; i++ {
+		got, err := r.Route(targets, fatTask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Fatalf("fat task %d routed to %s", i, targets[got].UID())
+		}
+	}
+	// Routable tasks see plain rotation: the 4 fat tasks consumed 7 inner
+	// cursor steps (1 + 3×2), so the thin task continues the sequence at
+	// step 7 — thin0 on a two-target rotation.
+	got, err := r.Route(targets, thinTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("thin task routed to %s, want thin0 (cursor continues)", targets[got].UID())
+	}
+}
+
+// TestWithRetryMatchesInnerSequenceWhenEverythingFits: wrapping must not
+// change a single pick while all tasks fit everywhere — the graceful-
+// degradation contract that keeps the seed dispatch pinned.
+func TestWithRetryMatchesInnerSequenceWhenEverythingFits(t *testing.T) {
+	plain, wrapped := NewRoundRobin(), WithRetry(NewRoundRobin())
+	targets := []Target{
+		mkTarget("p0", fat, 2, 0, 256),
+		mkTarget("p1", fat, 2, 0, 256),
+		mkTarget("p2", fat, 2, 0, 256),
+	}
+	d := spec.TaskDescription{Name: "t", Cores: 1}
+	for i := 0; i < 12; i++ {
+		a, err1 := plain.Route(targets, d)
+		b, err2 := wrapped.Route(targets, d)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a != b {
+			t.Fatalf("pick %d diverged: plain %d, wrapped %d", i, a, b)
+		}
+	}
+}
+
+// TestWithRetryRejectsGloballyUnroutable: when no target could ever fit,
+// the wrapper rejects at submit with ErrUnroutable like the shape-aware
+// routers, instead of wedging the task anywhere.
+func TestWithRetryRejectsGloballyUnroutable(t *testing.T) {
+	r := WithRetry(NewRoundRobin())
+	targets := []Target{mkTarget("thin0", thin, 4, 0, 64)}
+	_, err := r.Route(targets, spec.TaskDescription{Name: "fat", Cores: fat.Cores, GPUs: fat.GPUs})
+	var unroutable ErrUnroutable
+	if !errors.As(err, &unroutable) {
+		t.Fatalf("err = %v, want ErrUnroutable", err)
+	}
+	if _, err := r.Route(nil, spec.TaskDescription{Name: "t", Cores: 1}); !errors.Is(err, ErrNoTargets) {
+		t.Fatalf("err = %v, want ErrNoTargets", err)
+	}
+}
+
+// TestByNameRetrySuffix: the "+retry" suffix wraps any built-in.
+func TestByNameRetrySuffix(t *testing.T) {
+	r, err := ByName("round-robin+retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != NameRoundRobin+"+retry" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	if _, err := ByName("+retry"); err == nil {
+		t.Fatal("ByName accepted a bare +retry")
+	}
+	if _, err := ByName("bogus+retry"); err == nil {
+		t.Fatal("ByName accepted an unknown inner router")
+	}
+}
+
+// --- drain ranking -----------------------------------------------------------
+
+// TestCapacityFitRankDrain pins the overflow-drain ordering: fits-now
+// descriptions first, submission order within each class.
+func TestCapacityFitRankDrain(t *testing.T) {
+	cf, ok := NewCapacityFit().(Ranker)
+	if !ok {
+		t.Fatal("capacity-fit does not implement Ranker")
+	}
+	// Target with 16 free cores on its best node: only small tasks fit now.
+	target := mkTarget("p0", fat, 2, 0, 16)
+	descs := []spec.TaskDescription{
+		{Name: "big-0", Cores: 128},
+		{Name: "small-0", Cores: 8},
+		{Name: "big-1", Cores: 64},
+		{Name: "small-1", Cores: 16},
+	}
+	got := cf.RankDrain(target, descs)
+	want := []int{1, 3, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("rank = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", got, want)
+		}
+	}
+	// Round-robin has no ranking capability: the drain keeps seed order.
+	if _, ok := NewRoundRobin().(Ranker); ok {
+		t.Fatal("round-robin unexpectedly implements Ranker")
+	}
+}
+
+// TestWithRetryForwardsRanker: wrapping must not lose the inner router's
+// drain-ranking capability (capacity-fit+retry keeps fits-now-first),
+// and a ranking-less inner router yields the identity permutation.
+func TestWithRetryForwardsRanker(t *testing.T) {
+	target := mkTarget("p0", fat, 2, 0, 16)
+	descs := []spec.TaskDescription{
+		{Name: "big", Cores: 128},
+		{Name: "small", Cores: 8},
+	}
+	cf := WithRetry(NewCapacityFit()).(Ranker)
+	if got := cf.RankDrain(target, descs); len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("capacity-fit+retry rank = %v, want [1 0]", got)
+	}
+	rr := WithRetry(NewRoundRobin()).(Ranker)
+	if got := rr.RankDrain(target, descs); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("round-robin+retry rank = %v, want identity [0 1]", got)
+	}
+}

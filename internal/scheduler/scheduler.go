@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/platform"
 	"repro/internal/simtime"
@@ -83,6 +84,20 @@ type Scheduler struct {
 	// batch is the grant buffer reused across scheduling passes; it is
 	// only touched by the scheduler goroutine.
 	batch []Placement
+
+	// gen counts state mutations (submissions, grants, releases, index
+	// re-syncs). Snapshot caches its last result against it, so repeated
+	// probes over an unchanged scheduler — a router ranking the same pilot
+	// for every task of a submit batch — skip the lock and the shape-table
+	// copy entirely. Bumped only while mu is held; read lock-free.
+	gen       atomic.Uint64
+	snapCache atomic.Pointer[cachedSnapshot]
+}
+
+// cachedSnapshot pairs a Snapshot with the generation it was built at.
+type cachedSnapshot struct {
+	gen  uint64
+	snap Snapshot
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -162,10 +177,16 @@ func (s *Scheduler) Submit(req Request) error {
 	}
 	s.seq++
 	s.waiting.push(waitItem{req: req, seq: s.seq})
+	s.gen.Add(1)
 	s.mu.Unlock()
 	s.poke()
 	return nil
 }
+
+// Generation returns the scheduler's mutation counter. Two equal reads
+// with no mutation in between guarantee Snapshot returns identical data,
+// which is what lets callers batch routing decisions over one probe.
+func (s *Scheduler) Generation() uint64 { return s.gen.Load() }
 
 // satisfiable reports whether some node's total capacity covers req.
 // Negative demands are unsatisfiable: Node.TryAlloc rejects them on every
@@ -203,6 +224,7 @@ func (s *Scheduler) Release(a *platform.Allocation) {
 			s.seenEpoch = after
 		}
 	}
+	s.gen.Add(1)
 	s.mu.Unlock()
 	s.poke()
 }
@@ -232,6 +254,7 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
+	s.gen.Add(1)
 	s.mu.Unlock()
 	close(s.done)
 }
@@ -278,6 +301,11 @@ func (s *Scheduler) schedule() {
 			s.scheduled++
 			s.batch = append(s.batch, Placement{Req: it.req, Alloc: alloc})
 		}
+		// A pass may mutate the index even without granting (a policy's
+		// tryPlace/fits re-sync after an out-of-band release), so the
+		// generation advances unconditionally — an occasional spurious
+		// snapshot rebuild, never a stale one.
+		s.gen.Add(1)
 		s.mu.Unlock()
 		if len(s.batch) == 0 {
 			return

@@ -47,9 +47,19 @@ type Snapshot struct {
 // to take once per routing decision: the per-shape aggregates and the
 // root maxima are maintained by the index, so the call copies O(distinct
 // shapes) data under one lock acquisition.
+//
+// The result is cached against the scheduler's mutation generation: while
+// nothing changed (no submit, grant, release or index re-sync), repeated
+// calls return the cached value without taking the lock at all — the
+// regime a session router is in while it places a whole submit batch
+// against an idle or slow-moving pilot. Callers must treat the Shapes
+// slice as read-only; consecutive unchanged snapshots share it.
 func (s *Scheduler) Snapshot() Snapshot {
+	g := s.gen.Load()
+	if c := s.snapCache.Load(); c != nil && c.gen == g {
+		return c.snap
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	sn := Snapshot{
 		Waiting:   len(s.waiting),
 		Scheduled: s.scheduled,
@@ -60,6 +70,11 @@ func (s *Scheduler) Snapshot() Snapshot {
 		sn.MaxFreeGPUs = s.index.gpus[1]
 		sn.MaxFreeMemGB = s.index.mem[1]
 	}
+	// Pair the cache entry with the generation read under the same lock
+	// hold that built it; storing under the lock keeps a concurrent
+	// builder from overwriting a fresher entry with a staler one.
+	s.snapCache.Store(&cachedSnapshot{gen: s.gen.Load(), snap: sn})
+	s.mu.Unlock()
 	return sn
 }
 

@@ -243,3 +243,81 @@ func TestDeriveWeightsHomogeneousIdenticalChoices(t *testing.T) {
 		})
 	}
 }
+
+// TestSnapshotGenerationCache pins the satellite contract: Snapshot is
+// cached against the scheduler's mutation generation — identical while
+// nothing changed, rebuilt (not stale) across every mutation class
+// (submit, grant, release, close).
+func TestSnapshotGenerationCache(t *testing.T) {
+	plat := platform.New("snapgen", 4, platform.NodeSpec{Cores: 8, GPUs: 0, MemGB: 32})
+	placed := make(chan Placement, 8)
+	s := New(plat.Nodes(), func(p Placement) { placed <- p })
+	defer s.Close()
+
+	// Quiescent: repeated snapshots serve the cache (same generation, same
+	// backing Shapes array).
+	g0 := s.Generation()
+	sn1 := s.Snapshot()
+	sn2 := s.Snapshot()
+	if s.Generation() != g0 {
+		t.Fatalf("Snapshot moved the generation: %d → %d", g0, s.Generation())
+	}
+	if &sn1.Shapes[0] != &sn2.Shapes[0] {
+		t.Fatal("quiescent snapshots rebuilt instead of hitting the cache")
+	}
+
+	// A grant mutates free capacity: the generation moves and the next
+	// snapshot sees the allocation.
+	if err := s.Submit(Request{UID: "a", Cores: 8}); err != nil {
+		t.Fatal(err)
+	}
+	pl := <-placed
+	waitGen := func(old uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for s.Generation() == old {
+			if time.Now().After(deadline) {
+				t.Fatal("generation never advanced")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitGen(g0)
+	sn3 := s.Snapshot()
+	if free := sn3.Shapes[0].FreeCores; free != 3*8 {
+		t.Fatalf("post-grant snapshot free cores = %d, want 24", free)
+	}
+
+	// Release restores capacity and invalidates again.
+	g1 := s.Generation()
+	s.Release(pl.Alloc)
+	waitGen(g1)
+	sn4 := s.Snapshot()
+	if free := sn4.Shapes[0].FreeCores; free != 4*8 {
+		t.Fatalf("post-release snapshot free cores = %d, want 32", free)
+	}
+
+	// And the cache stays correct when nothing but snapshots happen.
+	for i := 0; i < 100; i++ {
+		if got := s.Snapshot().Shapes[0].FreeCores; got != 32 {
+			t.Fatalf("cached snapshot drifted: %d", got)
+		}
+	}
+}
+
+// TestSnapshotCacheAllocFree: cache hits must not allocate — that is the
+// point of skipping the lock and the shape-table copy.
+func TestSnapshotCacheAllocFree(t *testing.T) {
+	plat := platform.New("snapalloc", 8, platform.NodeSpec{Cores: 8, GPUs: 0, MemGB: 32})
+	s := New(plat.Nodes(), func(p Placement) {})
+	defer s.Close()
+	s.Snapshot() // warm the cache
+	allocs := testing.AllocsPerRun(100, func() {
+		if s.Snapshot().Shapes[0].Nodes != 8 {
+			t.Fatal("bad snapshot")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("cached Snapshot allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// ErrWithdrawn is returned by the EndpointRegistry's Await* calls when the
+// service was withdrawn for good (terminated, or failed without a
+// re-placement) — no newer endpoint will ever arrive, so waiting on is
+// pointless.
+var ErrWithdrawn = errors.New("service: endpoint withdrawn")
+
+// EndpointRegistry is the session-level endpoint registry — the authority
+// clients resolve a stable service UID against instead of caching a raw
+// endpoint. Where the per-pilot Registry models the paper's publication
+// channel (and charges the Fig. 3 `publish` overhead), the
+// EndpointRegistry owns the session-wide mapping that survives the pilot:
+// every publication carries a monotonically increasing generation per
+// service UID, so a client holding generation g detects staleness the
+// moment Resolve returns g' > g and re-resolves instead of redialing a
+// dead address.
+//
+// Lifecycle of one entry: Publish (live, gen+1) → Suspend (endpoint
+// retained, not resolvable — the hosting pilot died and a re-placement is
+// in flight) → Publish (live again, gen+1) → … → Withdraw (tombstoned;
+// Await* fail with ErrWithdrawn).
+//
+// The registry is purely synchronization and bookkeeping: publication
+// overhead is charged where the endpoint is physically published (the
+// pilot registry), never here, which keeps every method safe to call from
+// any goroutine without touching the session clock.
+type EndpointRegistry struct {
+	mu      sync.Mutex
+	entries map[string]*endpointEntry
+}
+
+type endpointEntry struct {
+	ep        proto.Endpoint
+	gen       uint64
+	live      bool
+	withdrawn bool
+	waiters   []chan struct{}
+}
+
+// NewEndpointRegistry returns an empty registry.
+func NewEndpointRegistry() *EndpointRegistry {
+	return &EndpointRegistry{entries: make(map[string]*endpointEntry)}
+}
+
+// Publish records ep as the live endpoint of its service UID and returns
+// the new generation. Re-publication (failover onto a new pilot) bumps the
+// generation; a previously withdrawn UID may be published again (the
+// tombstone clears). Every waiter parked in AwaitLive/AwaitNewer wakes.
+func (r *EndpointRegistry) Publish(ep proto.Endpoint) uint64 {
+	r.mu.Lock()
+	e := r.entries[ep.ServiceUID]
+	if e == nil {
+		e = &endpointEntry{}
+		r.entries[ep.ServiceUID] = e
+	}
+	e.gen++
+	ep.Generation = e.gen
+	e.ep = ep
+	e.live = true
+	e.withdrawn = false
+	gen := e.gen
+	r.wakeLocked(e)
+	r.mu.Unlock()
+	return gen
+}
+
+// Suspend marks a service's endpoint unresolvable without forgetting it:
+// the hosting pilot stopped and the session is re-placing the service.
+// Clients block in AwaitNewer until the re-publication lands. The
+// generation does not move — it only counts publications, so a client
+// holding the pre-failover generation still detects the eventual
+// re-publish as newer.
+func (r *EndpointRegistry) Suspend(uid string) {
+	r.mu.Lock()
+	if e := r.entries[uid]; e != nil {
+		e.live = false
+	}
+	r.mu.Unlock()
+}
+
+// Withdraw tombstones a service UID: the service is gone for good and no
+// re-publication will follow. Parked waiters wake and fail with
+// ErrWithdrawn.
+func (r *EndpointRegistry) Withdraw(uid string) {
+	r.mu.Lock()
+	e := r.entries[uid]
+	if e == nil {
+		e = &endpointEntry{}
+		r.entries[uid] = e
+	}
+	e.live = false
+	e.withdrawn = true
+	r.wakeLocked(e)
+	r.mu.Unlock()
+}
+
+// wakeLocked releases every waiter of e. Callers hold r.mu.
+func (r *EndpointRegistry) wakeLocked(e *endpointEntry) {
+	for _, ch := range e.waiters {
+		close(ch)
+	}
+	e.waiters = nil
+}
+
+// Resolve returns the live endpoint of uid and its generation. A
+// suspended, withdrawn or never-published UID resolves to false.
+func (r *EndpointRegistry) Resolve(uid string) (proto.Endpoint, uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[uid]
+	if e == nil || !e.live {
+		return proto.Endpoint{}, 0, false
+	}
+	return e.ep, e.gen, true
+}
+
+// Generation returns the publication count of uid (0 when never
+// published). Unlike Resolve it also reports suspended entries, so
+// clients can cheaply check staleness without resolving.
+func (r *EndpointRegistry) Generation(uid string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.entries[uid]; e != nil {
+		return e.gen
+	}
+	return 0
+}
+
+// All returns every live endpoint, sorted by service UID.
+func (r *EndpointRegistry) All() []proto.Endpoint {
+	r.mu.Lock()
+	out := make([]proto.Endpoint, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.live {
+			out = append(out, e.ep)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ServiceUID < out[j].ServiceUID })
+	return out
+}
+
+// ByModel returns every live endpoint exposing model, sorted by service
+// UID.
+func (r *EndpointRegistry) ByModel(model string) []proto.Endpoint {
+	r.mu.Lock()
+	var out []proto.Endpoint
+	for _, e := range r.entries {
+		if e.live && e.ep.Model == model {
+			out = append(out, e.ep)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ServiceUID < out[j].ServiceUID })
+	return out
+}
+
+// AwaitLive blocks until uid has a live endpoint (any generation), the
+// UID is withdrawn, or ctx expires.
+func (r *EndpointRegistry) AwaitLive(ctx context.Context, uid string) (proto.Endpoint, uint64, error) {
+	return r.await(ctx, uid, 0)
+}
+
+// AwaitNewer blocks until uid has a live endpoint with a generation
+// strictly greater than after — the re-resolution primitive: a client
+// whose request failed on generation g parks here and wakes exactly when
+// the failover re-publication lands. It returns immediately when the
+// registry already holds a newer live endpoint (the client lost the race
+// to the re-publish, which is the good case).
+func (r *EndpointRegistry) AwaitNewer(ctx context.Context, uid string, after uint64) (proto.Endpoint, uint64, error) {
+	return r.await(ctx, uid, after)
+}
+
+func (r *EndpointRegistry) await(ctx context.Context, uid string, after uint64) (proto.Endpoint, uint64, error) {
+	for {
+		r.mu.Lock()
+		e := r.entries[uid]
+		if e == nil {
+			e = &endpointEntry{}
+			r.entries[uid] = e
+		}
+		if e.withdrawn {
+			r.mu.Unlock()
+			return proto.Endpoint{}, 0, fmt.Errorf("%w: %s", ErrWithdrawn, uid)
+		}
+		if e.live && e.gen > after {
+			ep, gen := e.ep, e.gen
+			r.mu.Unlock()
+			return ep, gen, nil
+		}
+		ch := make(chan struct{})
+		e.waiters = append(e.waiters, ch)
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			// Unregister the waiter (a concurrent wake may already have
+			// consumed it) and drop the entry again if it was only ever a
+			// placeholder this call synthesized — a long-lived session
+			// polling unknown or never-republished UIDs with per-request
+			// timeouts must not grow the registry without bound.
+			r.mu.Lock()
+			for i, w := range e.waiters {
+				if w == ch {
+					e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+					break
+				}
+			}
+			if e.gen == 0 && !e.live && !e.withdrawn && len(e.waiters) == 0 {
+				delete(r.entries, uid)
+			}
+			r.mu.Unlock()
+			return proto.Endpoint{}, 0, ctx.Err()
+		}
+	}
+}

@@ -32,6 +32,12 @@ import (
 var (
 	ErrUnknownService = errors.New("service: unknown service")
 	ErrNotActive      = errors.New("service: not active")
+	// ErrHostStopped marks a service that failed because its hosting pilot
+	// stopped underneath it (scheduler closed, or the pilot's stop channel
+	// fired while the service waited for placement). The session-level
+	// ServiceManager treats it — together with the pilot's own stop signal
+	// — as the trigger for failure-driven re-placement.
+	ErrHostStopped = errors.New("service: hosting pilot stopped")
 )
 
 // Config wires a Manager into a pilot agent.
@@ -44,6 +50,20 @@ type Config struct {
 	Exec     *executor.Executor
 	Stage    *stager.Manager
 	Registry *Registry
+	// OnPublish, when set, observes every endpoint publication as part of
+	// the publish bootstrap phase — after the endpoint lands in the pilot
+	// Registry and strictly before the service turns ACTIVE. The session
+	// hooks its EndpointRegistry mirror here, so a service that reports
+	// ready is already resolvable session-wide (and a failover
+	// re-bootstrap re-publishes with a bumped generation atomically with
+	// the new instance's activation).
+	OnPublish func(proto.Endpoint)
+	// Stopped, when set, is closed when the hosting pilot shuts down.
+	// Services still waiting for placement observe it and fail fast with
+	// ErrHostStopped instead of sitting out their start timeout on a dead
+	// scheduler — the same fast-fail contract pilot tasks get from the
+	// pilot's stopped channel.
+	Stopped <-chan struct{}
 	// Platform is the hosting platform's name (address prefix).
 	Platform string
 	// UIDPrefix namespaces generated service UIDs (e.g. the owning pilot
@@ -129,6 +149,14 @@ func (s *Instance) Err() error {
 	defer s.mu.Unlock()
 	return s.failErr
 }
+
+// Final reports whether the instance reached a final lifecycle state.
+func (s *Instance) Final() bool { return s.machine.IsFinal() }
+
+// Changed returns a channel that fires on the instance's next state
+// transition. Watchers must re-check state after registering (the usual
+// lost-wakeup re-check), exactly like states.Machine.WaitChan.
+func (s *Instance) Changed() <-chan states.State { return s.machine.WaitChan() }
 
 // Bootstrap returns the measured BT components: launch (placement to
 // process up), init (model load), publish (endpoint communication). Valid
@@ -268,24 +296,36 @@ func (m *Manager) bootstrap(inst *Instance) {
 	})
 	if err != nil {
 		m.cfg.Router.Cancel(d.UID)
+		if errors.Is(err, scheduler.ErrClosed) {
+			// The scheduler shut down between submission and enqueue: the
+			// pilot is stopping, not the service misbehaving.
+			err = fmt.Errorf("%w: %v", ErrHostStopped, err)
+		}
 		fail(err)
 		return
 	}
 
+	// abandon cancels the placement expectation; if a grant is already
+	// committed (Cancel finds no waiter), exactly one placement is in
+	// flight on the buffered channel: receive it and give the capacity
+	// back.
+	abandon := func() {
+		if !m.cfg.Router.Cancel(d.UID) {
+			pl := <-placed
+			m.cfg.Sched.Release(pl.Alloc)
+		}
+	}
 	var pl scheduler.Placement
 	startDeadline := m.cfg.Clock.NewTimer(d.StartTimeout)
 	defer startDeadline.Stop()
 	select {
 	case pl = <-placed:
+	case <-m.cfg.Stopped:
+		abandon()
+		fail(fmt.Errorf("%w: %s while scheduling", ErrHostStopped, d.UID))
+		return
 	case <-startDeadline.C():
-		// A grant may already be committed to this UID (Cancel finds no
-		// waiter): receive it and give the capacity back. A still-waiting
-		// request is cancelled here and, if granted later anyway, released
-		// by the pilot's unrouted-placement fallback.
-		if !m.cfg.Router.Cancel(d.UID) {
-			pl = <-placed
-			m.cfg.Sched.Release(pl.Alloc)
-		}
+		abandon()
 		fail(fmt.Errorf("service %s: start timeout in scheduling", d.UID))
 		return
 	}
@@ -300,6 +340,24 @@ func (m *Manager) bootstrap(inst *Instance) {
 	inst.alloc = pl.Alloc
 	inst.mu.Unlock()
 	launchDur := m.cfg.Exec.Launch(d.UID)
+
+	// The launch and init phases sleep simulated time; a pilot shutdown
+	// during them must not let this bootstrap straggle on and publish a
+	// dead endpoint after the session has started a failover. Check the
+	// stop signal at each phase boundary (the publish-phase check below
+	// is the one that guards the registry).
+	stopCheck := func() bool {
+		select {
+		case <-m.cfg.Stopped:
+			fail(fmt.Errorf("%w: %s during bootstrap", ErrHostStopped, d.UID))
+			return true
+		default:
+			return false
+		}
+	}
+	if stopCheck() {
+		return
+	}
 
 	// capability initialization: model load (BT `init`)
 	if err := inst.machine.To(states.ServiceInitializing); err != nil {
@@ -330,6 +388,10 @@ func (m *Manager) bootstrap(inst *Instance) {
 	}
 
 	// endpoint publication (BT `publish`)
+	if stopCheck() {
+		server.Stop()
+		return
+	}
 	if err := inst.machine.To(states.ServicePublishing); err != nil {
 		server.Stop()
 		fail(err)
@@ -358,6 +420,7 @@ func (m *Manager) bootstrap(inst *Instance) {
 		Node:       node,
 	})
 
+	ep, _ := m.cfg.Registry.Lookup(d.UID)
 	inst.mu.Lock()
 	inst.server = server
 	inst.apiSrv = apiSrv
@@ -365,8 +428,11 @@ func (m *Manager) bootstrap(inst *Instance) {
 	inst.launchTime = launchDur
 	inst.initTime = initDur
 	inst.publishTime = publishDur
-	inst.endpoint, _ = m.cfg.Registry.Lookup(d.UID)
+	inst.endpoint = ep
 	inst.mu.Unlock()
+	if m.cfg.OnPublish != nil {
+		m.cfg.OnPublish(ep)
+	}
 
 	if err := inst.machine.To(states.ServiceActive); err != nil {
 		fail(err)

@@ -16,7 +16,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pilot"
-	"repro/internal/service"
 	"repro/internal/spec"
 )
 
@@ -188,7 +187,7 @@ func (r *Runner) Run(ctx context.Context, p *Pipeline) (*Report, error) {
 	}
 
 	type startedSvc struct {
-		inst *service.Instance
+		inst *core.Service
 		keep bool
 	}
 	var started []startedSvc
@@ -223,7 +222,7 @@ func (r *Runner) Run(ctx context.Context, p *Pipeline) (*Report, error) {
 			}
 
 			rep := StageReport{Stage: s.Name, Started: clock.Now()}
-			state.err = r.runStage(ctx, s, &rep, func(inst *service.Instance) {
+			state.err = r.runStage(ctx, s, &rep, func(inst *core.Service) {
 				startedMu.Lock()
 				started = append(started, startedSvc{inst: inst, keep: s.KeepServices})
 				startedMu.Unlock()
@@ -255,7 +254,7 @@ func (r *Runner) Run(ctx context.Context, p *Pipeline) (*Report, error) {
 	return report, firstErr
 }
 
-func (r *Runner) runStage(ctx context.Context, s *Stage, rep *StageReport, record func(*service.Instance)) error {
+func (r *Runner) runStage(ctx context.Context, s *Stage, rep *StageReport, record func(*core.Service)) error {
 	if s.Pre != nil {
 		if err := s.Pre(ctx, r.sess); err != nil {
 			return fmt.Errorf("workflow: stage %s pre-hook: %w", s.Name, err)
