@@ -16,6 +16,7 @@
 //	rpexp -exp route -platform hetero
 //	rpexp -exp route -router capacity-fit
 //	rpexp -exp svcfail -platform hetero
+//	rpexp -exp crashrec
 package main
 
 import (
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|table1|table2|all")
+	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|crashrec|table1|table2|all")
 	deploy := flag.String("deploy", "both", "deployment for exp 2/3: local|remote|both")
 	scaling := flag.String("scaling", "both", "scaling for exp 2/3: strong|weak|both")
 	counts := flag.String("counts", "", "comma-separated instance counts for exp 1 (default: paper sweep)")
@@ -165,6 +166,20 @@ func main() {
 				cfg.Seed = *seed
 			}
 			res, err := experiments.RunSvcFail(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table().Render())
+			return nil
+		})
+	}
+	if want("crashrec") {
+		run("Crash-recovery ablation (write-ahead journal)", func() error {
+			cfg := experiments.DefaultCrashRecConfig()
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			res, err := experiments.RunCrashRec(ctx, cfg)
 			if err != nil {
 				return err
 			}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/executor"
+	"repro/internal/journal"
 	"repro/internal/loadbal"
 	"repro/internal/metrics"
 	"repro/internal/msgq"
@@ -65,6 +66,16 @@ type SessionConfig struct {
 	// TaskManager ("round-robin", "least-loaded", "capacity-fit"). Empty
 	// selects round-robin, the seed dispatch.
 	Router string
+	// JournalPath, when set, makes the session durable: every entity
+	// description, state transition, placement binding and endpoint
+	// registry mutation is appended to a write-ahead journal at this path,
+	// and core.Recover can reconstruct the session from it after a client
+	// crash. Journaled sessions launch attachable pilots under
+	// session-scoped UIDs so recovery can find the survivors.
+	JournalPath string
+	// JournalFlushEvery overrides the journal's fsync batching interval on
+	// the session clock (default journal.DefaultFlushEvery).
+	JournalFlushEvery time.Duration
 }
 
 // Session is one runtime instance.
@@ -78,6 +89,13 @@ type Session struct {
 	prof  *profile.Recorder
 
 	updates msgq.Publisher
+
+	// jw is the write-ahead journal (nil for volatile sessions);
+	// incarnation counts recoveries: 0 volatile, 1 first journaled life,
+	// +1 per Recover. Both are fixed before the session is reachable.
+	jw          *journal.Writer
+	incarnation uint64
+	routerName  string
 
 	mu       sync.Mutex
 	closed   bool
@@ -128,6 +146,8 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		remotes:  make(map[string]proto.Endpoint),
 		fastBoot: cfg.FastBoot,
 		schedPol: cfg.SchedPolicy,
+
+		routerName: cfg.Router,
 	}
 	pub, err := net.BindPub(UpdatesAddr)
 	if err != nil {
@@ -148,7 +168,54 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		reg:      service.NewEndpointRegistry(),
 		services: make(map[string]*Service),
 	}
+	if cfg.JournalPath != "" {
+		jw, err := journal.Open(journal.Config{
+			Path: cfg.JournalPath, Clock: cfg.Clock, FlushEvery: cfg.JournalFlushEvery,
+		})
+		if err != nil {
+			_ = s.updates.Close()
+			net.Close()
+			return nil, err
+		}
+		s.jw = jw
+		s.incarnation = 1
+		if err := s.attachJournal(cfg.Seed); err != nil {
+			_ = jw.Close()
+			_ = s.updates.Close()
+			net.Close()
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// attachJournal writes the opening session record and wires the endpoint
+// registry's mutations into the journal. The registry fence moves to the
+// current incarnation, so publications from earlier incarnations (zombies
+// surviving a recovery) are rejected.
+func (s *Session) attachJournal(seed uint64) error {
+	if err := s.jw.Append(journal.KindSession, journal.SessionBody{
+		UID: s.uid, Seed: seed, Incarnation: s.incarnation,
+		SchedPolicy: s.schedPol, Router: s.routerName, FastBoot: s.fastBoot,
+	}); err != nil {
+		return err
+	}
+	s.sm.reg.SetFence(s.incarnation)
+	s.sm.reg.SetObserver(func(op service.EndpointOp, uid string, ep proto.Endpoint, gen uint64) {
+		s.journalAppend(journal.KindEndpoint, journal.EndpointBody{
+			Op: string(op), UID: uid, Endpoint: ep, Generation: gen,
+		})
+	})
+	return nil
+}
+
+// journalAppend appends one record to the session journal (no-op for
+// volatile sessions or after the journal crashed).
+func (s *Session) journalAppend(kind journal.Kind, body any) {
+	if s.jw == nil {
+		return
+	}
+	_ = s.jw.Append(kind, body)
 }
 
 // UID returns the session identifier.
@@ -174,6 +241,15 @@ func (s *Session) Metrics() *metrics.Collector { return s.coll }
 // timestamp and can be exported as CSV.
 func (s *Session) Profile() *profile.Recorder { return s.prof }
 
+// Journal returns the session's write-ahead journal writer (nil for
+// volatile sessions).
+func (s *Session) Journal() *journal.Writer { return s.jw }
+
+// Incarnation returns the session's journal incarnation: 0 for volatile
+// sessions, 1 for a journaled session's first life, +1 per recovery.
+// Endpoint publications are stamped with it and fenced by the registry.
+func (s *Session) Incarnation() uint64 { return s.incarnation }
+
 // PilotManager returns the session's pilot manager.
 func (s *Session) PilotManager() *PilotManager { return s.pm }
 
@@ -190,11 +266,15 @@ func (s *Session) SubscribeUpdates(buffer int, topics ...string) (*msgq.Subscrip
 }
 
 // publishState is the Updater: it broadcasts one state transition on the
-// session's update channel and records it in the session profile.
+// session's update channel, records it in the session profile, and — for
+// journaled sessions — appends it to the write-ahead journal.
 func (s *Session) publishState(entity string) states.Callback {
 	record := s.prof.Callback(entity)
 	return func(uid string, from, to states.State, at time.Time) {
 		record(uid, from, to, at)
+		s.journalAppend(journal.KindTransition, journal.TransitionBody{
+			Entity: entity, UID: uid, From: string(from), To: string(to), At: at,
+		})
 		env, err := proto.NewEnvelope(proto.KindStateUpdate, 0, uid, "", at, proto.StateUpdate{
 			EntityUID: uid, Entity: entity, State: string(to), At: at,
 		})
@@ -280,6 +360,34 @@ func (s *Session) Close() {
 	s.tm.close()
 	s.pm.shutdownAll()
 	s.net.Close()
+	if s.jw != nil {
+		_ = s.jw.Close()
+	}
+}
+
+// Abandon simulates the client process dying mid-campaign: the session's
+// managers stop (in-flight re-placements settle with ErrSessionClosed,
+// overflow tasks fail), the update channel unbinds, and the journal
+// crashes — no graceful final fsync, every later append dropped. Unlike
+// Close, the pilots and the network stay up: they model remote machines
+// that outlive the client, which is exactly what Recover reattaches to.
+// Experiment fault injection wires this as the journal's OnCrash callback.
+func (s *Session) Abandon() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.sm.close()
+	s.tm.close()
+	// Free the updates address so a recovered session can bind it on the
+	// same (surviving) network.
+	_ = s.updates.Close()
+	if s.jw != nil {
+		s.jw.Crash()
+	}
 }
 
 func sortEndpoints(eps []proto.Endpoint) {
@@ -307,20 +415,36 @@ func (pm *PilotManager) Submit(desc spec.PilotDescription) (*pilot.Pilot, error)
 	if plat == nil {
 		return nil, fmt.Errorf("core: unknown platform %q", desc.Platform)
 	}
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
 	pm.mu.Lock()
 	pm.seq++
 	seq := pm.seq
 	pm.mu.Unlock()
 	if desc.UID == "" {
-		desc.UID = fmt.Sprintf("pilot.%s.%04d", desc.Platform, seq)
+		if pm.sess.jw != nil {
+			// Session-scoped UIDs keep attachable pilots of concurrent
+			// journaled sessions apart in the package-level live registry.
+			desc.UID = fmt.Sprintf("%s.pilot.%s.%04d", pm.sess.uid, desc.Platform, seq)
+		} else {
+			desc.UID = fmt.Sprintf("pilot.%s.%04d", desc.Platform, seq)
+		}
 	}
+	// WAL intent: the description lands in the journal before Launch, so
+	// pilot state transitions (which begin during Launch) always replay
+	// against a known UID.
+	pm.sess.journalAppend(journal.KindPilot, journal.PilotBody{UID: desc.UID, Desc: desc})
 	cfg := pilot.Config{
-		Clock:         pm.sess.clock,
-		Src:           pm.sess.src.Derive(fmt.Sprintf("pilot.%s.%d", desc.Platform, seq)),
-		Net:           pm.sess.net,
-		Platform:      plat,
-		SchedPolicy:   pm.sess.schedPol,
-		StateCallback: pm.sess.publishState("task"),
+		Clock:                pm.sess.clock,
+		Src:                  pm.sess.src.Derive(fmt.Sprintf("pilot.%s.%d", desc.Platform, seq)),
+		Net:                  pm.sess.net,
+		Platform:             plat,
+		SchedPolicy:          pm.sess.schedPol,
+		StateCallback:        pm.sess.publishState("task"),
+		PilotStateCallback:   pm.sess.publishState("pilot"),
+		ServiceStateCallback: pm.sess.publishState("service"),
+		Attach:               pm.sess.jw != nil,
 		// Mirror every service endpoint publication into the session
 		// EndpointRegistry as part of the publish bootstrap phase, so a
 		// ready service is already resolvable session-wide. The pilot UID
@@ -619,7 +743,11 @@ func (tm *TaskManager) submitOne(ctx context.Context, d spec.TaskDescription) (*
 		tm.tasks[d.UID] = t
 		tm.mu.Unlock()
 
-		if err := tm.dispatch(t, p); err != nil {
+		// Journal the description outside tm.mu (the writer's crash hook may
+		// abandon the session, which takes tm.mu). A dispatch retry re-appends
+		// it; replay skips the duplicate.
+		tm.sess.journalAppend(journal.KindTask, journal.TaskBody{UID: d.UID, Desc: d})
+		if _, err := tm.dispatch(t, p); err != nil {
 			// The routed pilot left ACTIVE between routing and dispatch.
 			// Seal and drop the handle (a concurrent Wait/Tasks snapshot
 			// may already hold it), then retry: the state filter now
@@ -690,17 +818,21 @@ func activePilots(pilots []*pilot.Pilot) ([]router.Target, []*pilot.Pilot) {
 	return targets, live
 }
 
-// dispatch submits the task to p and starts its watcher.
-func (tm *TaskManager) dispatch(t *Task, p *pilot.Pilot) error {
+// dispatch submits the task to p and starts its watcher. The binding is
+// journaled before the submission: a crash in between replays as a task
+// bound to a pilot that never heard of it, which Recover detects (no
+// pilot-level handle under the UID) and re-dispatches.
+func (tm *TaskManager) dispatch(t *Task, p *pilot.Pilot) (*pilot.Task, error) {
+	tm.sess.journalAppend(journal.KindBind, journal.BindBody{Entity: "task", UID: t.uid, Pilot: p.UID()})
 	pt, err := p.SubmitTask(t.ctx, t.desc)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	t.mu.Lock()
 	t.cur, t.p = pt, p
 	t.mu.Unlock()
 	go tm.watch(t, pt, p)
-	return nil
+	return pt, nil
 }
 
 // watch follows one pilot-level task to a final state and settles or
@@ -766,66 +898,29 @@ func (tm *TaskManager) redispatch(t *Task, ordered bool) {
 			return
 		}
 		p := live[i]
-		var before int
-		if ordered {
-			sn := p.Snapshot()
-			before = sn.Waiting + sn.Scheduled
-		}
-		if err := tm.dispatch(t, p); err != nil {
+		pt, err := tm.dispatch(t, p)
+		if err != nil {
 			continue
 		}
 		if ordered {
-			tm.awaitEnqueued(t, p, before)
+			tm.awaitEnqueued(t, pt, p)
 		}
 		return
 	}
 }
 
-// awaitEnqueued blocks until t's resource request shows up in p's agent
-// scheduler — the pilot task advancing past its pre-scheduler states is
-// the signal (immune to unrelated grant/release traffic); the
-// Waiting+Scheduled sum rising past the pre-dispatch reading is only the
-// fallback when no pilot task handle is visible. It also returns when t
-// settles on a failure path that never reaches the scheduler or the
-// pilot leaves ACTIVE, and is deadline-bounded: a task whose input
-// staging runs long at a low clock scale falls back to the unordered
-// (pre-PR) drain behaviour rather than stalling the remaining drain.
-func (tm *TaskManager) awaitEnqueued(t *Task, p *pilot.Pilot, before int) {
-	t.mu.Lock()
-	pt := t.cur
-	t.mu.Unlock()
-	pollDelay := 50 * time.Microsecond
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if pt != nil {
-			switch pt.State() {
-			case states.TaskNew, states.TaskTmgrScheduling, states.TaskStagingInput:
-				// not yet at the scheduler
-			default:
-				return
-			}
-		} else if sn := p.Snapshot(); sn.Waiting+sn.Scheduled > before {
-			// Fallback signal only when no pilot task handle is visible:
-			// the sum also rises on unrelated concurrent submissions, which
-			// would void the ordering the handoff exists to provide.
-			return
-		}
-		select {
-		case <-t.done:
-			return
-		default:
-		}
-		if p.State() != states.PilotActive {
-			return
-		}
-		// Exponential backoff: the normal handoff completes within the
-		// first few 50µs polls; the pathological case (staging-bound task
-		// at a low clock scale) decays toward 2ms polls so waiting out the
-		// deadline costs negligible CPU.
-		time.Sleep(pollDelay)
-		if pollDelay < 2*time.Millisecond {
-			pollDelay *= 2
-		}
+// awaitEnqueued blocks until t's resource request has reached p's agent
+// scheduler — the pilot task acks its enqueue (after staging, right when
+// the scheduler accepts the request), so consecutive ordered dispatches
+// arrive in drain order without polling wall-clock time. It also returns
+// when t settles on a failure path that never reaches the scheduler or
+// the pilot stops: both paths close their channel, so the select cannot
+// stall the remaining drain.
+func (tm *TaskManager) awaitEnqueued(t *Task, pt *pilot.Task, p *pilot.Pilot) {
+	select {
+	case <-pt.Enqueued():
+	case <-t.done:
+	case <-p.Stopped():
 	}
 }
 
@@ -1119,8 +1214,10 @@ func (sm *ServiceManager) Registry() *service.EndpointRegistry { return sm.reg }
 // publishing in the instant between passing this check and the watcher
 // re-pointing h.p is mirrored anyway, but it is then superseded by the
 // failover re-publication's higher generation (resolvers that woke into
-// the dead address retry into the newer one). Airtight exclusion would
-// need incarnation tokens on the registry — a PR-5 ROADMAP follow-up.
+// the dead address retry into the newer one). Across sessions the
+// registry's incarnation fence is airtight: the publication is stamped
+// with the current session incarnation, so after a crash recovery a
+// zombie publisher from the previous incarnation is rejected outright.
 func (sm *ServiceManager) mirrorPublish(pilotUID string, ep proto.Endpoint) {
 	if h, ok := sm.Get(ep.ServiceUID); ok {
 		h.mu.Lock()
@@ -1130,7 +1227,8 @@ func (sm *ServiceManager) mirrorPublish(pilotUID string, ep proto.Endpoint) {
 			return
 		}
 	}
-	sm.reg.Publish(ep)
+	ep.Incarnation = sm.sess.Incarnation()
+	_, _ = sm.reg.Publish(ep)
 }
 
 // RouterName returns the name of the active service→pilot router.
@@ -1194,6 +1292,12 @@ func (sm *ServiceManager) Submit(d spec.ServiceDescription) (*Service, error) {
 		sm.services[d.UID] = h
 		sm.mu.Unlock()
 
+		// Journal description and binding outside sm.mu (the writer's crash
+		// hook may abandon the session, which takes sm.mu), in that order and
+		// before the dispatch: a crash in between replays as a service bound
+		// to a pilot that never heard of it, which Recover re-places.
+		sm.sess.journalAppend(journal.KindService, journal.ServiceBody{UID: d.UID, Desc: d})
+		sm.sess.journalAppend(journal.KindBind, journal.BindBody{Entity: "service", UID: d.UID, Pilot: p.UID()})
 		inst, err := p.Services().Submit(d)
 		if err != nil {
 			sm.mu.Lock()
@@ -1290,6 +1394,18 @@ func (sm *ServiceManager) watch(h *Service) {
 				h.uid, h.desc.Pilot, pilot.ErrPilotStopped))
 			return
 		}
+		// A session closing down tears its pilots down too; a watcher that
+		// observes its pilot's death in that window must settle instead of
+		// racing Close for the survivors (the re-placed instance would be
+		// orphaned on a pilot the session no longer manages).
+		sm.mu.Lock()
+		closed := sm.closed
+		sm.mu.Unlock()
+		if closed {
+			sm.reg.Withdraw(h.uid)
+			h.finish(ErrSessionClosed)
+			return
+		}
 		// Failure-driven re-placement: suspend resolution (clients park in
 		// AwaitNewer instead of being handed the dead address), route the
 		// description over the survivors, re-bootstrap under the same UID.
@@ -1334,12 +1450,25 @@ func (sm *ServiceManager) replace(h *Service) (*service.Instance, *pilot.Pilot, 
 		h.mu.Lock()
 		h.p = p
 		h.mu.Unlock()
+		sm.sess.journalAppend(journal.KindBind, journal.BindBody{Entity: "service", UID: d.UID, Pilot: p.UID()})
 		inst, err := p.Services().Submit(d)
 		if err != nil {
 			if p.State() != states.PilotActive {
 				continue
 			}
 			return nil, nil, err
+		}
+		// Close may have slipped in between the closed check and the
+		// dispatch: the re-placed instance would outlive the session on a
+		// pilot it no longer manages. Undo best-effort and settle — the
+		// watcher loop is the only caller, and it treats ErrSessionClosed
+		// as final.
+		sm.mu.Lock()
+		closed := sm.closed
+		sm.mu.Unlock()
+		if closed {
+			_ = p.Services().Terminate(d.UID, false)
+			return nil, nil, ErrSessionClosed
 		}
 		return inst, p, nil
 	}

@@ -1,0 +1,400 @@
+package experiments
+
+// Crash-recovery ablation: the paper's runtime keeps all campaign state in
+// the client process, so a client crash strands every pilot, task and
+// service it was driving. This ablation quantifies what the write-ahead
+// journal and core.Recover buy: a journaled session drives tasks and a
+// service across two pilots, the client is killed at one of three fault
+// points (mid-transition append — torn record, mid-endpoint-publish —
+// lost record, mid-failover — the suspend record of an in-flight
+// re-placement is lost), and recovery reattaches to the surviving pilots
+// and resumes the campaign. The contrast row runs the identical scenario
+// without a journal: the "recovery" finds nothing and the client loses
+// every handle. Counts are exact by construction — placements are either
+// pinned or follow the deterministic round-robin dispatch, and fault
+// points fire on specific journal record kinds.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/metrics"
+	"repro/internal/pilot"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/states"
+)
+
+// Fault points of the crash-recovery ablation.
+const (
+	// FaultMidTransition kills the client while a task state transition is
+	// being appended: the record is torn in half, the canonical artifact
+	// of a crash mid-write.
+	FaultMidTransition = "mid-transition"
+	// FaultMidPublish kills the client while a service endpoint
+	// publication is being appended: the record is lost entirely.
+	FaultMidPublish = "mid-publish"
+	// FaultMidFailover kills the client while a failover is in flight:
+	// the hosting pilot died, and the suspend record of the re-placement
+	// never reaches the journal.
+	FaultMidFailover = "mid-failover"
+)
+
+// CrashRecConfig parameterizes the crash-recovery ablation.
+type CrashRecConfig struct {
+	// Tasks is the number of long-running tasks in flight at the crash
+	// (default 6).
+	Tasks int
+	// FaultPoints lists the fault points driven (default: all three).
+	FaultPoints []string
+	// Scale is the clock compression (default 20000).
+	Scale float64
+	// Seed drives determinism.
+	Seed uint64
+}
+
+// DefaultCrashRecConfig returns the figure-scale parameterization.
+func DefaultCrashRecConfig() CrashRecConfig {
+	return CrashRecConfig{
+		Tasks:       6,
+		FaultPoints: []string{FaultMidTransition, FaultMidPublish, FaultMidFailover},
+		Scale:       20000,
+		Seed:        27,
+	}
+}
+
+// CrashRecRow is one (fault point, journal mode) outcome.
+type CrashRecRow struct {
+	FaultPoint string
+	Journaled  bool
+
+	// TasksInFlight and ServicesLive are the pre-crash campaign size (the
+	// mid-transition and mid-publish points add one trigger entity each).
+	TasksInFlight int
+	ServicesLive  int
+
+	// Recovered reports whether core.Recover produced a session at all
+	// (always false for the journal-less contrast).
+	Recovered bool
+	// Incarnation is the recovered session incarnation (0 when lost).
+	Incarnation uint64
+	// TornTail reports the replay found a half-written final record.
+	TornTail bool
+
+	// Exact recovery accounting (all zero when the journal is absent).
+	PilotsAlive, PilotsLost              int
+	TasksReattached, TasksRerouted       int
+	TasksSettled                         int
+	ServicesReattached, ServicesReplaced int
+	ServicesSettled                      int
+
+	// TasksCompleted counts tasks that ran to DONE under the recovered
+	// session — the resume-N-of-N claim.
+	TasksCompleted int
+}
+
+// CrashRecResult is the ablation dataset.
+type CrashRecResult struct {
+	Cfg  CrashRecConfig
+	Rows []CrashRecRow
+}
+
+// RunCrashRec executes the crash-recovery ablation: each fault point once
+// with the write-ahead journal and once without.
+func RunCrashRec(ctx context.Context, cfg CrashRecConfig) (*CrashRecResult, error) {
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 6
+	}
+	if len(cfg.FaultPoints) == 0 {
+		cfg.FaultPoints = []string{FaultMidTransition, FaultMidPublish, FaultMidFailover}
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 20000
+	}
+	res := &CrashRecResult{Cfg: cfg}
+	for _, point := range cfg.FaultPoints {
+		for _, journaled := range []bool{true, false} {
+			row, err := runCrashRecPoint(ctx, cfg, point, journaled)
+			if err != nil {
+				return res, fmt.Errorf("experiments: crashrec %s (journal=%v): %w", point, journaled, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// runCrashRecPoint drives one scenario: two half-platform delta pilots,
+// one unpinned service (round-robin lands it on the first pilot),
+// cfg.Tasks long tasks, then the fault. Task placement is pinned to the
+// second pilot for the mid-failover point (whose first pilot dies), and
+// left to the deterministic round-robin dispatch otherwise.
+func runCrashRecPoint(ctx context.Context, cfg CrashRecConfig, point string, journaled bool) (CrashRecRow, error) {
+	row := CrashRecRow{FaultPoint: point, Journaled: journaled}
+	dir, err := os.MkdirTemp("", "crashrec")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	jp := filepath.Join(dir, "session.wal")
+
+	scfg := core.SessionConfig{
+		Seed:     cfg.Seed,
+		Clock:    simtime.NewScaled(cfg.Scale, core.DefaultOrigin),
+		FastBoot: true,
+	}
+	if journaled {
+		scfg.JournalPath = jp
+		// fsync batching on the compressed clock would fire every few
+		// microseconds of wall time; a simulated minute keeps it honest
+		// without busy-syncing.
+		scfg.JournalFlushEvery = time.Minute
+	}
+	sess, err := core.NewSession(scfg)
+	if err != nil {
+		return row, err
+	}
+
+	var pilots []*pilot.Pilot
+	for i := 0; i < 2; i++ {
+		p, err := sess.PilotManager().Submit(spec.PilotDescription{
+			Platform: "delta", Cores: 128, GPUs: 8,
+		})
+		if err != nil {
+			return row, err
+		}
+		sess.TaskManager().AddPilot(p)
+		sess.ServiceManager().AddPilot(p)
+		pilots = append(pilots, p)
+	}
+
+	svc, err := sess.ServiceManager().Submit(spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{Name: "svc", Cores: 1},
+		Model:           "noop",
+		ProbeInterval:   time.Hour,
+		StartTimeout:    time.Hour,
+	})
+	if err != nil {
+		return row, err
+	}
+	if err := svc.WaitReady(ctx); err != nil {
+		return row, err
+	}
+	row.ServicesLive = 1
+
+	taskDesc := func(i int) spec.TaskDescription {
+		d := spec.TaskDescription{
+			Name: fmt.Sprintf("work-%d", i), Cores: 1,
+			Duration: rng.ConstDuration(4 * time.Hour),
+		}
+		if point == FaultMidFailover {
+			// The first pilot dies at this fault point; pinning the fleet
+			// to the survivor keeps the reattach count exact instead of
+			// racing the old session's own re-routing against the crash.
+			d.Pilot = pilots[1].UID()
+		}
+		return d
+	}
+	var tasks []*core.Task
+	for i := 0; i < cfg.Tasks; i++ {
+		ts, err := sess.TaskManager().Submit(ctx, taskDesc(i))
+		if err != nil {
+			return row, err
+		}
+		tasks = append(tasks, ts...)
+	}
+	row.TasksInFlight = cfg.Tasks
+	// Let every task reach RUNNING before arming the fault: in-flight
+	// grants would otherwise append transitions that race the trigger for
+	// the crash record.
+	if err := awaitAllRunning(ctx, tasks); err != nil {
+		return row, err
+	}
+
+	// Arm the fault and trigger it.
+	crashed := make(chan struct{})
+	var armed atomic.Bool
+	if journaled {
+		jw := sess.Journal()
+		jw.OnCrash(func() {
+			sess.Abandon()
+			close(crashed)
+		})
+		jw.SetCrashHook(func(rec journal.Record) journal.CrashMode {
+			if !armed.Load() {
+				return journal.NoCrash
+			}
+			switch point {
+			case FaultMidTransition:
+				if rec.Kind == journal.KindTransition {
+					return journal.CrashTorn
+				}
+			case FaultMidPublish:
+				if rec.Kind == journal.KindEndpoint && endpointOp(rec) == journal.OpPublish {
+					return journal.CrashLost
+				}
+			case FaultMidFailover:
+				if rec.Kind == journal.KindEndpoint && endpointOp(rec) == journal.OpSuspend {
+					return journal.CrashLost
+				}
+			}
+			return journal.NoCrash
+		})
+	}
+	armed.Store(true)
+
+	switch point {
+	case FaultMidTransition:
+		// The trigger task's first state transition is the crash record.
+		if _, err := sess.TaskManager().Submit(ctx, spec.TaskDescription{
+			Name: "trigger", Cores: 1, Duration: rng.ConstDuration(4 * time.Hour),
+		}); err != nil {
+			return row, err
+		}
+		row.TasksInFlight++
+	case FaultMidPublish:
+		// A second service's bootstrap publication is the crash record.
+		if _, err := sess.ServiceManager().Submit(spec.ServiceDescription{
+			TaskDescription: spec.TaskDescription{Name: "svc2", Cores: 1},
+			Model:           "noop",
+			ProbeInterval:   time.Hour,
+			StartTimeout:    time.Hour,
+		}); err != nil {
+			return row, err
+		}
+		row.ServicesLive++
+	case FaultMidFailover:
+		// Kill the service host: the watcher's suspend is the crash record.
+		if err := pilots[0].Shutdown(); err != nil {
+			return row, err
+		}
+	default:
+		return row, fmt.Errorf("unknown fault point %q", point)
+	}
+
+	if journaled {
+		select {
+		case <-crashed:
+		case <-time.After(60 * time.Second):
+			return row, fmt.Errorf("fault point %s never fired", point)
+		case <-ctx.Done():
+			return row, ctx.Err()
+		}
+	} else {
+		// No journal, no fault hook: the client dies at the same logical
+		// point, taking all campaign state with it.
+		if point == FaultMidPublish {
+			// Give the trigger service's bootstrap the same head start the
+			// journaled run gets from its crash hook.
+			waitSvcCount(sess, 2)
+		}
+		sess.Abandon()
+	}
+
+	// Recovery. The journal-less contrast recovers from the path its
+	// session never wrote: total loss, by construction.
+	s2, rep, err := core.Recover(jp, core.RecoverConfig{})
+	if err != nil {
+		if journaled {
+			return row, err
+		}
+		return row, nil // expected: nothing to recover from
+	}
+	defer s2.Close()
+	row.Recovered = true
+	row.Incarnation = rep.Incarnation
+	row.TornTail = rep.Stats.TornTail
+	row.PilotsAlive = len(rep.PilotsAlive)
+	row.PilotsLost = len(rep.PilotsLost)
+	row.TasksReattached = len(rep.TasksReattached)
+	row.TasksRerouted = len(rep.TasksRerouted)
+	row.TasksSettled = len(rep.TasksSettled)
+	row.ServicesReattached = len(rep.ServicesReattached)
+	row.ServicesReplaced = len(rep.ServicesReplaced)
+	row.ServicesSettled = len(rep.ServicesSettled)
+
+	// Resume the campaign: every recovered task must run to DONE.
+	waitCtx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	if err := s2.TaskManager().Wait(waitCtx); err != nil {
+		return row, fmt.Errorf("post-recovery wait: %w", err)
+	}
+	for _, t := range s2.TaskManager().Tasks() {
+		if t.State() == states.TaskDone {
+			row.TasksCompleted++
+		}
+	}
+	return row, nil
+}
+
+// awaitAllRunning polls (real time, bounded) until every task reports
+// RUNNING.
+func awaitAllRunning(ctx context.Context, tasks []*core.Task) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for _, t := range tasks {
+		for t.State() != states.TaskExecuting {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("task %s stuck in %s before the fault", t.UID(), t.State())
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// waitSvcCount polls until the session manages n services (bounded).
+func waitSvcCount(sess *core.Session, n int) {
+	deadline := time.Now().Add(10 * time.Second)
+	for len(sess.ServiceManager().Services()) < n && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// endpointOp decodes the op of a KindEndpoint record ("" on mismatch).
+func endpointOp(rec journal.Record) string {
+	var b journal.EndpointBody
+	if err := json.Unmarshal(rec.Body, &b); err != nil {
+		return ""
+	}
+	return b.Op
+}
+
+// Table renders the crash-recovery ablation.
+func (r *CrashRecResult) Table() metrics.Table {
+	t := metrics.Table{
+		Title: fmt.Sprintf(
+			"Crash-recovery ablation — client killed at three fault points, %d tasks + services across 2 pilots (journal vs none)",
+			r.Cfg.Tasks),
+		Header: []string{"fault point", "journal", "recovered", "incarnation", "torn tail",
+			"pilots alive/lost", "tasks reattach/reroute/settle", "svcs reattach/replace/settle", "tasks completed"},
+	}
+	for _, row := range r.Rows {
+		mode := "none"
+		if row.Journaled {
+			mode = "wal"
+		}
+		rec := "lost"
+		if row.Recovered {
+			rec = "yes"
+		}
+		t.AddRow(row.FaultPoint, mode, rec,
+			fmt.Sprintf("%d", row.Incarnation),
+			fmt.Sprintf("%v", row.TornTail),
+			fmt.Sprintf("%d/%d", row.PilotsAlive, row.PilotsLost),
+			fmt.Sprintf("%d/%d/%d", row.TasksReattached, row.TasksRerouted, row.TasksSettled),
+			fmt.Sprintf("%d/%d/%d", row.ServicesReattached, row.ServicesReplaced, row.ServicesSettled),
+			fmt.Sprintf("%d/%d", row.TasksCompleted, row.TasksInFlight))
+	}
+	return t
+}

@@ -1,0 +1,387 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/states"
+)
+
+func openTestWriter(t *testing.T) *Writer {
+	t.Helper()
+	w, err := Open(Config{
+		Path:  filepath.Join(t.TempDir(), "session.journal"),
+		Clock: simtime.NewReal(),
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w
+}
+
+func mustAppend(t *testing.T, w *Writer, kind Kind, body any) {
+	t.Helper()
+	if err := w.Append(kind, body); err != nil {
+		t.Fatalf("Append %s: %v", kind, err)
+	}
+}
+
+// writeBasicJournal appends a session, one pilot, one task with a full
+// happy-path transition history, and one service with a publication.
+func writeBasicJournal(t *testing.T, w *Writer) {
+	t.Helper()
+	mustAppend(t, w, KindSession, SessionBody{UID: "session.0001", Seed: 42, Incarnation: 1})
+	mustAppend(t, w, KindPilot, PilotBody{UID: "p1", Desc: spec.PilotDescription{UID: "p1", Platform: "r3", Nodes: 2}})
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "pilot", UID: "p1", From: "NEW", To: "PMGR_LAUNCHING"})
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "pilot", UID: "p1", From: "PMGR_LAUNCHING", To: "PMGR_ACTIVE"})
+	mustAppend(t, w, KindTask, TaskBody{UID: "t1", Desc: spec.TaskDescription{
+		UID: "t1", Cores: 1, Duration: rng.ConstDuration(3 * time.Second),
+	}})
+	mustAppend(t, w, KindBind, BindBody{Entity: "task", UID: "t1", Pilot: "p1"})
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "task", UID: "t1", From: "NEW", To: "TMGR_SCHEDULING"})
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "task", UID: "t1", From: "TMGR_SCHEDULING", To: "AGENT_STAGING_INPUT"})
+	mustAppend(t, w, KindService, ServiceBody{UID: "s1", Desc: spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{UID: "s1", Cores: 1},
+		Model:           "noop",
+	}})
+	mustAppend(t, w, KindBind, BindBody{Entity: "service", UID: "s1", Pilot: "p1"})
+	mustAppend(t, w, KindEndpoint, EndpointBody{
+		Op: OpPublish, UID: "s1",
+		Endpoint:   proto.Endpoint{ServiceUID: "s1", Model: "noop", Address: "p1.s1", Incarnation: 1},
+		Generation: 1,
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	w := openTestWriter(t)
+	writeBasicJournal(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	snap, stats, err := ReplayFile(w.Path())
+	if err != nil {
+		t.Fatalf("ReplayFile: %v", err)
+	}
+	if stats.Records != 11 || stats.Applied != 11 || stats.Skipped != 0 || stats.Invalid != 0 {
+		t.Fatalf("stats = %+v, want 11 records all applied", stats)
+	}
+	if stats.TornTail {
+		t.Fatal("clean journal reported a torn tail")
+	}
+	if snap.Session.UID != "session.0001" || snap.Session.Seed != 42 || snap.Session.Incarnation != 1 {
+		t.Fatalf("session body = %+v", snap.Session)
+	}
+	if len(snap.Pilots) != 1 || snap.Pilots[0].State != states.PilotActive {
+		t.Fatalf("pilots = %+v", snap.Pilots)
+	}
+	if len(snap.Tasks) != 1 || snap.Tasks[0].State != states.TaskStagingInput || snap.Tasks[0].Pilot != "p1" {
+		t.Fatalf("tasks = %+v", snap.Tasks[0])
+	}
+	svc := snap.Services[0]
+	if svc.Pilot != "p1" || svc.Generation != 1 || svc.Endpoint.Address != "p1.s1" || svc.Withdrawn || svc.Suspended {
+		t.Fatalf("service = %+v", svc)
+	}
+	// The journaled duration distribution must survive the round trip.
+	if got := snap.Tasks[0].Desc.Duration.Mean(); got != 3*time.Second {
+		t.Fatalf("task duration mean = %v, want 3s", got)
+	}
+}
+
+func TestReplayTruncatedTail(t *testing.T) {
+	w := openTestWriter(t)
+	writeBasicJournal(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data := readFile(t, w.Path())
+
+	// Cut the final record in half: replay must apply everything before it
+	// and flag — not fail on — the torn tail.
+	frames := frameOffsets(t, data)
+	last := frames[len(frames)-1]
+	cut := last + (len(data)-last)/2
+	snap, stats, err := Replay(data[:cut])
+	if err != nil {
+		t.Fatalf("Replay with torn tail: %v", err)
+	}
+	if !stats.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if stats.Records != 10 || stats.Applied != 10 || stats.Invalid != 0 {
+		t.Fatalf("stats = %+v, want 10 complete records applied", stats)
+	}
+	// The endpoint publication was the torn record: the service exists but
+	// has no publication.
+	if svc := snap.Services[0]; svc.Generation != 0 || svc.Endpoint.Address != "" {
+		t.Fatalf("torn publication leaked into snapshot: %+v", svc)
+	}
+}
+
+func TestReplayFlippedChecksumByte(t *testing.T) {
+	w := openTestWriter(t)
+	writeBasicJournal(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data := readFile(t, w.Path())
+
+	// Flip one payload byte in a mid-journal record: replay must fail
+	// (all-or-nothing) and count the record invalid.
+	frames := frameOffsets(t, data)
+	data[frames[3]+headerSize] ^= 0xff
+	snap, stats, err := Replay(data)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+	if snap != nil {
+		t.Fatal("corrupt journal produced a snapshot")
+	}
+	if stats.Invalid != 1 {
+		t.Fatalf("stats.Invalid = %d, want 1", stats.Invalid)
+	}
+	if stats.Records != 3 {
+		t.Fatalf("stats.Records = %d, want 3 records before the corrupt one", stats.Records)
+	}
+}
+
+func TestReplayDuplicateAndOutOfOrderTransitions(t *testing.T) {
+	w := openTestWriter(t)
+	mustAppend(t, w, KindSession, SessionBody{UID: "s", Incarnation: 1})
+	mustAppend(t, w, KindTask, TaskBody{UID: "t1", Desc: spec.TaskDescription{UID: "t1", Cores: 1}})
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "task", UID: "t1", From: "NEW", To: "TMGR_SCHEDULING"})
+	// Exact duplicate: to == current.
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "task", UID: "t1", From: "NEW", To: "TMGR_SCHEDULING"})
+	// Out of order: from does not match current state.
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "task", UID: "t1", From: "AGENT_SCHEDULING", To: "AGENT_EXECUTING"})
+	// Unknown UID.
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "task", UID: "ghost", From: "NEW", To: "TMGR_SCHEDULING"})
+	// Duplicate description.
+	mustAppend(t, w, KindTask, TaskBody{UID: "t1", Desc: spec.TaskDescription{UID: "t1", Cores: 1}})
+	// Illegal edge from the current state.
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "task", UID: "t1", From: "TMGR_SCHEDULING", To: "DONE"})
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	snap, stats, err := ReplayFile(w.Path())
+	if err != nil {
+		t.Fatalf("ReplayFile: %v", err)
+	}
+	if stats.Records != 8 || stats.Applied != 3 || stats.Skipped != 5 {
+		t.Fatalf("stats = %+v, want 8 records / 3 applied / 5 skipped", stats)
+	}
+	want := map[string]int{
+		"duplicate-transition":    1,
+		"out-of-order-transition": 1,
+		"transition-unknown-uid":  1,
+		"duplicate-desc":          1,
+		"illegal-transition":      1,
+	}
+	for reason, n := range want {
+		if stats.SkipReasons[reason] != n {
+			t.Fatalf("SkipReasons[%s] = %d, want %d (all: %v)", reason, stats.SkipReasons[reason], n, stats.SkipReasons)
+		}
+	}
+	if snap.Tasks[0].State != states.TaskTmgrScheduling {
+		t.Fatalf("task state = %s after skipped records, want TMGR_SCHEDULING", snap.Tasks[0].State)
+	}
+}
+
+func TestReplayMachineRestart(t *testing.T) {
+	// A re-placed service bootstraps a fresh machine under the same UID:
+	// after a final state, a transition from the model's initial state
+	// re-enters the model.
+	w := openTestWriter(t)
+	mustAppend(t, w, KindService, ServiceBody{UID: "s1", Desc: spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{UID: "s1", Cores: 1}, Model: "noop",
+	}})
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "service", UID: "s1", From: "NEW", To: "SMGR_SCHEDULING"})
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "service", UID: "s1", From: "SMGR_SCHEDULING", To: "FAILED"})
+	mustAppend(t, w, KindTransition, TransitionBody{Entity: "service", UID: "s1", From: "NEW", To: "SMGR_SCHEDULING"})
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	snap, stats, err := ReplayFile(w.Path())
+	if err != nil {
+		t.Fatalf("ReplayFile: %v", err)
+	}
+	if stats.Skipped != 0 {
+		t.Fatalf("restart transition skipped: %+v", stats)
+	}
+	if snap.Services[0].State != states.ServiceSmgrScheduling {
+		t.Fatalf("service state = %s, want SMGR_SCHEDULING after restart", snap.Services[0].State)
+	}
+}
+
+func TestWriterCrashModes(t *testing.T) {
+	t.Run("lost", func(t *testing.T) {
+		w := openTestWriter(t)
+		mustAppend(t, w, KindSession, SessionBody{UID: "s", Incarnation: 1})
+		fired := false
+		w.OnCrash(func() { fired = true })
+		w.SetCrashHook(func(rec Record) CrashMode {
+			if rec.Kind == KindTask {
+				return CrashLost
+			}
+			return NoCrash
+		})
+		if err := w.Append(KindTask, TaskBody{UID: "t1"}); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crashing append err = %v, want ErrCrashed", err)
+		}
+		if !fired {
+			t.Fatal("OnCrash did not fire")
+		}
+		if err := w.Append(KindTask, TaskBody{UID: "t2"}); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("post-crash append err = %v, want ErrCrashed", err)
+		}
+		_, stats, err := ReplayFile(w.Path())
+		if err != nil {
+			t.Fatalf("ReplayFile: %v", err)
+		}
+		if stats.Records != 1 || stats.TornTail {
+			t.Fatalf("stats = %+v, want exactly the pre-crash record", stats)
+		}
+	})
+
+	t.Run("torn", func(t *testing.T) {
+		w := openTestWriter(t)
+		mustAppend(t, w, KindSession, SessionBody{UID: "s", Incarnation: 1})
+		w.SetCrashHook(func(rec Record) CrashMode {
+			if rec.Kind == KindTask {
+				return CrashTorn
+			}
+			return NoCrash
+		})
+		if err := w.Append(KindTask, TaskBody{UID: "t1"}); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crashing append err = %v, want ErrCrashed", err)
+		}
+		_, stats, err := ReplayFile(w.Path())
+		if err != nil {
+			t.Fatalf("ReplayFile with torn tail: %v", err)
+		}
+		if stats.Records != 1 || !stats.TornTail {
+			t.Fatalf("stats = %+v, want 1 record plus a torn tail", stats)
+		}
+	})
+}
+
+func TestWriterClosedAndCrashIdempotent(t *testing.T) {
+	w := openTestWriter(t)
+	mustAppend(t, w, KindSession, SessionBody{UID: "s"})
+	w.Crash()
+	w.Crash() // idempotent
+	if !w.Crashed() {
+		t.Fatal("Crashed() = false after Crash")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close after Crash: %v", err)
+	}
+
+	w2 := openTestWriter(t)
+	if err := w2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := w2.Append(KindSession, SessionBody{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after Close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestFlusherSyncsOnClock(t *testing.T) {
+	clock := simtime.NewVirtual(time.Unix(0, 0))
+	w, err := Open(Config{
+		Path:       filepath.Join(t.TempDir(), "j"),
+		Clock:      clock,
+		FlushEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, w, KindSession, SessionBody{UID: "s"})
+	// Advance repeatedly: the flusher's ticker registers asynchronously,
+	// so a single advance could land before the ticker exists.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, syncs := w.Stats(); syncs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never synced after clock advance")
+		}
+		clock.Advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestMaxSeqSuffix(t *testing.T) {
+	uids := []string{"task.0001", "task.0007", "task.0003", "service.0002", "task.00x1"}
+	if got := MaxSeqSuffix(uids, "task."); got != 7 {
+		t.Fatalf("MaxSeqSuffix = %d, want 7", got)
+	}
+	if got := MaxSeqSuffix(uids, "pilot."); got != 0 {
+		t.Fatalf("MaxSeqSuffix no match = %d, want 0", got)
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	if _, _, err := DecodeRecord(nil); err == nil {
+		t.Fatal("empty buffer decoded")
+	}
+	// Oversized length prefix.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	if _, _, err := DecodeRecord(buf.Bytes()); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized prefix err = %v, want ErrTooLarge", err)
+	}
+}
+
+// frameOffsets returns the byte offset of every framed record in data.
+func frameOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	var offs []int
+	off := 0
+	for off < len(data) {
+		_, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			t.Fatalf("frameOffsets: decode at %d: %v", off, err)
+		}
+		offs = append(offs, off)
+		off += n
+	}
+	return offs
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return data
+}
+
+// sanity check that record bodies marshal cleanly (guards against adding
+// unmarshalable fields to the body structs).
+func TestBodiesMarshal(t *testing.T) {
+	for _, body := range []any{
+		SessionBody{}, PilotBody{}, TaskBody{}, ServiceBody{},
+		BindBody{}, TransitionBody{}, EndpointBody{},
+	} {
+		if _, err := json.Marshal(body); err != nil {
+			t.Fatalf("marshal %T: %v", body, err)
+		}
+	}
+}

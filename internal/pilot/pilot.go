@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/executor"
@@ -65,9 +66,32 @@ type Config struct {
 	// publish phase). The session installs its EndpointRegistry mirror
 	// here so local and re-placed services resolve session-wide.
 	OnServicePublish func(proto.Endpoint)
-	// StateCallback, when set, observes every task/service/pilot state
-	// transition (the Updater hook).
+	// StateCallback, when set, observes every task state transition (the
+	// Updater hook). It also observes pilot transitions when
+	// PilotStateCallback is unset.
 	StateCallback states.Callback
+	// PilotStateCallback, when set, observes the pilot's own lifecycle
+	// transitions (labeled as a pilot entity, not a task).
+	PilotStateCallback states.Callback
+	// ServiceStateCallback, when set, observes every service instance
+	// state transition on this pilot.
+	ServiceStateCallback states.Callback
+	// Attach registers the pilot in the package-level live registry so a
+	// recovered session (core.Recover) can reattach to it by UID. Pilots
+	// model remote machines that outlive a client crash; attachable pilots
+	// must carry session-scoped UIDs to avoid cross-session collisions.
+	Attach bool
+}
+
+// Hooks is the rebindable set of session-side observers of a pilot. A
+// recovered session calls Rebind to point a surviving pilot's callbacks at
+// the new session's Updater, journal and EndpointRegistry mirror; the
+// machines themselves keep running undisturbed.
+type Hooks struct {
+	PilotState       states.Callback
+	TaskState        states.Callback
+	ServiceState     states.Callback
+	OnServicePublish func(proto.Endpoint)
 }
 
 // Pilot is one acquired resource slice plus its agent.
@@ -91,9 +115,38 @@ type Pilot struct {
 	stopped  chan struct{}
 	stopOnce sync.Once
 
+	// hooks is the live session-side observer set. Machines register
+	// trampolines that read it per event, so Rebind atomically redirects
+	// every future callback to a recovered session.
+	hooks atomic.Pointer[Hooks]
+
 	mu    sync.Mutex
 	seq   int
 	tasks map[string]*Task
+}
+
+// Rebind redirects the pilot's session-side callbacks (state observers and
+// the endpoint-publication mirror) to h. Crash recovery uses it to adopt a
+// surviving pilot into the recovered session.
+func (p *Pilot) Rebind(h Hooks) { p.hooks.Store(&h) }
+
+// --- live registry ----------------------------------------------------------
+
+// The package-level live registry models the "remote machines" side of a
+// client crash: pilots launched with Config.Attach stay discoverable by
+// UID, so core.Recover can reattach where a real runtime would redial the
+// agent's network endpoint.
+var (
+	liveMu sync.Mutex
+	live   = make(map[string]*Pilot)
+)
+
+// Lookup returns the attached live pilot with the given UID, if any.
+func Lookup(uid string) (*Pilot, bool) {
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	p, ok := live[uid]
+	return p, ok
 }
 
 // Task is one managed compute task.
@@ -101,9 +154,23 @@ type Task struct {
 	desc    spec.TaskDescription
 	machine *states.Machine
 
+	// enqueued closes once the task is past wait-pool admission: the agent
+	// scheduler accepted its request (or the task settled without ever
+	// reaching the scheduler). Session-level ordered handoffs gate on it
+	// instead of polling the scheduler's snapshot.
+	enqueued chan struct{}
+	enqOnce  sync.Once
+
 	mu     sync.Mutex
 	result executor.Result
 }
+
+// Enqueued returns a channel closed once the task has been admitted to the
+// agent scheduler's wait pool (or settled without reaching it). It is the
+// scheduler-side acknowledgment ordered drain handoffs block on.
+func (t *Task) Enqueued() <-chan struct{} { return t.enqueued }
+
+func (t *Task) markEnqueued() { t.enqOnce.Do(func() { close(t.enqueued) }) }
 
 // UID returns the task UID.
 func (t *Task) UID() string { return t.machine.UID() }
@@ -152,9 +219,21 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 		stopped: make(chan struct{}),
 		tasks:   make(map[string]*Task),
 	}
-	if cfg.StateCallback != nil {
-		p.machine.OnTransition(cfg.StateCallback)
+	pilotCB := cfg.PilotStateCallback
+	if pilotCB == nil {
+		pilotCB = cfg.StateCallback
 	}
+	p.hooks.Store(&Hooks{
+		PilotState:       pilotCB,
+		TaskState:        cfg.StateCallback,
+		ServiceState:     cfg.ServiceStateCallback,
+		OnServicePublish: cfg.OnServicePublish,
+	})
+	p.machine.OnTransition(func(uid string, from, to states.State, at time.Time) {
+		if cb := p.hooks.Load().PilotState; cb != nil {
+			cb(uid, from, to, at)
+		}
+	})
 	if err := p.machine.To(states.PilotLaunching); err != nil {
 		return nil, err
 	}
@@ -186,25 +265,24 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 	p.exec = executor.New(cfg.Clock, cfg.Src.Derive(desc.UID+".exec"), launch)
 	p.stage = stager.NewManager(cfg.Clock, cfg.Src.Derive(desc.UID+".stage"))
 	p.reg = service.NewRegistry(cfg.Clock, cfg.Src.Derive(desc.UID+".reg"), cfg.PublishOverhead)
-	onPublish := cfg.OnServicePublish
-	if onPublish != nil {
-		inner := onPublish
-		stopped := p.stopped
-		// A publication from a pilot that has already stopped is stale by
-		// definition — the session is (or will be) re-placing the service
-		// elsewhere, and mirroring the dead address could overwrite the
-		// failover re-publication. Drop it at the source. (Best effort:
-		// this is a check-then-act against the stop signal, so a straggler
-		// can slip the instant before shutdown — the session's
-		// current-host check narrows the window further, and the failover
-		// re-publication supersedes anything that still slips both.)
-		onPublish = func(ep proto.Endpoint) {
-			select {
-			case <-stopped:
-				return
-			default:
-			}
-			inner(ep)
+	// A publication from a pilot that has already stopped is stale by
+	// definition — the session is (or will be) re-placing the service
+	// elsewhere, and mirroring the dead address could overwrite the
+	// failover re-publication. Drop it at the source. (Best effort: this
+	// is a check-then-act against the stop signal, so a straggler can slip
+	// the instant before shutdown — the session's current-host check
+	// narrows the window further, and the failover re-publication
+	// supersedes anything that still slips both.) The hook indirection
+	// lets a recovered session Rebind the mirror without restarting the
+	// pilot.
+	onPublish := func(ep proto.Endpoint) {
+		select {
+		case <-p.stopped:
+			return
+		default:
+		}
+		if cb := p.hooks.Load().OnServicePublish; cb != nil {
+			cb(ep)
 		}
 	}
 	svcMgr, err := service.NewManager(service.Config{
@@ -213,6 +291,11 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 		Registry: p.reg, OnPublish: onPublish, Stopped: p.stopped,
 		Platform:  cfg.Platform.Name(),
 		UIDPrefix: desc.UID + ".",
+		StateCallback: func(uid string, from, to states.State, at time.Time) {
+			if cb := p.hooks.Load().ServiceState; cb != nil {
+				cb(uid, from, to, at)
+			}
+		},
 	})
 	if err != nil {
 		p.release()
@@ -224,6 +307,11 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 	if err := p.machine.To(states.PilotActive); err != nil {
 		p.release()
 		return nil, err
+	}
+	if cfg.Attach {
+		liveMu.Lock()
+		live[desc.UID] = p
+		liveMu.Unlock()
 	}
 	return p, nil
 }
@@ -341,6 +429,14 @@ func (p *Pilot) Snapshot() scheduler.Snapshot { return p.sched.Snapshot() }
 // waiting for placement at that point fail with ErrPilotStopped.
 func (p *Pilot) Stopped() <-chan struct{} { return p.stopped }
 
+// Network returns the message network the pilot is wired to. A recovered
+// session adopts it so reattached services stay reachable at their
+// published addresses.
+func (p *Pilot) Network() *msgq.Network { return p.cfg.Net }
+
+// Clock returns the clock the pilot runs on.
+func (p *Pilot) Clock() simtime.Clock { return p.cfg.Clock }
+
 // SubmitTask validates d and drives it through the task lifecycle
 // asynchronously.
 func (p *Pilot) SubmitTask(ctx context.Context, d spec.TaskDescription) (*Task, error) {
@@ -355,10 +451,16 @@ func (p *Pilot) SubmitTask(ctx context.Context, d spec.TaskDescription) (*Task, 
 	if d.UID == "" {
 		d.UID = fmt.Sprintf("%s.task.%06d", p.machine.UID(), p.seq)
 	}
-	t := &Task{desc: d, machine: states.NewMachine(d.UID, states.TaskModel(), p.cfg.Clock)}
-	if p.cfg.StateCallback != nil {
-		t.machine.OnTransition(p.cfg.StateCallback)
+	t := &Task{
+		desc:     d,
+		machine:  states.NewMachine(d.UID, states.TaskModel(), p.cfg.Clock),
+		enqueued: make(chan struct{}),
 	}
+	t.machine.OnTransition(func(uid string, from, to states.State, at time.Time) {
+		if cb := p.hooks.Load().TaskState; cb != nil {
+			cb(uid, from, to, at)
+		}
+	})
 	p.tasks[d.UID] = t
 	p.mu.Unlock()
 
@@ -374,6 +476,9 @@ func (p *Pilot) runTask(ctx context.Context, t *Task) {
 		t.result.Err = err
 		t.mu.Unlock()
 		_ = t.machine.Fail()
+		// A settled task is past the enqueue question: release anyone
+		// waiting on the scheduler-side acknowledgment.
+		t.markEnqueued()
 	}
 	d := t.desc
 	if err := t.machine.To(states.TaskTmgrScheduling); err != nil {
@@ -407,6 +512,10 @@ func (p *Pilot) runTask(ctx context.Context, t *Task) {
 		fail(err)
 		return
 	}
+	// Wait-pool admission succeeded: acknowledge the enqueue. From here
+	// the scheduler owns the request, so an ordered drain behind this task
+	// can submit without racing the handoff order.
+	t.markEnqueued()
 	// abandon cancels the placement expectation. If the scheduler's
 	// router already committed a grant to this task (Cancel finds no
 	// waiter), exactly one placement is in flight on the buffered
@@ -520,6 +629,9 @@ func (p *Pilot) Shutdown() error {
 	if p.machine.Current() != states.PilotActive {
 		return fmt.Errorf("%w: %s", ErrNotActive, p.machine.Current())
 	}
+	liveMu.Lock()
+	delete(live, p.UID())
+	liveMu.Unlock()
 	p.stopOnce.Do(func() { close(p.stopped) })
 	p.svcMgr.Close()
 	p.sched.Close()

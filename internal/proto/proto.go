@@ -205,6 +205,12 @@ type Endpoint struct {
 	// cache an endpoint compare generations against the session endpoint
 	// registry to detect that their copy went stale and re-resolve.
 	Generation uint64 `json:"generation,omitempty"`
+	// Incarnation is the session incarnation that published the endpoint
+	// (minted per crash recovery). The session EndpointRegistry fences on
+	// it: a publication stamped with an incarnation below the fence is a
+	// zombie from before a recovery and is rejected, so it can never
+	// clobber its re-placed successor. Zero for journal-less sessions.
+	Incarnation uint64 `json:"incarnation,omitempty"`
 }
 
 // StateUpdate is the payload of a KindStateUpdate message.

@@ -16,6 +16,25 @@ import (
 // pointless.
 var ErrWithdrawn = errors.New("service: endpoint withdrawn")
 
+// ErrStaleIncarnation is returned by Publish when the endpoint's session
+// incarnation is below the registry fence: the publisher is a zombie from
+// before a crash recovery and must not clobber its re-placed successor.
+var ErrStaleIncarnation = errors.New("service: stale-incarnation publish rejected")
+
+// EndpointOp names a registry mutation, for observers (journaling).
+type EndpointOp string
+
+// Endpoint registry operations.
+const (
+	EndpointPublish  EndpointOp = "publish"
+	EndpointSuspend  EndpointOp = "suspend"
+	EndpointWithdraw EndpointOp = "withdraw"
+)
+
+// EndpointObserver observes committed registry mutations. It is called
+// under the registry lock — it must not call back into the registry.
+type EndpointObserver func(op EndpointOp, uid string, ep proto.Endpoint, gen uint64)
+
 // EndpointRegistry is the session-level endpoint registry — the authority
 // clients resolve a stable service UID against instead of caching a raw
 // endpoint. Where the per-pilot Registry models the paper's publication
@@ -38,6 +57,11 @@ var ErrWithdrawn = errors.New("service: endpoint withdrawn")
 type EndpointRegistry struct {
 	mu      sync.Mutex
 	entries map[string]*endpointEntry
+	// fence is the minimum session incarnation a publication must carry
+	// (crash recovery raises it; zero accepts everything, which keeps
+	// journal-less sessions — incarnation 0 throughout — unaffected).
+	fence    uint64
+	observer EndpointObserver
 }
 
 type endpointEntry struct {
@@ -57,8 +81,18 @@ func NewEndpointRegistry() *EndpointRegistry {
 // the new generation. Re-publication (failover onto a new pilot) bumps the
 // generation; a previously withdrawn UID may be published again (the
 // tombstone clears). Every waiter parked in AwaitLive/AwaitNewer wakes.
-func (r *EndpointRegistry) Publish(ep proto.Endpoint) uint64 {
+//
+// A publication stamped with a session incarnation below the registry
+// fence is rejected with ErrStaleIncarnation: after a crash recovery, a
+// zombie instance from the previous incarnation may still try to publish,
+// and letting it through would clobber the re-placed successor.
+func (r *EndpointRegistry) Publish(ep proto.Endpoint) (uint64, error) {
 	r.mu.Lock()
+	if ep.Incarnation < r.fence {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s at incarnation %d, fence %d",
+			ErrStaleIncarnation, ep.ServiceUID, ep.Incarnation, r.fence)
+	}
 	e := r.entries[ep.ServiceUID]
 	if e == nil {
 		e = &endpointEntry{}
@@ -71,8 +105,58 @@ func (r *EndpointRegistry) Publish(ep proto.Endpoint) uint64 {
 	e.withdrawn = false
 	gen := e.gen
 	r.wakeLocked(e)
+	if r.observer != nil {
+		r.observer(EndpointPublish, ep.ServiceUID, ep, gen)
+	}
 	r.mu.Unlock()
-	return gen
+	return gen, nil
+}
+
+// SetFence raises the minimum accepted publication incarnation. It only
+// moves forward; a lower value than the current fence is ignored.
+func (r *EndpointRegistry) SetFence(min uint64) {
+	r.mu.Lock()
+	if min > r.fence {
+		r.fence = min
+	}
+	r.mu.Unlock()
+}
+
+// Fence returns the current incarnation fence.
+func (r *EndpointRegistry) Fence() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fence
+}
+
+// SetObserver installs the registry's mutation observer (at most one; the
+// session journal). The observer runs under the registry lock and must
+// not re-enter the registry.
+func (r *EndpointRegistry) SetObserver(obs EndpointObserver) {
+	r.mu.Lock()
+	r.observer = obs
+	r.mu.Unlock()
+}
+
+// Restore seeds a UID's entry from a journal replay: the generation floor
+// (so the first post-recovery re-publish lands strictly newer than any
+// pre-crash client copy) and the withdrawn tombstone. It does not make the
+// entry live — only a real Publish does.
+func (r *EndpointRegistry) Restore(uid string, gen uint64, withdrawn bool) {
+	r.mu.Lock()
+	e := r.entries[uid]
+	if e == nil {
+		e = &endpointEntry{}
+		r.entries[uid] = e
+	}
+	if gen > e.gen {
+		e.gen = gen
+	}
+	if withdrawn {
+		e.withdrawn = true
+		r.wakeLocked(e)
+	}
+	r.mu.Unlock()
 }
 
 // Suspend marks a service's endpoint unresolvable without forgetting it:
@@ -85,6 +169,9 @@ func (r *EndpointRegistry) Suspend(uid string) {
 	r.mu.Lock()
 	if e := r.entries[uid]; e != nil {
 		e.live = false
+		if r.observer != nil {
+			r.observer(EndpointSuspend, uid, e.ep, e.gen)
+		}
 	}
 	r.mu.Unlock()
 }
@@ -102,6 +189,9 @@ func (r *EndpointRegistry) Withdraw(uid string) {
 	e.live = false
 	e.withdrawn = true
 	r.wakeLocked(e)
+	if r.observer != nil {
+		r.observer(EndpointWithdraw, uid, e.ep, e.gen)
+	}
 	r.mu.Unlock()
 }
 

@@ -23,7 +23,7 @@ func TestEndpointRegistryPublishResolveGenerations(t *testing.T) {
 	if _, _, ok := r.Resolve("svc"); ok {
 		t.Fatal("empty registry resolved")
 	}
-	if g := r.Publish(ep("svc", "a")); g != 1 {
+	if g, _ := r.Publish(ep("svc", "a")); g != 1 {
 		t.Fatalf("first publish gen = %d, want 1", g)
 	}
 	got, gen, ok := r.Resolve("svc")
@@ -31,7 +31,7 @@ func TestEndpointRegistryPublishResolveGenerations(t *testing.T) {
 		t.Fatalf("resolve = %+v gen=%d ok=%v", got, gen, ok)
 	}
 	// re-publication (failover) bumps the generation
-	if g := r.Publish(ep("svc", "b")); g != 2 {
+	if g, _ := r.Publish(ep("svc", "b")); g != 2 {
 		t.Fatalf("re-publish gen = %d, want 2", g)
 	}
 	got, gen, _ = r.Resolve("svc")
@@ -57,7 +57,7 @@ func TestEndpointRegistrySuspendHidesButKeepsGeneration(t *testing.T) {
 		t.Fatalf("All lists %d suspended endpoints", got)
 	}
 	// the re-publication is strictly newer than the pre-failover copy
-	if g := r.Publish(ep("svc", "b")); g != 2 {
+	if g, _ := r.Publish(ep("svc", "b")); g != 2 {
 		t.Fatalf("gen after suspend+publish = %d", g)
 	}
 }
@@ -380,5 +380,87 @@ func TestResolverSurfacesWithdrawal(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("resolver hung on a withdrawn service")
+	}
+}
+
+func TestEndpointRegistryIncarnationFence(t *testing.T) {
+	r := NewEndpointRegistry()
+	// Journal-less path: fence 0 accepts incarnation-0 publications.
+	if _, err := r.Publish(ep("svc", "a")); err != nil {
+		t.Fatalf("unfenced publish: %v", err)
+	}
+
+	r.SetFence(2)
+	if r.Fence() != 2 {
+		t.Fatalf("Fence = %d", r.Fence())
+	}
+	r.SetFence(1) // fences only move forward
+	if r.Fence() != 2 {
+		t.Fatalf("fence moved backwards: %d", r.Fence())
+	}
+
+	stale := ep("svc", "zombie")
+	stale.Incarnation = 1
+	if _, err := r.Publish(stale); !errors.Is(err, ErrStaleIncarnation) {
+		t.Fatalf("stale publish err = %v, want ErrStaleIncarnation", err)
+	}
+	if e, _, ok := r.Resolve("svc"); !ok || e.Address != "a" {
+		t.Fatalf("stale publish clobbered the entry: %+v ok=%v", e, ok)
+	}
+
+	fresh := ep("svc", "successor")
+	fresh.Incarnation = 2
+	if g, err := r.Publish(fresh); err != nil || g != 2 {
+		t.Fatalf("fresh publish gen=%d err=%v", g, err)
+	}
+}
+
+func TestEndpointRegistryObserverAndRestore(t *testing.T) {
+	r := NewEndpointRegistry()
+	type event struct {
+		op  EndpointOp
+		uid string
+		gen uint64
+	}
+	var events []event
+	r.SetObserver(func(op EndpointOp, uid string, e proto.Endpoint, gen uint64) {
+		events = append(events, event{op, uid, gen})
+	})
+	r.Publish(ep("svc", "a"))
+	r.Suspend("svc")
+	r.Publish(ep("svc", "b"))
+	r.Withdraw("svc")
+	want := []event{
+		{EndpointPublish, "svc", 1},
+		{EndpointSuspend, "svc", 1},
+		{EndpointPublish, "svc", 2},
+		{EndpointWithdraw, "svc", 2},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+
+	// Restore seeds a generation floor without making the entry live; the
+	// next publish lands strictly above the floor.
+	r2 := NewEndpointRegistry()
+	r2.Restore("svc", 3, false)
+	if _, _, ok := r2.Resolve("svc"); ok {
+		t.Fatal("restored entry resolved before a publish")
+	}
+	if g, err := r2.Publish(ep("svc", "c")); err != nil || g != 4 {
+		t.Fatalf("publish after restore gen=%d err=%v, want 4", g, err)
+	}
+	// Restored tombstone: Await fails immediately with ErrWithdrawn.
+	r3 := NewEndpointRegistry()
+	r3.Restore("gone", 2, true)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, _, err := r3.AwaitLive(ctx, "gone"); !errors.Is(err, ErrWithdrawn) {
+		t.Fatalf("await on restored tombstone err = %v, want ErrWithdrawn", err)
 	}
 }

@@ -76,6 +76,10 @@ type Config struct {
 	// DefaultStartTimeout bounds bootstrap when a description leaves
 	// StartTimeout zero. Default 10m.
 	DefaultStartTimeout time.Duration
+	// StateCallback, when set, observes every committed service state
+	// transition (registered on each instance machine at submission). The
+	// session hooks its state Updater and journal here.
+	StateCallback states.Callback
 }
 
 // Manager is the ServiceManager: it owns the lifecycle of every service
@@ -182,6 +186,31 @@ func (s *Instance) QueueDepth() int {
 	return srv.QueueDepth()
 }
 
+// Processed returns the number of requests the instance's server completed
+// (0 when not active).
+func (s *Instance) Processed() int64 {
+	s.mu.Lock()
+	srv := s.server
+	s.mu.Unlock()
+	if srv == nil {
+		return 0
+	}
+	return srv.Processed()
+}
+
+// Deduped returns the number of requests the instance's server answered
+// from its completed-request memory instead of re-executing (0 when not
+// active).
+func (s *Instance) Deduped() int64 {
+	s.mu.Lock()
+	srv := s.server
+	s.mu.Unlock()
+	if srv == nil {
+		return 0
+	}
+	return srv.Deduped()
+}
+
 // Kill simulates a service process crash: the backend stops answering, so
 // the next liveness probe marks the service FAILED. Used by failure
 // injection tests.
@@ -225,6 +254,9 @@ func (m *Manager) Submit(d spec.ServiceDescription) (*Instance, error) {
 		machine:   states.NewMachine(d.UID, states.ServiceModel(), m.cfg.Clock),
 		mgr:       m,
 		probeStop: make(chan struct{}),
+	}
+	if m.cfg.StateCallback != nil {
+		inst.machine.OnTransition(m.cfg.StateCallback)
 	}
 	m.services[d.UID] = inst
 	m.mu.Unlock()

@@ -81,7 +81,16 @@ type Config struct {
 	// scheduling overhead adds to the measured span, landing the total in
 	// the paper's sub-communication band.
 	ParseOverhead rng.DurationDist
+	// DedupWindow caps the number of completed request UIDs remembered for
+	// idempotent redelivery: a request whose UID matches a remembered
+	// completion is answered from the cache instead of re-executed, making
+	// resolver park-and-retry safe for non-idempotent backends. 0 selects
+	// DefaultDedupWindow; negative disables deduplication.
+	DedupWindow int
 }
+
+// DefaultDedupWindow is the default completed-request memory size.
+const DefaultDedupWindow = 1024
 
 // Server is one model-serving process.
 type Server struct {
@@ -99,6 +108,24 @@ type Server struct {
 	depth     atomic.Int64 // queued + executing requests
 	processed atomic.Int64
 	rejected  atomic.Int64
+	deduped   atomic.Int64
+
+	// dedupMu guards the completed-request memory (separate from s.mu:
+	// remember() runs on the worker goroutine while Submit holds s.mu).
+	// Replies live in a fixed-size FIFO ring and the map holds only ring
+	// indices: a reply struct is too large for direct map storage, so a
+	// map[string]reply would box every insert — and the round-trip alloc
+	// budget is pinned by a benchmark.
+	dedupMu   sync.Mutex
+	dedupDone map[string]int
+	dedupRing []dedupEntry
+	dedupNext int
+}
+
+// dedupEntry is one remembered completion in the dedup ring.
+type dedupEntry struct {
+	uid   string
+	reply proto.InferenceReply
 }
 
 type job struct {
@@ -136,7 +163,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ParseOverhead.IsZero() {
 		cfg.ParseOverhead = rng.NormalDuration(30*time.Microsecond, 10*time.Microsecond)
 	}
-	return &Server{cfg: cfg, queue: make(chan *job, cfg.QueueCap)}, nil
+	if cfg.DedupWindow == 0 {
+		cfg.DedupWindow = DefaultDedupWindow
+	}
+	s := &Server{cfg: cfg, queue: make(chan *job, cfg.QueueCap)}
+	if cfg.DedupWindow > 0 {
+		s.dedupDone = make(map[string]int, cfg.DedupWindow)
+		s.dedupRing = make([]dedupEntry, cfg.DedupWindow)
+	}
+	return s, nil
 }
 
 // UID returns the server's identifier.
@@ -200,6 +235,44 @@ func (s *Server) Processed() int64 { return s.processed.Load() }
 // Rejected returns the number of rejected requests.
 func (s *Server) Rejected() int64 { return s.rejected.Load() }
 
+// Deduped returns the number of requests answered from the completed-
+// request memory instead of re-executed.
+func (s *Server) Deduped() int64 { return s.deduped.Load() }
+
+// lookupDedup returns the remembered reply for a completed request UID.
+func (s *Server) lookupDedup(uid string) (proto.InferenceReply, bool) {
+	if s.dedupDone == nil || uid == "" {
+		return proto.InferenceReply{}, false
+	}
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	if idx, ok := s.dedupDone[uid]; ok {
+		return s.dedupRing[idx].reply, true
+	}
+	return proto.InferenceReply{}, false
+}
+
+// remember records a completed request for idempotent redelivery, evicting
+// the oldest entry past the window.
+func (s *Server) remember(uid string, reply proto.InferenceReply) {
+	if s.dedupDone == nil || uid == "" {
+		return
+	}
+	s.dedupMu.Lock()
+	if idx, exists := s.dedupDone[uid]; exists {
+		s.dedupRing[idx].reply = reply
+	} else {
+		slot := &s.dedupRing[s.dedupNext]
+		if slot.uid != "" {
+			delete(s.dedupDone, slot.uid)
+		}
+		slot.uid, slot.reply = uid, reply
+		s.dedupDone[uid] = s.dedupNext
+		s.dedupNext = (s.dedupNext + 1) % len(s.dedupRing)
+	}
+	s.dedupMu.Unlock()
+}
+
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
@@ -244,7 +317,7 @@ func (s *Server) serve(j *job) {
 	timing.RepliedAt = clock.Now()
 
 	s.processed.Add(1)
-	j.done <- proto.InferenceReply{
+	reply := proto.InferenceReply{
 		RequestUID:   j.req.RequestUID,
 		ServiceUID:   s.cfg.UID,
 		Model:        s.cfg.Backend.Name(),
@@ -253,6 +326,8 @@ func (s *Server) serve(j *job) {
 		OutputTokens: res.OutputTokens,
 		Timing:       timing,
 	}
+	s.remember(j.req.RequestUID, reply)
+	j.done <- reply
 }
 
 // Submit enqueues one request and blocks until its reply (or ctx expiry).
@@ -279,6 +354,18 @@ func (s *Server) Submit(ctx context.Context, req proto.InferenceRequest) (proto.
 		rejection = ErrNotReady
 	}
 	if rejection == nil {
+		// Idempotent redelivery: a request UID already served to
+		// completion is answered from memory — the client's first attempt
+		// raced a failover or a lost reply, and re-executing it would
+		// double-apply a non-idempotent backend. Checked after the state
+		// gate so a stopped server still rejects everything.
+		if reply, ok := s.lookupDedup(req.RequestUID); ok {
+			s.mu.Unlock()
+			s.deduped.Add(1)
+			j.req = proto.InferenceRequest{}
+			jobPool.Put(j)
+			return reply, nil
+		}
 		select {
 		case s.queue <- j:
 			s.depth.Add(1)

@@ -418,3 +418,105 @@ func TestStartAfterStop(t *testing.T) {
 		t.Fatalf("Start after Stop = %v, want ErrStopped", err)
 	}
 }
+
+func TestDedupWindowServesRedeliveryExactlyOnce(t *testing.T) {
+	s := newServer(t, "noop", 1)
+	start(t, s)
+	defer s.Stop()
+
+	first, err := s.Submit(context.Background(), req("dup-1", "p", 8))
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	// Redelivery of the same request UID (a resolver retry after a lost
+	// reply) must answer from memory, not re-execute.
+	second, err := s.Submit(context.Background(), req("dup-1", "p", 8))
+	if err != nil {
+		t.Fatalf("redelivery: %v", err)
+	}
+	if s.Processed() != 1 {
+		t.Fatalf("Processed = %d, want exactly 1 execution", s.Processed())
+	}
+	if s.Deduped() != 1 {
+		t.Fatalf("Deduped = %d, want 1", s.Deduped())
+	}
+	if second.RequestUID != first.RequestUID || second.Text != first.Text ||
+		second.Timing != first.Timing {
+		t.Fatalf("cached reply differs: %+v vs %+v", second, first)
+	}
+	// A fresh UID still executes.
+	if _, err := s.Submit(context.Background(), req("dup-2", "p", 8)); err != nil {
+		t.Fatalf("fresh submit: %v", err)
+	}
+	if s.Processed() != 2 || s.Deduped() != 1 {
+		t.Fatalf("after fresh UID: processed=%d deduped=%d", s.Processed(), s.Deduped())
+	}
+}
+
+func TestDedupWindowEviction(t *testing.T) {
+	spec, err := llm.Lookup("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simtime.NewScaled(100000, origin)
+	src := rng.New(7)
+	s, err := New(Config{
+		UID:         "service.0001",
+		Backend:     LLMBackend{M: llm.NewInstance(spec, clock, src.Derive("model"))},
+		Clock:       clock,
+		Src:         src.Derive("server"),
+		DedupWindow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start(t, s)
+	defer s.Stop()
+
+	for _, uid := range []string{"a", "b", "c"} { // "a" evicted at "c"
+		if _, err := s.Submit(context.Background(), req(uid, "p", 8)); err != nil {
+			t.Fatalf("submit %s: %v", uid, err)
+		}
+	}
+	if _, err := s.Submit(context.Background(), req("a", "p", 8)); err != nil {
+		t.Fatalf("resubmit evicted: %v", err)
+	}
+	if s.Processed() != 4 || s.Deduped() != 0 {
+		t.Fatalf("evicted UID deduped: processed=%d deduped=%d", s.Processed(), s.Deduped())
+	}
+	if _, err := s.Submit(context.Background(), req("c", "p", 8)); err != nil {
+		t.Fatalf("resubmit remembered: %v", err)
+	}
+	if s.Deduped() != 1 {
+		t.Fatalf("remembered UID not deduped: %d", s.Deduped())
+	}
+}
+
+func TestDedupDisabled(t *testing.T) {
+	spec, err := llm.Lookup("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simtime.NewScaled(100000, origin)
+	src := rng.New(7)
+	s, err := New(Config{
+		UID:         "service.0001",
+		Backend:     LLMBackend{M: llm.NewInstance(spec, clock, src.Derive("model"))},
+		Clock:       clock,
+		Src:         src.Derive("server"),
+		DedupWindow: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start(t, s)
+	defer s.Stop()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(context.Background(), req("same", "p", 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Processed() != 2 || s.Deduped() != 0 {
+		t.Fatalf("disabled dedup intercepted: processed=%d deduped=%d", s.Processed(), s.Deduped())
+	}
+}

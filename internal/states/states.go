@@ -155,6 +155,22 @@ func ServiceModel() *Model {
 	return newModel(EntityService, ServiceNew, edges, ServiceDone, ServiceFailed, ServiceCanceled)
 }
 
+// ModelFor returns the state model of an entity kind, or nil for an
+// unknown kind. Journal replay uses it to validate recorded transitions
+// against the same relation the live machines enforce.
+func ModelFor(e Entity) *Model {
+	switch e {
+	case EntityPilot:
+		return PilotModel()
+	case EntityTask:
+		return TaskModel()
+	case EntityService:
+		return ServiceModel()
+	default:
+		return nil
+	}
+}
+
 // Entity returns the model's entity kind.
 func (m *Model) Entity() Entity { return m.entity }
 
