@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -196,6 +197,16 @@ func Recover(journalPath string, cfg RecoverConfig) (*Session, *RecoveryReport, 
 		services: make(map[string]*Service),
 	}
 
+	// Cut the torn tail before reopening for append: the journal opens in
+	// O_APPEND mode, and new records written after a torn fragment would be
+	// swallowed as that fragment's payload on the next replay (its length
+	// prefix spans them), failing every later recovery with ErrChecksum.
+	if stats.TornTail {
+		if terr := os.Truncate(journalPath, stats.ValidBytes); terr != nil {
+			_ = s.updates.Close()
+			return nil, rep, fmt.Errorf("core: recover: truncate torn journal tail: %w", terr)
+		}
+	}
 	jw, err := journal.Open(journal.Config{
 		Path: journalPath, Clock: clock, FlushEvery: cfg.FlushEvery,
 	})

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/pilot"
 	"repro/internal/proto"
 	"repro/internal/rng"
@@ -402,6 +404,76 @@ func TestRecoverTwiceBumpsIncarnation(t *testing.T) {
 	}
 	if s3.UID() != s.UID() {
 		t.Fatalf("identity drifted: %s != %s", s3.UID(), s.UID())
+	}
+}
+
+// TestRecoverTornCrashTwice pins the torn-tail excision: the first
+// recovery after a mid-write crash must truncate the half-written record
+// before appending incarnation 2's records, or the fragment's length
+// prefix swallows them as its payload on the next replay and every later
+// recovery fails with ErrChecksum — permanently losing the session.
+func TestRecoverTornCrashTwice(t *testing.T) {
+	s, jp := newJournaledSession(t, 29)
+	submitAttachedPilot(t, s)
+
+	crashed := make(chan struct{})
+	jw := s.Journal()
+	jw.OnCrash(func() {
+		s.Abandon()
+		close(crashed)
+	})
+	var armed atomic.Bool
+	jw.SetCrashHook(func(rec journal.Record) journal.CrashMode {
+		if armed.Load() && rec.Kind == journal.KindTransition {
+			return journal.CrashTorn
+		}
+		return journal.NoCrash
+	})
+	armed.Store(true)
+	// The trigger task's first transition dies half-written.
+	if _, err := s.TaskManager().Submit(context.Background(), spec.TaskDescription{
+		Name: "trigger", Cores: 1, Duration: rng.ConstDuration(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-crashed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("torn crash never fired")
+	}
+
+	s2, rep2, err := Recover(jp, RecoverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Stats.TornTail {
+		t.Fatal("first recovery saw no torn tail")
+	}
+	// Append incarnation-2 records across the formerly-torn boundary, then
+	// die again.
+	post, err := s2.TaskManager().Submit(context.Background(), spec.TaskDescription{
+		Name: "post", Cores: 1, Duration: rng.ConstDuration(time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Abandon()
+
+	s3, rep3, err := Recover(jp, RecoverConfig{})
+	if err != nil {
+		t.Fatalf("second recovery after torn crash: %v", err)
+	}
+	defer s3.Close()
+	if rep3.Stats.TornTail {
+		t.Fatal("second recovery reported a torn tail after a clean Abandon")
+	}
+	if rep3.Incarnation != 3 || s3.UID() != s.UID() {
+		t.Fatalf("second recovery incarnation/UID = %d/%s, want 3/%s",
+			rep3.Incarnation, s3.UID(), s.UID())
+	}
+	// The incarnation-2 submission survived the boundary.
+	if _, ok := findTask(s3, post[0].UID()); !ok {
+		t.Fatal("incarnation-2 task lost across the second recovery")
 	}
 }
 

@@ -452,6 +452,13 @@ type ReplayStats struct {
 	// TornTail reports a truncated final record — the expected artifact
 	// of a crash mid-append, tolerated and not counted as invalid.
 	TornTail bool
+	// ValidBytes is the byte offset of the end of the valid record
+	// prefix; anything after it is the torn tail. A writer re-opening the
+	// journal for appending MUST truncate to this offset first when
+	// TornTail is set — appending after the torn fragment would make the
+	// fragment's length prefix consume the new records as its payload on
+	// the next replay, failing the whole journal with ErrChecksum.
+	ValidBytes int64
 	// SkipReasons counts skips by reason.
 	SkipReasons map[string]int
 }
@@ -553,6 +560,7 @@ func Replay(data []byte) (*Snapshot, *ReplayStats, error) {
 			return nil, stats, fmt.Errorf("journal: record at offset %d: %w", off, err)
 		}
 		off += n
+		stats.ValidBytes = int64(off)
 		stats.Records++
 		if err := apply(rec, snap, pilots, tasks, services, stats); err != nil {
 			stats.Invalid++

@@ -120,6 +120,15 @@ func TestReplayTruncatedTail(t *testing.T) {
 	if stats.Records != 10 || stats.Applied != 10 || stats.Invalid != 0 {
 		t.Fatalf("stats = %+v, want 10 complete records applied", stats)
 	}
+	// ValidBytes marks exactly where the torn fragment begins, so a writer
+	// can truncate to it and append safely.
+	if stats.ValidBytes != int64(last) {
+		t.Fatalf("ValidBytes = %d, want %d (start of torn record)", stats.ValidBytes, last)
+	}
+	if snap2, stats2, err := Replay(append(data[:stats.ValidBytes:stats.ValidBytes], data[last:]...)); err != nil ||
+		stats2.TornTail || len(snap2.Services) != 1 {
+		t.Fatalf("replay after truncate+re-append: snap=%+v stats=%+v err=%v", snap2, stats2, err)
+	}
 	// The endpoint publication was the torn record: the service exists but
 	// has no publication.
 	if svc := snap.Services[0]; svc.Generation != 0 || svc.Endpoint.Address != "" {

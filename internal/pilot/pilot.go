@@ -380,10 +380,23 @@ func (p *Pilot) acquire() error {
 }
 
 func (p *Pilot) release() {
+	// Every stop path — shutdown, launch failure, fault injection — runs
+	// through here, so this is also where an attached pilot leaves the
+	// package-level live registry: a pilot that stops outside the Shutdown
+	// happy path must not pin its object graph for the process lifetime.
+	p.detach()
 	for _, a := range p.allocs {
 		a.Release()
 	}
 	p.allocs = nil
+}
+
+// detach removes the pilot from the package-level live registry
+// (idempotent; a no-op for pilots launched without Config.Attach).
+func (p *Pilot) detach() {
+	liveMu.Lock()
+	delete(live, p.desc.UID)
+	liveMu.Unlock()
 }
 
 // UID returns the pilot UID.
@@ -629,9 +642,9 @@ func (p *Pilot) Shutdown() error {
 	if p.machine.Current() != states.PilotActive {
 		return fmt.Errorf("%w: %s", ErrNotActive, p.machine.Current())
 	}
-	liveMu.Lock()
-	delete(live, p.UID())
-	liveMu.Unlock()
+	// Leave the live registry before the stop signal propagates, so a
+	// concurrent Recover cannot adopt a pilot that is mid-teardown.
+	p.detach()
 	p.stopOnce.Do(func() { close(p.stopped) })
 	p.svcMgr.Close()
 	p.sched.Close()

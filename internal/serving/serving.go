@@ -86,6 +86,14 @@ type Config struct {
 	// completion is answered from the cache instead of re-executed, making
 	// resolver park-and-retry safe for non-idempotent backends. 0 selects
 	// DefaultDedupWindow; negative disables deduplication.
+	//
+	// Scope: the memory is per server instance. Retries that land on the
+	// same surviving instance (lost reply, suspend/resume of its
+	// registration) dedup; after a failover re-placement the replacement
+	// starts with empty memory, so a request that completed on the dead
+	// instance re-executes there — at-most-once per instance, not
+	// exactly-once across instances. A retry racing a still-in-flight
+	// first attempt also re-executes: only completions are remembered.
 	DedupWindow int
 }
 
