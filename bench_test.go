@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/loadbal"
+	"repro/internal/loadgen"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/proto"
@@ -774,5 +775,66 @@ func BenchmarkAblationRoute(b *testing.B) {
 			}
 			b.ReportMetric(float64(fatDone)/float64(b.N), "fat-done")
 		})
+	}
+}
+
+// --- Open-loop load harness (PR 7) ------------------------------------------
+
+// BenchmarkAblationLoad runs the loadgen scenario catalog — steady,
+// diurnal wave, hotspot skew, straggler backend, mid-stream pilot churn —
+// as full open-loop campaigns on the virtual clock. Counts are exact and
+// asserted (offered == catalog request budget, nothing lost); reported
+// metrics carry the harness's headline numbers: wall-clock request
+// throughput, virtual-time makespan, and the fixed sketch footprint.
+func BenchmarkAblationLoad(b *testing.B) {
+	for _, sc := range loadgen.Catalog() {
+		sc := sc
+		b.Run(sc.Name, func(b *testing.B) {
+			var wall time.Duration
+			var last *loadgen.Result
+			for i := 0; i < b.N; i++ {
+				res, err := loadgen.Run(context.Background(), sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Offered != int64(sc.Requests) || res.Completed+res.Failed != res.Offered {
+					b.Fatalf("%s: offered=%d completed=%d failed=%d (budget %d)",
+						sc.Name, res.Offered, res.Completed, res.Failed, sc.Requests)
+				}
+				wall += res.Wall
+				last = res
+			}
+			b.ReportMetric(float64(last.Offered)*float64(b.N)/wall.Seconds(), "req/s")
+			b.ReportMetric(last.Duration.Seconds(), "sim-s")
+			b.ReportMetric(float64(last.SketchBytes), "sketch-B")
+		})
+	}
+}
+
+// BenchmarkLoadMillionSteady is the acceptance campaign: one million
+// Poisson arrivals driven through the full session/router/resolver stack
+// on the virtual clock. The run must finish in under 30 s of wall time,
+// and the latency sketch's footprint must stay what it was at 10^4
+// requests — fixed memory, bounded relative error, no reservoir.
+func BenchmarkLoadMillionSteady(b *testing.B) {
+	sc := loadgen.Scenario{
+		Name: "steady-1M", Kind: loadgen.KindSteady,
+		Requests: 1_000_000, Rate: 2000, Services: 4, Seed: 7,
+		Interval: time.Minute,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := loadgen.Run(context.Background(), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Offered != 1_000_000 || res.Completed != 1_000_000 || res.Failed != 0 {
+			b.Fatalf("counts: offered=%d completed=%d failed=%d", res.Offered, res.Completed, res.Failed)
+		}
+		if res.Wall > 30*time.Second {
+			b.Fatalf("campaign took %v wall, acceptance bound is 30s", res.Wall)
+		}
+		b.ReportMetric(float64(res.Offered)/res.Wall.Seconds(), "req/s")
+		b.ReportMetric(res.Duration.Seconds(), "sim-s")
+		b.ReportMetric(float64(res.SketchBytes), "sketch-B")
 	}
 }

@@ -17,6 +17,7 @@
 //	rpexp -exp route -router capacity-fit
 //	rpexp -exp svcfail -platform hetero
 //	rpexp -exp crashrec
+//	rpexp -exp load -scenarios steady,churn
 package main
 
 import (
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|crashrec|table1|table2|all")
+	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|crashrec|load|table1|table2|all")
 	deploy := flag.String("deploy", "both", "deployment for exp 2/3: local|remote|both")
 	scaling := flag.String("scaling", "both", "scaling for exp 2/3: strong|weak|both")
 	counts := flag.String("counts", "", "comma-separated instance counts for exp 1 (default: paper sweep)")
@@ -44,6 +45,7 @@ func main() {
 	rt := flag.String("router", "", "session task router: round-robin|least-loaded|capacity-fit, optionally +retry (default round-robin; for -exp route it selects the single challenger row)")
 	plat := flag.String("platform", "hetero", "mixed-shape platform for the frag/route ablations")
 	churn := flag.Bool("churn", false, "steady-state fragmentation ablation: transient holders + arrival waves")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario name filter for -exp load (default: full catalog)")
 	flag.Parse()
 
 	if _, err := scheduler.PolicyByName(*sched); err != nil {
@@ -166,6 +168,24 @@ func main() {
 				cfg.Seed = *seed
 			}
 			res, err := experiments.RunSvcFail(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table().Render())
+			return nil
+		})
+	}
+	if want("load") {
+		run("Load matrix (open-loop campaigns on the virtual clock)", func() error {
+			cfg := experiments.DefaultLoadConfig()
+			cfg.ScenarioFilter = *scenarios
+			if *requests > 0 {
+				cfg.Requests = *requests
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			res, err := experiments.RunLoad(ctx, cfg)
 			if err != nil {
 				return err
 			}

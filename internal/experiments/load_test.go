@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+// TestLoadMatrixExactCounts runs the full catalog at reduced scale and
+// pins exact totals: the matrix row for every scenario must conserve
+// requests (completed + failed == offered) with zero failures, and the
+// churn scenario must show exactly its two re-placements.
+func TestLoadMatrixExactCounts(t *testing.T) {
+	cfg := LoadConfig{Requests: 4000, Seed: 7}
+	res, err := RunLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("matrix has %d rows, want 5", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Offered != 4000 {
+			t.Errorf("%s: offered %d, want exactly 4000", row.Scenario, row.Offered)
+		}
+		if row.Completed != 4000 || row.Failed != 0 {
+			t.Errorf("%s: completed=%d failed=%d, want 4000/0", row.Scenario, row.Completed, row.Failed)
+		}
+		wantRepl := 0
+		if row.Scenario == "churn" {
+			wantRepl = 2
+		}
+		if row.Replacements != wantRepl {
+			t.Errorf("%s: %d replacements, want %d", row.Scenario, row.Replacements, wantRepl)
+		}
+		wantTasks := int64(0)
+		if row.Scenario == "steady" {
+			wantTasks = 4 // 4000 requests / TaskEvery 1000
+		}
+		if row.TasksDone != wantTasks {
+			t.Errorf("%s: %d tasks done, want %d", row.Scenario, row.TasksDone, wantTasks)
+		}
+		if row.SketchBytes <= 0 || row.SketchBytes > 64<<10 {
+			t.Errorf("%s: sketch footprint %dB outside (0, 64KiB]", row.Scenario, row.SketchBytes)
+		}
+	}
+}
+
+// TestLoadMatrixFilter exercises the scenario filter and the override
+// plumbing.
+func TestLoadMatrixFilter(t *testing.T) {
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Requests:       500,
+		ScenarioFilter: "steady,hotspot",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("filtered matrix has %d rows, want 2", len(res.Rows))
+	}
+	if res.Rows[0].Scenario != "steady" || res.Rows[1].Scenario != "hotspot" {
+		t.Errorf("filtered scenarios %q, %q; want steady, hotspot", res.Rows[0].Scenario, res.Rows[1].Scenario)
+	}
+	if _, err := RunLoad(context.Background(), LoadConfig{ScenarioFilter: "nonexistent"}); err == nil {
+		t.Error("filter matching nothing should error")
+	}
+}
+
+// TestLoadTableRender pins the matrix table's shape.
+func TestLoadTableRender(t *testing.T) {
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Scenarios: []loadgen.Scenario{
+			{Name: "steady", Kind: loadgen.KindSteady, Requests: 200, Rate: 1000, Services: 2, Seed: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table().Render()
+	for _, want := range []string{"Open-loop load matrix", "scenario", "offered", "p99", "sketch", "steady", "200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -69,3 +69,23 @@ func TestWriteCSVPropagatesErrors(t *testing.T) {
 		t.Fatal("row write failure swallowed")
 	}
 }
+
+// TestWriteCSVExact pins the collector export byte-for-byte — the
+// per-series locking rework must not perturb row order or formatting.
+func TestWriteCSVExact(t *testing.T) {
+	c := NewCollector()
+	c.Add("rt.service", 1500*time.Millisecond)
+	c.Add("rt.communication", 250*time.Microsecond)
+	c.Add("rt.service", 2*time.Second)
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,sample_idx,seconds\n" +
+		"rt.communication,0,0.000250000\n" +
+		"rt.service,0,1.500000000\n" +
+		"rt.service,1,2.000000000\n"
+	if buf.String() != want {
+		t.Fatalf("WriteCSV drifted:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}

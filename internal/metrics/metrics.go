@@ -86,43 +86,76 @@ func (s Stats) String() string {
 
 // Collector accumulates named duration series. It is safe for concurrent
 // use.
+//
+// Locking is per-series: the collector-level RWMutex only guards the name
+// map (read-locked on the hot path, write-locked to create a series), and
+// each series carries its own mutex around the sample append. Writers to
+// different series therefore never contend, which matters when a load
+// harness feeds millions of samples from many goroutines — under the old
+// single global mutex the collector itself was the bottleneck (see
+// BenchmarkCollectorContention).
 type Collector struct {
-	mu     sync.Mutex
-	series map[string][]time.Duration
+	mu     sync.RWMutex
+	series map[string]*sampleSeries
+}
+
+type sampleSeries struct {
+	mu   sync.Mutex
+	vals []time.Duration
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{series: make(map[string][]time.Duration)}
+	return &Collector{series: make(map[string]*sampleSeries)}
+}
+
+// get returns the named series, creating it on first use.
+func (c *Collector) get(name string) *sampleSeries {
+	c.mu.RLock()
+	s := c.series[name]
+	c.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s = c.series[name]; s == nil {
+		s = &sampleSeries{vals: make([]time.Duration, 0, 64)}
+		c.series[name] = s
+	}
+	return s
 }
 
 // Add appends v to the named series.
 func (c *Collector) Add(name string, v time.Duration) {
-	c.mu.Lock()
-	c.series[name] = append(c.series[name], v)
-	c.mu.Unlock()
+	s := c.get(name)
+	s.mu.Lock()
+	s.vals = append(s.vals, v)
+	s.mu.Unlock()
 }
 
 // AddAll appends every component of a breakdown, prefixing each component
 // name with prefix and a dot.
 func (c *Collector) AddAll(prefix string, components map[string]time.Duration) {
-	c.mu.Lock()
 	for k, v := range components {
-		name := prefix + "." + k
-		c.series[name] = append(c.series[name], v)
+		c.Add(prefix+"."+k, v)
 	}
-	c.mu.Unlock()
 }
 
 // Series returns a copy of the named series (nil when absent).
 func (c *Collector) Series(name string) []time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
 	s := c.series[name]
+	c.mu.RUnlock()
 	if s == nil {
 		return nil
 	}
-	return append([]time.Duration{}, s...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.vals == nil {
+		return nil
+	}
+	return append([]time.Duration{}, s.vals...)
 }
 
 // Stats computes summary statistics for the named series.
@@ -130,15 +163,21 @@ func (c *Collector) Stats(name string) Stats { return Compute(c.Series(name)) }
 
 // Count returns the number of samples in the named series.
 func (c *Collector) Count(name string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.series[name])
+	c.mu.RLock()
+	s := c.series[name]
+	c.mu.RUnlock()
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
 }
 
 // Names returns the sorted series names.
 func (c *Collector) Names() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.series))
 	for n := range c.series {
 		names = append(names, n)
@@ -149,23 +188,19 @@ func (c *Collector) Names() []string {
 
 // Merge folds other's series into c.
 func (c *Collector) Merge(other *Collector) {
-	other.mu.Lock()
-	snapshot := make(map[string][]time.Duration, len(other.series))
-	for k, v := range other.series {
-		snapshot[k] = append([]time.Duration{}, v...)
+	for _, name := range other.Names() {
+		vals := other.Series(name)
+		s := c.get(name)
+		s.mu.Lock()
+		s.vals = append(s.vals, vals...)
+		s.mu.Unlock()
 	}
-	other.mu.Unlock()
-	c.mu.Lock()
-	for k, v := range snapshot {
-		c.series[k] = append(c.series[k], v...)
-	}
-	c.mu.Unlock()
 }
 
 // Reset clears all series.
 func (c *Collector) Reset() {
 	c.mu.Lock()
-	c.series = make(map[string][]time.Duration)
+	c.series = make(map[string]*sampleSeries)
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// IntervalSeries aggregates a load campaign into fixed-width time buckets:
+// offered/completed/failed counts, peak queue depth, and a latency Sketch
+// per interval. It is the streaming replacement for collecting every
+// sample and sorting at the end — memory grows with campaign *duration*
+// (one row per interval), never with request count.
+//
+// Timestamps are bucketed relative to the origin passed to
+// NewIntervalSeries; events before the origin land in interval 0. An
+// IntervalSeries is not safe for concurrent use — campaign drivers on the
+// virtual clock are cooperatively serialized, and concurrent collectors
+// each own a series and Merge afterwards.
+type IntervalSeries struct {
+	origin time.Time
+	width  time.Duration
+	alpha  float64
+	rows   []*intervalAcc
+}
+
+type intervalAcc struct {
+	offered   int64
+	completed int64
+	failed    int64
+	queuePeak int64
+	sketch    *Sketch
+}
+
+// IntervalRow is one finished interval of an IntervalSeries.
+type IntervalRow struct {
+	Index         int           `json:"interval"`
+	Start         time.Duration `json:"start_s"` // offset from the series origin
+	Offered       int64         `json:"offered"`
+	Completed     int64         `json:"completed"`
+	Failed        int64         `json:"failed"`
+	QueuePeak     int64         `json:"queue_peak"`
+	OfferedRate   float64       `json:"offered_rate"`   // per second
+	CompletedRate float64       `json:"completed_rate"` // per second
+	P50           time.Duration `json:"p50_ms"`
+	P99           time.Duration `json:"p99_ms"`
+	Max           time.Duration `json:"max_ms"`
+	Mean          time.Duration `json:"mean_ms"`
+}
+
+// NewIntervalSeries returns a series bucketing events into width-sized
+// intervals starting at origin. Latency percentiles per interval use a
+// Sketch with relative-error bound alpha (≤ 0 selects DefaultSketchAlpha).
+func NewIntervalSeries(origin time.Time, width time.Duration, alpha float64) *IntervalSeries {
+	if width <= 0 {
+		panic("metrics: interval width must be positive")
+	}
+	return &IntervalSeries{origin: origin, width: width, alpha: alpha}
+}
+
+// Width returns the interval width.
+func (is *IntervalSeries) Width() time.Duration { return is.width }
+
+func (is *IntervalSeries) at(t time.Time) *intervalAcc {
+	idx := 0
+	if d := t.Sub(is.origin); d > 0 {
+		idx = int(d / is.width)
+	}
+	for len(is.rows) <= idx {
+		is.rows = append(is.rows, &intervalAcc{sketch: NewSketch(is.alpha)})
+	}
+	return is.rows[idx]
+}
+
+// Offered records one arrival at time t.
+func (is *IntervalSeries) Offered(t time.Time) { is.at(t).offered++ }
+
+// Completed records one successful completion at time t with latency d.
+func (is *IntervalSeries) Completed(t time.Time, d time.Duration) {
+	acc := is.at(t)
+	acc.completed++
+	acc.sketch.Observe(d)
+}
+
+// Failed records one failed request at time t.
+func (is *IntervalSeries) Failed(t time.Time) { is.at(t).failed++ }
+
+// ObserveQueue records an instantaneous queue depth at time t; the row
+// keeps the peak.
+func (is *IntervalSeries) ObserveQueue(t time.Time, depth int64) {
+	acc := is.at(t)
+	if depth > acc.queuePeak {
+		acc.queuePeak = depth
+	}
+}
+
+// Rows materializes the series, one row per interval from the origin to
+// the last interval that saw an event.
+func (is *IntervalSeries) Rows() []IntervalRow {
+	secs := is.width.Seconds()
+	rows := make([]IntervalRow, len(is.rows))
+	for i, acc := range is.rows {
+		rows[i] = IntervalRow{
+			Index:         i,
+			Start:         time.Duration(i) * is.width,
+			Offered:       acc.offered,
+			Completed:     acc.completed,
+			Failed:        acc.failed,
+			QueuePeak:     acc.queuePeak,
+			OfferedRate:   float64(acc.offered) / secs,
+			CompletedRate: float64(acc.completed) / secs,
+			P50:           acc.sketch.Quantile(0.50),
+			P99:           acc.sketch.Quantile(0.99),
+			Max:           acc.sketch.Max(),
+			Mean:          acc.sketch.Stats().Mean,
+		}
+	}
+	return rows
+}
+
+// Totals sums counts across all intervals.
+func (is *IntervalSeries) Totals() (offered, completed, failed int64) {
+	for _, acc := range is.rows {
+		offered += acc.offered
+		completed += acc.completed
+		failed += acc.failed
+	}
+	return
+}
+
+// Sketch merges every interval's latency sketch into one campaign-wide
+// sketch and returns it.
+func (is *IntervalSeries) Sketch() *Sketch {
+	all := NewSketch(is.alpha)
+	for _, acc := range is.rows {
+		all.Merge(acc.sketch) //nolint:errcheck // same alpha by construction
+	}
+	return all
+}
+
+// Merge folds other (same origin and width) into is.
+func (is *IntervalSeries) Merge(other *IntervalSeries) error {
+	if other == nil {
+		return nil
+	}
+	if other.width != is.width || !other.origin.Equal(is.origin) {
+		return fmt.Errorf("metrics: interval series mismatch: origin/width differ")
+	}
+	for i, acc := range other.rows {
+		for len(is.rows) <= i {
+			is.rows = append(is.rows, &intervalAcc{sketch: NewSketch(is.alpha)})
+		}
+		dst := is.rows[i]
+		dst.offered += acc.offered
+		dst.completed += acc.completed
+		dst.failed += acc.failed
+		if acc.queuePeak > dst.queuePeak {
+			dst.queuePeak = acc.queuePeak
+		}
+		if err := dst.sketch.Merge(acc.sketch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// intervalCSVHeader is the stable column order of WriteCSV. Golden-file
+// tests pin it; changing it is a breaking change for downstream parsers.
+const intervalCSVHeader = "interval,start_s,offered,completed,failed,queue_peak,offered_rate,completed_rate,p50_ms,p99_ms,max_ms,mean_ms\n"
+
+// WriteCSV emits one row per interval with a fixed header and column
+// order. Rates are per second; latencies are milliseconds with three
+// decimals.
+func (is *IntervalSeries) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, intervalCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range is.Rows() {
+		_, err := fmt.Fprintf(w, "%d,%.3f,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			r.Index, r.Start.Seconds(), r.Offered, r.Completed, r.Failed, r.QueuePeak,
+			r.OfferedRate, r.CompletedRate,
+			durMillis(r.P50), durMillis(r.P99), durMillis(r.Max), durMillis(r.Mean))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// intervalRowJSON mirrors IntervalRow with numeric units resolved
+// (seconds/milliseconds as floats) so the JSON is self-describing.
+type intervalRowJSON struct {
+	Interval      int     `json:"interval"`
+	StartS        float64 `json:"start_s"`
+	Offered       int64   `json:"offered"`
+	Completed     int64   `json:"completed"`
+	Failed        int64   `json:"failed"`
+	QueuePeak     int64   `json:"queue_peak"`
+	OfferedRate   float64 `json:"offered_rate"`
+	CompletedRate float64 `json:"completed_rate"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+}
+
+// WriteJSON emits the series as an indented JSON array, field order fixed
+// by the struct tags.
+func (is *IntervalSeries) WriteJSON(w io.Writer) error {
+	rows := is.Rows()
+	out := make([]intervalRowJSON, len(rows))
+	for i, r := range rows {
+		out[i] = intervalRowJSON{
+			Interval:      r.Index,
+			StartS:        round3(r.Start.Seconds()),
+			Offered:       r.Offered,
+			Completed:     r.Completed,
+			Failed:        r.Failed,
+			QueuePeak:     r.QueuePeak,
+			OfferedRate:   round3(r.OfferedRate),
+			CompletedRate: round3(r.CompletedRate),
+			P50Ms:         round3(durMillis(r.P50)),
+			P99Ms:         round3(durMillis(r.P99)),
+			MaxMs:         round3(durMillis(r.Max)),
+			MeanMs:        round3(durMillis(r.Mean)),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func durMillis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func round3(f float64) float64 {
+	return float64(int64(f*1000+0.5)) / 1000
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from current output")
+
+// goldenSeries builds a small deterministic series exercising every column:
+// multiple intervals, an empty middle interval, failures, and queue peaks.
+func goldenSeries() *IntervalSeries {
+	origin := time.Date(2025, 3, 17, 0, 0, 0, 0, time.UTC)
+	is := NewIntervalSeries(origin, 10*time.Second, DefaultSketchAlpha)
+	at := func(d time.Duration) time.Time { return origin.Add(d) }
+
+	// interval 0: three offered, two completed, one failed
+	is.Offered(at(1 * time.Second))
+	is.Offered(at(2 * time.Second))
+	is.Offered(at(3 * time.Second))
+	is.Completed(at(2*time.Second), 5*time.Millisecond)
+	is.Completed(at(4*time.Second), 7*time.Millisecond)
+	is.Failed(at(9 * time.Second))
+	is.ObserveQueue(at(3*time.Second), 4)
+	is.ObserveQueue(at(5*time.Second), 2)
+
+	// interval 1: empty (pinned as an all-zero row)
+
+	// interval 2: one offered/completed with a 2s latency
+	is.Offered(at(25 * time.Second))
+	is.Completed(at(27*time.Second), 2*time.Second)
+	is.ObserveQueue(at(26*time.Second), 1)
+	return is
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestIntervalSeriesGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSeries().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "interval_series.csv", buf.Bytes())
+}
+
+func TestIntervalSeriesGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSeries().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "interval_series.json", buf.Bytes())
+}
+
+func TestIntervalSeriesCounts(t *testing.T) {
+	is := goldenSeries()
+	offered, completed, failed := is.Totals()
+	if offered != 4 || completed != 3 || failed != 1 {
+		t.Fatalf("Totals = %d/%d/%d, want 4/3/1", offered, completed, failed)
+	}
+	rows := is.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Offered != 3 || rows[0].Completed != 2 || rows[0].Failed != 1 || rows[0].QueuePeak != 4 {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	if rows[1].Offered != 0 || rows[1].Completed != 0 || rows[1].QueuePeak != 0 {
+		t.Fatalf("row 1 must be empty: %+v", rows[1])
+	}
+	if rows[2].Start != 20*time.Second {
+		t.Fatalf("row 2 start = %v", rows[2].Start)
+	}
+	// rates: 3 offered over a 10s interval
+	if rows[0].OfferedRate != 0.3 || rows[0].CompletedRate != 0.2 {
+		t.Fatalf("row 0 rates = %v/%v", rows[0].OfferedRate, rows[0].CompletedRate)
+	}
+}
+
+func TestIntervalSeriesMerge(t *testing.T) {
+	origin := time.Date(2025, 3, 17, 0, 0, 0, 0, time.UTC)
+	mk := func() *IntervalSeries { return NewIntervalSeries(origin, time.Second, 0) }
+	a, b := mk(), mk()
+	a.Offered(origin)
+	a.Completed(origin, 10*time.Millisecond)
+	b.Offered(origin.Add(1500 * time.Millisecond))
+	b.Completed(origin.Add(1500*time.Millisecond), 30*time.Millisecond)
+	b.ObserveQueue(origin, 9)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	offered, completed, failed := a.Totals()
+	if offered != 2 || completed != 2 || failed != 0 {
+		t.Fatalf("merged Totals = %d/%d/%d", offered, completed, failed)
+	}
+	rows := a.Rows()
+	if len(rows) != 2 || rows[0].QueuePeak != 9 || rows[1].Offered != 1 {
+		t.Fatalf("merged rows = %+v", rows)
+	}
+	// width mismatch must refuse
+	c := NewIntervalSeries(origin, 2*time.Second, 0)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("width-mismatched Merge must error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSeriesCampaignSketch(t *testing.T) {
+	is := goldenSeries()
+	sk := is.Sketch()
+	if sk.Count() != 3 {
+		t.Fatalf("campaign sketch Count = %d, want 3 completions", sk.Count())
+	}
+	if sk.Min() != 5*time.Millisecond || sk.Max() != 2*time.Second {
+		t.Fatalf("campaign sketch min/max = %v/%v", sk.Min(), sk.Max())
+	}
+}

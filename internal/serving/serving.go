@@ -101,11 +101,26 @@ type Config struct {
 const DefaultDedupWindow = 1024
 
 // Server is one model-serving process.
+//
+// The request queue is an explicit FIFO under s.mu with direct handoff to
+// parked workers rather than a Go channel: when the server runs on a
+// runnability-accounting clock (simtime.RunnersOf, i.e. an auto-advancing
+// virtual clock), every park and wake must be told to the clock under the
+// same critical section that moves the job, or the discrete-event loop
+// could advance time while a handoff is still in flight. Direct handoff
+// also guarantees a wake token is consumed by exactly the worker it was
+// issued for, which a shared channel cannot (any worker may steal the
+// element).
 type Server struct {
-	cfg   Config
-	queue chan *job
+	cfg Config
+	// run is the clock's runnability accounting (nil on real/scaled
+	// clocks, where parks and wakes need no bookkeeping).
+	run simtime.Runners
 
 	mu       sync.Mutex
+	jobs     []*job      // queued, not yet picked up by a worker
+	waiters  []chan *job // parked workers, FIFO; each receives one job or nil
+	qclosed  bool        // no further jobs will be queued (Drain/Stop)
 	started  bool
 	ready    bool
 	draining bool
@@ -174,7 +189,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DedupWindow == 0 {
 		cfg.DedupWindow = DefaultDedupWindow
 	}
-	s := &Server{cfg: cfg, queue: make(chan *job, cfg.QueueCap)}
+	s := &Server{cfg: cfg, run: simtime.RunnersOf(cfg.Clock)}
 	if cfg.DedupWindow > 0 {
 		s.dedupDone = make(map[string]int, cfg.DedupWindow)
 		s.dedupRing = make([]dedupEntry, cfg.DedupWindow)
@@ -214,6 +229,14 @@ func (s *Server) Start() (time.Duration, error) {
 	s.loadTime = load
 	for i := 0; i < s.cfg.Concurrency; i++ {
 		s.workers.Add(1)
+		if s.run != nil {
+			// Register before spawn (the clock.Go rule): the runner token
+			// must exist before Start returns, or the auto-advancing clock
+			// could move time past workers the Go scheduler has not run yet
+			// — queued jobs would then stall for a scheduler-dependent span
+			// of virtual time, destroying both latency and determinism.
+			s.run.AddRunner()
+		}
 		go s.worker()
 	}
 	s.mu.Unlock()
@@ -283,7 +306,16 @@ func (s *Server) remember(uid string, reply proto.InferenceReply) {
 
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
+	if s.run != nil {
+		// The matching AddRunner ran in Start, before this goroutine was
+		// spawned — see the register-before-spawn comment there.
+		defer s.run.DoneRunner()
+	}
+	for {
+		j, ok := s.dequeue()
+		if !ok {
+			return
+		}
 		s.mu.Lock()
 		stopped := s.stopped
 		s.mu.Unlock()
@@ -292,15 +324,91 @@ func (s *Server) worker() {
 			// their Submit callers unblock.
 			s.depth.Add(-1)
 			s.rejected.Add(1)
-			j.done <- proto.InferenceReply{
+			s.reply(j, proto.InferenceReply{
 				RequestUID: j.req.RequestUID,
 				ServiceUID: s.cfg.UID,
 				Err:        ErrStopped.Error(),
-			}
+			})
 			continue
 		}
 		s.serve(j)
 	}
+}
+
+// dequeue returns the next job, parking the worker when the queue is
+// empty. Buffered jobs are drained even after qclosed (Drain semantics;
+// Stop's flush happens in the worker loop), and false means the worker
+// should exit. A parked worker is handed its job (or a nil close wakeup)
+// directly by the waker, which also issues the runnability wake token
+// under s.mu — see the Server doc comment.
+func (s *Server) dequeue() (*job, bool) {
+	for {
+		s.mu.Lock()
+		if len(s.jobs) > 0 {
+			j := s.jobs[0]
+			s.jobs = s.jobs[1:]
+			s.mu.Unlock()
+			return j, true
+		}
+		if s.qclosed {
+			s.mu.Unlock()
+			return nil, false
+		}
+		ch := make(chan *job, 1)
+		s.waiters = append(s.waiters, ch)
+		if s.run != nil {
+			s.run.Block()
+		}
+		s.mu.Unlock()
+		if j := <-ch; j != nil {
+			return j, true
+		}
+		// nil wakeup: the queue closed while we were parked; loop to
+		// observe qclosed under the lock.
+	}
+}
+
+// enqueueLocked hands j to a parked worker (direct handoff, issuing the
+// wake token) or appends it to the job buffer. It reports false when the
+// buffer is at capacity. Callers hold s.mu.
+func (s *Server) enqueueLocked(j *job) bool {
+	if len(s.waiters) > 0 {
+		ch := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if s.run != nil {
+			s.run.Unblock() // wake token: issued before the wake itself
+		}
+		ch <- j
+		return true
+	}
+	if len(s.jobs) >= s.cfg.QueueCap {
+		return false
+	}
+	s.jobs = append(s.jobs, j)
+	return true
+}
+
+// closeQueueLocked marks the queue closed and wakes every parked worker
+// with a nil job. Callers hold s.mu.
+func (s *Server) closeQueueLocked() {
+	s.qclosed = true
+	for _, ch := range s.waiters {
+		if s.run != nil {
+			s.run.Unblock()
+		}
+		ch <- nil
+	}
+	s.waiters = nil
+}
+
+// reply delivers the worker's single reply for j, issuing the requester's
+// wake token first so a runnability-accounting clock cannot advance while
+// the Submit caller's wakeup is in flight.
+func (s *Server) reply(j *job, r proto.InferenceReply) {
+	if s.run != nil {
+		s.run.Unblock()
+	}
+	j.done <- r
 }
 
 func (s *Server) serve(j *job) {
@@ -335,7 +443,7 @@ func (s *Server) serve(j *job) {
 		Timing:       timing,
 	}
 	s.remember(j.req.RequestUID, reply)
-	j.done <- reply
+	s.reply(j, reply)
 }
 
 // Submit enqueues one request and blocks until its reply (or ctx expiry).
@@ -343,9 +451,13 @@ func (s *Server) serve(j *job) {
 //
 // The enqueue happens under s.mu, in the same critical section as the
 // state check: Stop and Drain close the queue under the same lock, so an
-// accepted request can never race the channel close. (The send is
-// non-blocking — the lock is never held for longer than a buffered channel
-// send.)
+// accepted request can never race the close. On a runnability-accounting
+// clock the caller parks as Block'd while it waits; the worker's reply
+// carries the matching wake token. A caller that abandons the wait on ctx
+// expiry resumes unaccounted until that token lands — cancellation paths
+// trade a transient undercount (and with it strict determinism) for not
+// leaking the count, which is why deterministic campaigns submit with a
+// non-cancellable context.
 func (s *Server) Submit(ctx context.Context, req proto.InferenceRequest) (proto.InferenceReply, error) {
 	j := jobPool.Get().(*job)
 	j.req = req
@@ -374,10 +486,9 @@ func (s *Server) Submit(ctx context.Context, req proto.InferenceRequest) (proto.
 			jobPool.Put(j)
 			return reply, nil
 		}
-		select {
-		case s.queue <- j:
+		if s.enqueueLocked(j) {
 			s.depth.Add(1)
-		default:
+		} else {
 			rejection = ErrQueueFull
 		}
 	}
@@ -388,6 +499,9 @@ func (s *Server) Submit(ctx context.Context, req proto.InferenceRequest) (proto.
 		j.req = proto.InferenceRequest{}
 		jobPool.Put(j)
 		return proto.InferenceReply{}, rejection
+	}
+	if s.run != nil {
+		s.run.Block()
 	}
 	select {
 	case reply := <-j.done:
@@ -441,7 +555,7 @@ func (s *Server) Drain() {
 	s.draining = true
 	started := s.ready
 	if started {
-		close(s.queue) // under s.mu: serialized against Submit's enqueue
+		s.closeQueueLocked() // under s.mu: serialized against Submit's enqueue
 	}
 	s.mu.Unlock()
 	if started {
@@ -465,7 +579,7 @@ func (s *Server) Stop() {
 	s.stopped = true
 	s.ready = false
 	if wasReady {
-		close(s.queue) // under s.mu: serialized against Submit's enqueue
+		s.closeQueueLocked() // under s.mu: serialized against Submit's enqueue
 	}
 	s.mu.Unlock()
 }

@@ -1,0 +1,42 @@
+package simtime
+
+// Runners is the optional runnability-accounting interface of a Clock.
+// An auto-advancing Virtual clock only moves time forward when every
+// registered goroutine is parked, so components that hand work between
+// goroutines over channels must tell the clock about those handoffs:
+//
+//   - AddRunner/DoneRunner bracket the lifetime of a goroutine that
+//     participates in simulated time.
+//   - Block marks the calling registered goroutine as parked on something
+//     other than the clock (a channel receive, a WaitGroup); Unblock marks
+//     it runnable again. A goroutine that wakes another via a channel send
+//     calls Unblock on the sleeper's behalf (a wake token) so the clock
+//     never advances while a wakeup is still in flight.
+//
+// The contract is asymmetric by design: a transient overcount (an extra
+// Unblock before the matching Block lands) merely pauses advancement until
+// the counts settle, while an undercount would let the clock advance
+// concurrently with runnable goroutines and destroy determinism. Protocols
+// built on Runners therefore always issue the wake token before the wake
+// itself.
+type Runners interface {
+	// AddRunner registers the calling (or an about-to-start) goroutine.
+	AddRunner()
+	// DoneRunner deregisters a goroutine registered with AddRunner.
+	DoneRunner()
+	// Block marks the calling registered goroutine as not runnable.
+	Block()
+	// Unblock marks a registered goroutine as runnable again.
+	Unblock()
+}
+
+// RunnersOf returns c's runnability accounting when the clock keeps one
+// (a *Virtual; inert outside auto-advance mode), or nil for clocks that
+// advance on their own (Real, Scaled). Callers gate their accounting calls
+// on the nil check, so the same code runs unchanged on every clock.
+func RunnersOf(c Clock) Runners {
+	if r, ok := c.(Runners); ok {
+		return r
+	}
+	return nil
+}

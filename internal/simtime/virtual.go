@@ -24,6 +24,12 @@ type Virtual struct {
 	seq      uint64 // tiebreaker for equal deadlines: FIFO order
 	auto     bool
 	running  int // registered runnable goroutines (auto mode)
+	// sleeping counts pending blocksRunner sleepers (auto mode). The
+	// auto-advance loop only moves time while one exists: a Sleep waking
+	// is the only way firing can hand control back to a goroutine, so
+	// with none pending, advancing would just spin re-arming tickers —
+	// timers and tickers alone never pull time forward.
+	sleeping int
 }
 
 // NewVirtual returns a manually advanced virtual clock starting at origin.
@@ -144,6 +150,7 @@ func (v *Virtual) Sleep(d time.Duration) {
 	s := v.push(v.now.Add(d), 0)
 	if v.auto {
 		s.blocksRunner = true
+		v.sleeping++
 		v.running--
 		v.maybeAdvanceLocked()
 	}
@@ -272,17 +279,23 @@ func (v *Virtual) fireLocked(s *sleeper) {
 		heap.Push(&v.sleepers, s)
 	}
 	if v.auto && s.blocksRunner {
+		v.sleeping--
 		v.running++ // the woken Sleep caller becomes runnable again
 	}
 }
 
 // maybeAdvanceLocked advances to the next deadline when no registered
-// goroutine is runnable (auto mode only).
+// goroutine is runnable (auto mode only). It keeps firing only while a
+// Sleep-blocked goroutine is still pending: waking a Sleep is the only
+// fire that returns control to a goroutine, so without one the loop
+// would spin forever re-arming periodic tickers (and drag the clock to
+// infinity). Timers and tickers due before the earliest pending Sleep
+// still fire, in deadline order, on the way there.
 func (v *Virtual) maybeAdvanceLocked() {
 	if !v.auto {
 		return
 	}
-	for v.running <= 0 && v.sleepers.Len() > 0 {
+	for v.running <= 0 && v.sleeping > 0 && v.sleepers.Len() > 0 {
 		s := heap.Pop(&v.sleepers).(*sleeper)
 		v.now = s.deadline
 		v.fireLocked(s)
