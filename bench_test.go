@@ -838,3 +838,47 @@ func BenchmarkLoadMillionSteady(b *testing.B) {
 		b.ReportMetric(float64(res.SketchBytes), "sketch-B")
 	}
 }
+
+// --- Serving scalability (PR 8) ----------------------------------------------
+
+// BenchmarkAblationScale runs the serving-scalability ablation: the
+// vit-base offered-load sweep over the single / concurrent / batched
+// serving modes plus the diurnal fixed-vs-autoscaled replica pair. Every
+// count is exact (nothing rejected, nothing lost), and the two headline
+// claims are asserted on every run: continuous batching at least doubles
+// the saturated single-worker throughput, and the autoscaler beats the
+// fixed single replica's tail latency under the diurnal wave.
+func BenchmarkAblationScale(b *testing.B) {
+	cfg := experiments.DefaultScaleConfig()
+	cfg.Requests = 4000
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScale(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := make(map[string]experiments.ScaleRow, len(res.Rows))
+		for _, row := range res.Rows {
+			if row.Completed != row.Offered || row.Failed != 0 {
+				b.Fatalf("%s: offered=%d completed=%d failed=%d",
+					row.Config, row.Offered, row.Completed, row.Failed)
+			}
+			rows[row.Config] = row
+		}
+		single, batched := rows["single@8000"], rows["batched@8000"]
+		if batched.Throughput < 2*single.Throughput {
+			b.Fatalf("batched throughput %.0f/s not 2x saturated single %.0f/s",
+				batched.Throughput, single.Throughput)
+		}
+		fixed, scaled := rows["diurnal-fixed"], rows["diurnal-autoscaled"]
+		if scaled.P99 >= fixed.P99 {
+			b.Fatalf("autoscaled p99 %v not under fixed p99 %v", scaled.P99, fixed.P99)
+		}
+		if scaled.PeakReplicas < 2 {
+			b.Fatalf("autoscaler never scaled: peak replicas %d", scaled.PeakReplicas)
+		}
+		b.ReportMetric(batched.Throughput/single.Throughput, "batch-speedup")
+		b.ReportMetric(float64(scaled.PeakReplicas), "peak-reps")
+		b.ReportMetric(float64(scaled.P99.Milliseconds()), "auto-p99-ms")
+		b.ReportMetric(float64(fixed.P99.Milliseconds()), "fixed-p99-ms")
+	}
+}

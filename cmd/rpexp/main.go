@@ -18,6 +18,7 @@
 //	rpexp -exp svcfail -platform hetero
 //	rpexp -exp crashrec
 //	rpexp -exp load -scenarios steady,churn
+//	rpexp -exp scale
 package main
 
 import (
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|crashrec|load|table1|table2|all")
+	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|crashrec|load|scale|table1|table2|all")
 	deploy := flag.String("deploy", "both", "deployment for exp 2/3: local|remote|both")
 	scaling := flag.String("scaling", "both", "scaling for exp 2/3: strong|weak|both")
 	counts := flag.String("counts", "", "comma-separated instance counts for exp 1 (default: paper sweep)")
@@ -186,6 +187,23 @@ func main() {
 				cfg.Seed = *seed
 			}
 			res, err := experiments.RunLoad(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table().Render())
+			return nil
+		})
+	}
+	if want("scale") {
+		run("Serving scalability (batching + replica autoscaling)", func() error {
+			cfg := experiments.DefaultScaleConfig()
+			if *requests > 0 {
+				cfg.Requests = *requests
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			res, err := experiments.RunScale(ctx, cfg)
 			if err != nil {
 				return err
 			}

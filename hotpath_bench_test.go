@@ -16,8 +16,9 @@ import (
 // one client→service→client round trip (envelope construction, transport,
 // queueing, serving, reply decode, RT decomposition) so the hot-path work
 // of this PR — inline REQ/REP, pooled serving jobs, typed envelope decode
-// — cannot silently regress. The seed spent 41 allocs per round trip; the
-// budget admits modest headroom over the current cost (17).
+// — cannot silently regress. The seed spent 41 allocs per round trip;
+// PR 1 brought it to 17 and PR 8's lazy envelope encoding to 11. The
+// budget admits modest headroom over the current cost.
 func TestInferenceRoundTripAllocBudget(t *testing.T) {
 	sess, err := core.NewSession(core.SessionConfig{
 		Seed: 1, Clock: simtime.NewScaled(100000, core.DefaultOrigin), FastBoot: true,
@@ -57,6 +58,55 @@ func TestInferenceRoundTripAllocBudget(t *testing.T) {
 	const budget = 24
 	if allocs > budget {
 		t.Fatalf("round trip allocates %.1f objects/op, budget %d (seed: 41)", allocs, budget)
+	}
+}
+
+// TestBatchedRoundTripAllocBudget pins the same round trip through the
+// continuous-batching dispatcher (Concurrency 2, MaxBatch 8): serial
+// submits exercise the batch-of-one handoff, which must price like the
+// single-request path — forming a batch may not add per-request garbage.
+// Current cost: 13 allocs (the single path's 11 plus the batch buffers).
+func TestBatchedRoundTripAllocBudget(t *testing.T) {
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed: 1, Clock: simtime.NewScaled(100000, core.DefaultOrigin), FastBoot: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	p, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Cores: 256, GPUs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := sess.ServiceManager()
+	sm.AddPilot(p)
+	inst, err := sm.Submit(spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{Name: "svc", Cores: 1},
+		Model:           "noop",
+		Concurrency:     2,
+		MaxBatch:        8,
+		ProbeInterval:   time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := sm.WaitReady(ctx, inst.UID()); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sess.Dial(platform.Addr("delta", "", "alloc-client"), inst.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := cl.Infer(ctx, "bench", 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 18
+	if allocs > budget {
+		t.Fatalf("batched round trip allocates %.1f objects/op, budget %d", allocs, budget)
 	}
 }
 

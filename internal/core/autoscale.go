@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pilot"
+	"repro/internal/service"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/states"
+)
+
+// This file implements the session autoscaler: the control loop that
+// closes the paper's declared-future-work loop by scaling a service's
+// replica count with demand. A service submitted with MaxReplicas > 1
+// gets a per-handle loop on the session clock that each ScaleInterval
+// reads the honest per-endpoint queue gauges (serving.Server's Queued
+// split, PR-8), publishes them as registry load reports for balancing
+// clients, and spawns or retires replica instances under the logical
+// service UID.
+//
+// Replicas are ordinary pilot-level services named <uid>.rN, routed
+// through the session Router like any service and auto-mirrored into the
+// session EndpointRegistry by the pilot publish hook (handle-less
+// services mirror unconditionally, with the session incarnation
+// stamped). They are deliberately not journaled: replica count is
+// derived from demand, so after a crash recovery the autoscaler simply
+// re-derives it instead of replaying it.
+//
+// Determinism contract: on an auto-advancing virtual clock the loop
+// goroutine is clock-registered, and it NEVER blocks on anything but
+// clock.Sleep — no WaitReady, no Drain. A registered goroutine parked on
+// a channel would freeze the clock and deadlock every in-flight request
+// sleep. Spawns are therefore fire-and-forget (the replica's bootstrap
+// runs on its own clock-registered goroutine and is observed ACTIVE on a
+// later tick) and retires are two-phase: leave the balancing group now,
+// then terminate on a later tick once the replica reports zero queued
+// and zero in-flight — at which point Stop is sleep-free.
+
+// replicaRef tracks one autoscaled replica instance under a Service
+// handle.
+type replicaRef struct {
+	uid      string
+	inst     *service.Instance
+	p        *pilot.Pilot
+	member   bool // admitted to the registry balancing group (seen ACTIVE)
+	draining bool // removed from balancing; terminated once empty
+}
+
+// applyScaleDefaults fills the autoscaler knobs of a scaled description.
+func applyScaleDefaults(d *spec.ServiceDescription) {
+	if d.MinReplicas == 0 {
+		d.MinReplicas = 1
+	}
+	if d.ScaleInterval <= 0 {
+		d.ScaleInterval = 2 * time.Second
+	}
+	if d.ScaleUpQueue <= 0 {
+		d.ScaleUpQueue = 4
+	}
+	if d.ScaleDownQueue <= 0 {
+		d.ScaleDownQueue = 1
+	}
+	if d.ScaleStabilize <= 0 {
+		d.ScaleStabilize = 3
+	}
+}
+
+// startAutoscaler launches h's autoscale loop, clock-registered on a
+// runnability-accounting clock (the clock.Go rule: register before
+// spawn).
+func (sm *ServiceManager) startAutoscaler(h *Service) {
+	if run := simtime.RunnersOf(sm.sess.clock); run != nil {
+		run.AddRunner()
+		go func() {
+			defer run.DoneRunner()
+			sm.autoscale(h)
+		}()
+	} else {
+		go sm.autoscale(h)
+	}
+}
+
+// autoscale is the per-handle control loop: one evaluation per
+// ScaleInterval of the session clock until the logical service reaches a
+// final state, then a best-effort teardown of surviving replicas.
+func (sm *ServiceManager) autoscale(h *Service) {
+	for {
+		sm.sess.clock.Sleep(h.desc.ScaleInterval)
+		select {
+		case <-h.done:
+			sm.scaleShutdown(h)
+			return
+		default:
+		}
+		sm.scaleTick(h)
+	}
+}
+
+// scaleTick runs one autoscaler evaluation for h.
+func (sm *ServiceManager) scaleTick(h *Service) {
+	d := h.desc
+
+	h.mu.Lock()
+	base := h.inst
+	reps := append([]*replicaRef(nil), h.reps...)
+	h.mu.Unlock()
+
+	// Phase 1 — reconcile replica lifecycles. A replica that reached a
+	// final state on its own (hosting pilot died, liveness kill) is
+	// reaped, not re-placed: replica count derives from demand, and the
+	// next evaluation re-spawns if the load still warrants it. A
+	// bootstrapped replica is admitted to the balancing group; a drained
+	// one is terminated now that Stop is sleep-free.
+	kept := reps[:0]
+	for _, r := range reps {
+		switch {
+		case r.inst.Final():
+			if r.member {
+				sm.reg.RemoveMember(h.uid, r.uid)
+			}
+			sm.reg.Withdraw(r.uid)
+		case r.draining:
+			if r.inst.Queued() == 0 && r.inst.InFlight() == 0 {
+				sm.reg.Withdraw(r.uid)
+				_ = r.p.Services().Terminate(r.uid, false)
+			} else {
+				kept = append(kept, r)
+			}
+		default:
+			if !r.member && r.inst.State() == states.ServiceActive {
+				sm.reg.AddMember(h.uid, r.uid)
+				r.member = true
+			}
+			kept = append(kept, r)
+		}
+	}
+
+	// Phase 2 — read the load signal and publish it for balancing
+	// clients. Serving set: the base instance plus admitted,
+	// non-draining replicas.
+	queued, serving := 0, 1
+	if base != nil {
+		queued = base.Queued()
+		sm.reg.ReportLoad(h.uid, service.Load{Queued: base.Queued(), InFlight: base.InFlight()})
+	}
+	pending := 0
+	for _, r := range kept {
+		switch {
+		case r.draining:
+		case r.member:
+			queued += r.inst.Queued()
+			serving++
+			sm.reg.ReportLoad(r.uid, service.Load{Queued: r.inst.Queued(), InFlight: r.inst.InFlight()})
+		default:
+			pending++ // bootstrap in flight: counts against the max, not the mean
+		}
+	}
+
+	h.mu.Lock()
+	h.reps = kept
+	if serving > h.peakReps {
+		h.peakReps = serving
+	}
+	finished := h.finished
+	h.mu.Unlock()
+	if finished {
+		return
+	}
+
+	// Phase 3 — the scaling decision. Mean queued requests per serving
+	// replica against the up/down thresholds; scale-down waits for
+	// ScaleStabilize consecutive quiet evaluations (hysteresis) and
+	// retires the newest replica, never the base instance.
+	mean := float64(queued) / float64(serving)
+	minReps := d.MinReplicas
+	if minReps < 1 {
+		minReps = 1
+	}
+	switch {
+	case serving+pending < minReps:
+		h.below = 0
+		sm.spawnReplica(h)
+	case mean >= d.ScaleUpQueue && serving+pending < d.MaxReplicas:
+		h.below = 0
+		sm.spawnReplica(h)
+	case mean <= d.ScaleDownQueue && pending == 0:
+		h.below++
+		if h.below >= d.ScaleStabilize && serving > minReps {
+			h.below = 0
+			sm.retireNewest(h)
+		}
+	default:
+		h.below = 0
+	}
+}
+
+// spawnReplica fires off one replica bootstrap for h: route, submit,
+// track. The bootstrap proceeds on its own clock-registered goroutine
+// (model load sleeps and all); the replica joins the balancing group
+// when a later tick observes it ACTIVE. Routing or dispatch failures are
+// dropped — the next evaluation retries if demand persists.
+func (sm *ServiceManager) spawnReplica(h *Service) {
+	h.mu.Lock()
+	h.repSeq++
+	ruid := fmt.Sprintf("%s.r%d", h.uid, h.repSeq)
+	h.mu.Unlock()
+
+	d := h.desc
+	d.UID = ruid
+	d.MinReplicas, d.MaxReplicas = 0, 0 // a replica is not itself scaled
+
+	sm.mu.Lock()
+	if sm.closed {
+		sm.mu.Unlock()
+		return
+	}
+	p, err := sm.routeLocked(d)
+	sm.mu.Unlock()
+	if err != nil {
+		return
+	}
+	inst, err := p.Services().Submit(d)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	h.reps = append(h.reps, &replicaRef{uid: ruid, inst: inst, p: p})
+	h.mu.Unlock()
+}
+
+// retireNewest starts the two-phase retirement of h's newest serving
+// replica: drop it from the balancing group immediately (no new requests
+// route to it), terminate on a later tick once its queue and in-flight
+// gauges reach zero.
+func (sm *ServiceManager) retireNewest(h *Service) {
+	h.mu.Lock()
+	var victim *replicaRef
+	for i := len(h.reps) - 1; i >= 0; i-- {
+		if r := h.reps[i]; r.member && !r.draining {
+			victim = r
+			break
+		}
+	}
+	if victim != nil {
+		victim.draining = true
+		victim.member = false
+	}
+	h.mu.Unlock()
+	if victim != nil {
+		sm.reg.RemoveMember(h.uid, victim.uid)
+	}
+}
+
+// scaleShutdown tears down every surviving replica after the logical
+// service reached a final state. Best-effort: the hosting pilots may
+// already be gone (session close shuts them down first).
+func (sm *ServiceManager) scaleShutdown(h *Service) {
+	h.mu.Lock()
+	reps := h.reps
+	h.reps = nil
+	h.mu.Unlock()
+	for _, r := range reps {
+		if r.member {
+			sm.reg.RemoveMember(h.uid, r.uid)
+		}
+		sm.reg.Withdraw(r.uid)
+		_ = r.p.Services().Terminate(r.uid, false)
+	}
+}

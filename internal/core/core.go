@@ -345,6 +345,16 @@ func (s *Session) DialService(clientAddr, uid string) (*service.Resolver, error)
 	}, 0)
 }
 
+// DialBalanced returns a replica-aware inference client for uid: requests
+// spread over the base instance and whatever autoscaled replicas the
+// registry's balancing group currently lists, least-loaded first. For an
+// unscaled service it behaves exactly like DialService.
+func (s *Session) DialBalanced(clientAddr, uid string) (*service.Balancer, error) {
+	return service.NewBalancer(s.sm.reg, uid, func(ep proto.Endpoint) (service.Caller, error) {
+		return s.Dial(clientAddr, ep)
+	})
+}
+
 // Close shuts the session down: pilots, services, network. Tasks still
 // parked in the TaskManager's overflow pool fail with ErrSessionClosed,
 // and the pilot shutdowns fail queued tasks instead of re-routing them.
@@ -1041,6 +1051,16 @@ type Service struct {
 	finished     bool
 	err          error
 	done         chan struct{}
+
+	// Autoscaler state (see autoscale.go): replica instances spawned
+	// under this logical UID, the replica UID sequence, the consecutive
+	// below-threshold tick count (scale-down hysteresis), and the peak
+	// serving-replica count observed. Mutated only by the handle's
+	// autoscale loop; guarded by mu for the accessors.
+	reps     []*replicaRef
+	repSeq   int
+	below    int
+	peakReps int
 }
 
 // UID returns the stable logical service UID — the key clients resolve
@@ -1091,12 +1111,72 @@ func (h *Service) Bootstrap() metrics.Breakdown {
 	return metrics.Breakdown{}
 }
 
-// QueueDepth returns the live instance's request queue depth.
+// QueueDepth returns the logical service's request queue depth — queued
+// plus executing, summed across the base instance and any serving
+// replicas.
 func (h *Service) QueueDepth() int {
+	return h.Queued() + h.InFlight()
+}
+
+// Queued returns requests admitted but not yet executing, summed across
+// the base instance and any serving replicas — the backlog signal the
+// autoscaler watches.
+func (h *Service) Queued() int {
+	n := 0
 	if inst := h.Instance(); inst != nil {
-		return inst.QueueDepth()
+		n = inst.Queued()
 	}
-	return 0
+	h.mu.Lock()
+	for _, r := range h.reps {
+		if r.member && !r.draining {
+			n += r.inst.Queued()
+		}
+	}
+	h.mu.Unlock()
+	return n
+}
+
+// InFlight returns requests currently executing, summed across the base
+// instance and any serving replicas.
+func (h *Service) InFlight() int {
+	n := 0
+	if inst := h.Instance(); inst != nil {
+		n = inst.InFlight()
+	}
+	h.mu.Lock()
+	for _, r := range h.reps {
+		if r.member && !r.draining {
+			n += r.inst.InFlight()
+		}
+	}
+	h.mu.Unlock()
+	return n
+}
+
+// Replicas returns the current serving-replica count: the base instance
+// plus every autoscaled replica admitted to the balancing group (1 for
+// unscaled services).
+func (h *Service) Replicas() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 1
+	for _, r := range h.reps {
+		if r.member && !r.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// PeakReplicas returns the highest serving-replica count the autoscaler
+// reached over the handle's lifetime (1 for unscaled services).
+func (h *Service) PeakReplicas() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.peakReps < 1 {
+		return 1
+	}
+	return h.peakReps
 }
 
 // Kill injects a service-process crash into the live instance (failure
@@ -1272,6 +1352,9 @@ func (sm *ServiceManager) Submit(d spec.ServiceDescription) (*Service, error) {
 		if d.Priority == 0 {
 			d.Priority = spec.ServicePriority
 		}
+		if d.MaxReplicas > 1 {
+			applyScaleDefaults(&d)
+		}
 		if _, dup := sm.services[d.UID]; dup {
 			sm.mu.Unlock()
 			return nil, fmt.Errorf("core: duplicate service UID %s", d.UID)
@@ -1314,6 +1397,9 @@ func (sm *ServiceManager) Submit(d spec.ServiceDescription) (*Service, error) {
 		h.inst = inst
 		h.mu.Unlock()
 		go sm.watch(h)
+		if d.MaxReplicas > 1 {
+			sm.startAutoscaler(h)
+		}
 		return h, nil
 	}
 }

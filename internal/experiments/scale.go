@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+)
+
+// ScaleConfig parameterizes the serving-scalability ablation: an
+// offered-load sweep over the serving modes (single-threaded worker,
+// concurrent worker pool, continuous batching) plus a diurnal
+// fixed-vs-autoscaled replica pair. All campaigns host the same model
+// (vit-base, milliseconds per request) so mode is the only variable.
+type ScaleConfig struct {
+	// Requests sizes each sweep campaign (default 20000).
+	Requests int
+	// DiurnalRequests sizes the diurnal pair (default 48000: one full
+	// 120s wave at the 400 req/s mean rate).
+	DiurnalRequests int
+	// Seed drives every campaign (default 7).
+	Seed uint64
+}
+
+// DefaultScaleConfig returns the ablation at its standard campaign sizes.
+func DefaultScaleConfig() ScaleConfig { return ScaleConfig{} }
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.Requests <= 0 {
+		c.Requests = 20000
+	}
+	if c.DiurnalRequests <= 0 {
+		c.DiurnalRequests = 48000
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// ScaleRow is one campaign's outcome in the scaling ablation.
+type ScaleRow struct {
+	Config    string
+	Rate      float64
+	Offered   int64
+	Completed int64
+	Failed    int64
+	// Throughput is completed requests per second of virtual time — at
+	// saturating offered rates this is the serving mode's capacity.
+	Throughput float64
+	P50        time.Duration
+	P99        time.Duration
+	// PeakReplicas is the autoscaler's high-water replica count (1 for
+	// every fixed-replica configuration).
+	PeakReplicas int
+	SimDuration  time.Duration
+	Wall         time.Duration
+}
+
+// ScaleResult is the scaling-ablation dataset.
+type ScaleResult struct {
+	Cfg  ScaleConfig
+	Rows []ScaleRow
+	// Results holds the full per-campaign results for callers that want
+	// more than the rows.
+	Results []*loadgen.Result
+}
+
+// scaleQueueCap comfortably exceeds the worst-case backlog of any
+// ablation campaign, so no arrival is ever rejected and every count
+// stays exact: Completed == Offered == Requests for every row.
+const scaleQueueCap = 200000
+
+// RunScale executes the scaling ablation.
+//
+// Sweep: three serving modes — single (Concurrency 1), concurrent
+// (Concurrency 4), batched (Concurrency 4, MaxBatch 8) — each offered
+// Poisson load below, near and far above the single-worker capacity
+// (~280 req/s for vit-base at 8 tokens). At the saturating rate the
+// throughput column reads off each mode's capacity directly.
+//
+// Diurnal pair: a sinusoidal arrival wave (mean 400 req/s, amplitude
+// 0.8, period 120s) whose peak exceeds one worker's capacity, served by
+// a fixed single replica versus the autoscaler bounded at four
+// replicas. The tail-latency contrast is the autoscaler's payoff.
+func RunScale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ScaleResult{Cfg: cfg}
+
+	modes := []struct {
+		name     string
+		conc     int
+		maxBatch int
+	}{
+		{"single", 1, 1},
+		{"concurrent", 4, 1},
+		{"batched", 4, 8},
+	}
+	rates := []float64{250, 1000, 8000}
+	var scenarios []loadgen.Scenario
+	for _, rate := range rates {
+		for _, m := range modes {
+			scenarios = append(scenarios, loadgen.Scenario{
+				Name:        fmt.Sprintf("%s@%g", m.name, rate),
+				Kind:        loadgen.KindSteady,
+				Requests:    cfg.Requests,
+				Rate:        rate,
+				Services:    1,
+				Concurrency: m.conc,
+				MaxBatch:    m.maxBatch,
+				QueueCap:    scaleQueueCap,
+				Seed:        cfg.Seed,
+				Model:       "vit-base",
+				MaxTokens:   8,
+			})
+		}
+	}
+	diurnal := loadgen.Scenario{
+		Name:        "diurnal-fixed",
+		Kind:        loadgen.KindDiurnal,
+		Requests:    cfg.DiurnalRequests,
+		Rate:        400,
+		WaveAmp:     0.8,
+		WavePeriod:  120 * time.Second,
+		Services:    1,
+		Concurrency: 1,
+		QueueCap:    scaleQueueCap,
+		Seed:        cfg.Seed,
+		Model:       "vit-base",
+		MaxTokens:   8,
+	}
+	scenarios = append(scenarios, diurnal)
+	autoscaled := diurnal
+	autoscaled.Name = "diurnal-autoscaled"
+	autoscaled.MinReplicas = 1
+	autoscaled.MaxReplicas = 4
+	scenarios = append(scenarios, autoscaled)
+
+	for _, sc := range scenarios {
+		r, err := loadgen.Run(ctx, sc)
+		if err != nil {
+			return res, fmt.Errorf("experiments: scale campaign %s: %w", sc.Name, err)
+		}
+		throughput := 0.0
+		if r.Duration > 0 {
+			throughput = float64(r.Completed) / r.Duration.Seconds()
+		}
+		res.Results = append(res.Results, r)
+		res.Rows = append(res.Rows, ScaleRow{
+			Config:       sc.Name,
+			Rate:         sc.Rate,
+			Offered:      r.Offered,
+			Completed:    r.Completed,
+			Failed:       r.Failed,
+			Throughput:   throughput,
+			P50:          r.Latency.Quantile(0.50),
+			P99:          r.Latency.Quantile(0.99),
+			PeakReplicas: r.PeakReplicas,
+			SimDuration:  r.Duration,
+			Wall:         r.Wall,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the scaling ablation.
+func (r *ScaleResult) Table() metrics.Table {
+	t := metrics.Table{
+		Title: "Serving scalability — batching and replica autoscaling (vit-base)",
+		Header: []string{"config", "rate", "offered", "completed", "failed",
+			"throughput", "p50", "p99", "peak reps", "sim time", "wall"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Config,
+			fmt.Sprintf("%g/s", row.Rate),
+			fmt.Sprintf("%d", row.Offered),
+			fmt.Sprintf("%d", row.Completed),
+			fmt.Sprintf("%d", row.Failed),
+			fmt.Sprintf("%.0f/s", row.Throughput),
+			fmtDur(row.P50),
+			fmtDur(row.P99),
+			fmt.Sprintf("%d", row.PeakReplicas),
+			fmtDur(row.SimDuration),
+			fmtDur(row.Wall))
+	}
+	return t
+}

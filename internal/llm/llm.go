@@ -43,6 +43,17 @@ type Spec struct {
 	RateJitter float64
 	// DefaultMaxTokens bounds generation when the request does not.
 	DefaultMaxTokens int
+	// BatchSpill is the batched-inference cost model knob: a batch whose
+	// members have solo durations d_i blocks once for
+	//
+	//	max(d_i) + BatchSpill · (Σ d_i − max(d_i))
+	//
+	// 0 models perfect overlap (the batch costs only its longest member),
+	// 1 models no overlap (sequential execution). Production continuous-
+	// batching servers sit near the low end: per-request model overhead
+	// (weights traversal, kernel launches) amortizes across the batch and
+	// only the marginal per-token work spills.
+	BatchSpill float64
 	// Noop marks the instant-reply model of Exp 2.
 	Noop bool
 }
@@ -57,19 +68,19 @@ func Catalog() map[string]Spec {
 			Name: "llama-8b", Params: "8B", MemGB: 16,
 			LoadTime:           rng.NormalDuration(26*time.Second, 4*time.Second),
 			PromptTokensPerSec: 800, GenTokensPerSec: 35, RateJitter: 0.10,
-			DefaultMaxTokens: 128,
+			DefaultMaxTokens: 128, BatchSpill: 0.25,
 		},
 		{
 			Name: "llama-70b", Params: "70B", MemGB: 80,
 			LoadTime:           rng.NormalDuration(95*time.Second, 10*time.Second),
 			PromptTokensPerSec: 250, GenTokensPerSec: 9, RateJitter: 0.10,
-			DefaultMaxTokens: 128,
+			DefaultMaxTokens: 128, BatchSpill: 0.25,
 		},
 		{
 			Name: "mistral-7b", Params: "7B", MemGB: 15,
 			LoadTime:           rng.NormalDuration(24*time.Second, 4*time.Second),
 			PromptTokensPerSec: 850, GenTokensPerSec: 38, RateJitter: 0.10,
-			DefaultMaxTokens: 128,
+			DefaultMaxTokens: 128, BatchSpill: 0.25,
 		},
 		{
 			// ViT for the Cell Painting pipeline (use case II-A): inference
@@ -78,7 +89,7 @@ func Catalog() map[string]Spec {
 			Name: "vit-base", Params: "86M", MemGB: 2,
 			LoadTime:           rng.NormalDuration(6*time.Second, time.Second),
 			PromptTokensPerSec: 5000, GenTokensPerSec: 2000, RateJitter: 0.15,
-			DefaultMaxTokens: 16,
+			DefaultMaxTokens: 16, BatchSpill: 0.10,
 		},
 		{
 			// The paper's Exp 2 NOOP model: "a NOOP model, which will
@@ -151,11 +162,29 @@ func (m *Instance) Infer(prompt string, maxTokens int) Result {
 	if !m.loaded {
 		panic(fmt.Sprintf("llm: Infer on unloaded model %s", m.spec.Name))
 	}
+	ptok, otok, d := m.planOne(prompt, maxTokens)
+	if d > 0 {
+		m.clock.Sleep(d)
+	}
+	return Result{
+		Text:         GenerateText(m.src, m.spec.Name, otok),
+		PromptTokens: ptok,
+		OutputTokens: otok,
+		Duration:     d,
+	}
+}
+
+// planOne draws one request's inference plan — token counts and modelled
+// solo duration — consuming exactly the RNG draws of the unbatched path
+// in the same order (output length, then one throughput jitter per rate).
+// Infer and InferBatch both build on it, which is what makes a batch of
+// one byte-identical to an unbatched call.
+func (m *Instance) planOne(prompt string, maxTokens int) (ptok, otok int, d time.Duration) {
 	if maxTokens <= 0 {
 		maxTokens = m.spec.DefaultMaxTokens
 	}
-	ptok := CountTokens(prompt)
-	otok := m.outputLength(maxTokens)
+	ptok = CountTokens(prompt)
+	otok = m.outputLength(maxTokens)
 
 	jitter := func(rate float64) float64 {
 		if m.spec.RateJitter <= 0 {
@@ -167,22 +196,62 @@ func (m *Instance) Infer(prompt string, maxTokens int) Result {
 		}
 		return rate * f
 	}
-	var d time.Duration
 	if r := jitter(m.spec.PromptTokensPerSec); r > 0 {
 		d += time.Duration(float64(ptok) / r * float64(time.Second))
 	}
 	if r := jitter(m.spec.GenTokensPerSec); r > 0 {
 		d += time.Duration(float64(otok) / r * float64(time.Second))
 	}
+	return ptok, otok, d
+}
+
+// BatchItem is one request in a batched inference call.
+type BatchItem struct {
+	Prompt    string
+	MaxTokens int // <= 0 uses the spec default
+}
+
+// InferBatch serves several requests as one batched model invocation.
+// Each request draws the same per-request randomness as Infer would
+// (output length, throughput jitter, pseudo-text), then the batch blocks
+// once for the amortized duration of the Spec.BatchSpill cost model:
+//
+//	D = max(d_i) + BatchSpill · (Σ d_i − max(d_i))
+//
+// Every result reports D as its Duration — batch members finish together,
+// like rows of one forward pass. A batch of one is byte-identical to
+// Infer (the sleep consumes no randomness, so generating text before the
+// collective sleep preserves the draw order), making batching safe to
+// enable without perturbing unbatched workloads.
+func (m *Instance) InferBatch(items []BatchItem) []Result {
+	out := make([]Result, len(items))
+	if m.spec.Noop {
+		return out
+	}
+	if !m.loaded {
+		panic(fmt.Sprintf("llm: InferBatch on unloaded model %s", m.spec.Name))
+	}
+	var sum, longest time.Duration
+	for i, it := range items {
+		ptok, otok, d := m.planOne(it.Prompt, it.MaxTokens)
+		out[i] = Result{
+			Text:         GenerateText(m.src, m.spec.Name, otok),
+			PromptTokens: ptok,
+			OutputTokens: otok,
+		}
+		sum += d
+		if d > longest {
+			longest = d
+		}
+	}
+	d := longest + time.Duration(float64(sum-longest)*m.spec.BatchSpill)
 	if d > 0 {
 		m.clock.Sleep(d)
 	}
-	return Result{
-		Text:         GenerateText(m.src, m.spec.Name, otok),
-		PromptTokens: ptok,
-		OutputTokens: otok,
-		Duration:     d,
+	for i := range out {
+		out[i].Duration = d
 	}
+	return out
 }
 
 // outputLength draws the reply length: around 3/4 of the budget with

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -213,5 +214,103 @@ func TestOutputLengthProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- Continuous batching (PR 8) ----------------------------------------------
+
+// TestInferBatchOfOneByteIdentical: the batching contract's anchor — a
+// batch of one must be indistinguishable from Infer, byte for byte and
+// duration for duration, so enabling batching never perturbs an
+// unbatched workload. Two same-seeded instances serve the same prompts,
+// one through Infer and one through InferBatch.
+func TestInferBatchOfOneByteIdentical(t *testing.T) {
+	mk := func() *Instance {
+		spec, err := Lookup("vit-base")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewInstance(spec, scaled(), rng.New(11).Derive("m"))
+	}
+	a, b := mk(), mk()
+	a.Load()
+	b.Load()
+	for i := 0; i < 5; i++ {
+		prompt := fmt.Sprintf("sample-%d", i)
+		ra := a.Infer(prompt, 16)
+		rb := b.InferBatch([]BatchItem{{Prompt: prompt, MaxTokens: 16}})[0]
+		if ra != rb {
+			t.Fatalf("round %d: Infer=%+v InferBatch=%+v", i, ra, rb)
+		}
+	}
+}
+
+// TestInferBatchAmortizesSleep: a batch's single collective sleep is
+// max(d_i) + BatchSpill*(sum-max) of the per-item durations — measured
+// against a same-seeded twin serving the items one at a time (identical
+// RNG stream, so the twin's durations ARE the batch's per-item plans).
+// Every batch result must carry the collective duration and the twin's
+// exact text and token counts.
+func TestInferBatchAmortizesSleep(t *testing.T) {
+	spec, err := Lookup("vit-base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchClock := simtime.NewVirtualAuto(origin)
+	m := NewInstance(spec, batchClock, rng.New(23).Derive("m"))
+	twin := NewInstance(spec, scaled(), rng.New(23).Derive("m"))
+	m.Load()
+	twin.Load()
+
+	items := make([]BatchItem, 4)
+	for i := range items {
+		items[i] = BatchItem{Prompt: fmt.Sprintf("item-%d", i), MaxTokens: 16}
+	}
+	t0 := batchClock.Now()
+	got := m.InferBatch(items)
+	elapsed := batchClock.Now().Sub(t0)
+
+	var sum, longest time.Duration
+	for i, it := range items {
+		want := twin.Infer(it.Prompt, it.MaxTokens)
+		sum += want.Duration
+		if want.Duration > longest {
+			longest = want.Duration
+		}
+		if got[i].Text != want.Text || got[i].PromptTokens != want.PromptTokens ||
+			got[i].OutputTokens != want.OutputTokens {
+			t.Fatalf("item %d: batch=%+v single=%+v", i, got[i], want)
+		}
+	}
+	wantD := longest + time.Duration(float64(sum-longest)*spec.BatchSpill)
+	if elapsed != wantD {
+		t.Fatalf("batch slept %v, want %v (max %v, sum %v)", elapsed, wantD, longest, sum)
+	}
+	for i, r := range got {
+		if r.Duration != wantD {
+			t.Fatalf("item %d duration %v, want collective %v", i, r.Duration, wantD)
+		}
+	}
+	if wantD >= sum {
+		t.Fatalf("batch of 4 not faster than sequential: %v >= %v", wantD, sum)
+	}
+}
+
+// TestNoopInferBatchInstant: the noop backend's batches are free and
+// empty, one result per item.
+func TestNoopInferBatchInstant(t *testing.T) {
+	spec, err := Lookup("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewInstance(spec, scaled(), rng.New(1))
+	res := m.InferBatch(make([]BatchItem, 3))
+	if len(res) != 3 {
+		t.Fatalf("len = %d", len(res))
+	}
+	for i, r := range res {
+		if r != (Result{}) {
+			t.Fatalf("item %d = %+v, want zero", i, r)
+		}
 	}
 }

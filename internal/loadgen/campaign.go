@@ -11,10 +11,25 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pilot"
 	"repro/internal/platform"
+	"repro/internal/proto"
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/simtime"
 	"repro/internal/spec"
+)
+
+// inferClient is the campaign-facing inference seam: a single-endpoint
+// *service.Resolver, or a replica-aware *service.Balancer when the
+// scenario enables the autoscaler.
+type inferClient interface {
+	Infer(ctx context.Context, prompt string, maxTokens int) (proto.InferenceReply, metrics.Breakdown, error)
+	Reresolved() int
+	Close() error
+}
+
+var (
+	_ inferClient = (*service.Resolver)(nil)
+	_ inferClient = (*service.Balancer)(nil)
 )
 
 // probeNever pushes the liveness probe ticker past any campaign horizon:
@@ -38,6 +53,9 @@ type Result struct {
 	Replacements int
 	// Reresolved counts resolver re-resolutions after endpoint failures.
 	Reresolved int
+	// PeakReplicas is the highest concurrent serving-replica count any
+	// backend reached (1 unless the autoscaler was enabled).
+	PeakReplicas int
 	// Duration is the virtual-time makespan from campaign start to the
 	// last completion.
 	Duration time.Duration
@@ -92,10 +110,16 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	resolvers := make([]*service.Resolver, len(handles))
+	resolvers := make([]inferClient, len(handles))
 	for i, h := range handles {
 		addr := platform.Addr("delta", "", fmt.Sprintf("loadgen.client.%02d", i))
-		r, err := sess.DialService(addr, h.UID())
+		var r inferClient
+		var err error
+		if sc.MaxReplicas > 1 {
+			r, err = sess.DialBalanced(addr, h.UID())
+		} else {
+			r, err = sess.DialService(addr, h.UID())
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -160,6 +184,9 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 	res.SketchBytes = res.Latency.MemoryBytes()
 	for _, h := range handles {
 		res.Replacements += h.Replacements()
+		if pr := h.PeakReplicas(); pr > res.PeakReplicas {
+			res.PeakReplicas = pr
+		}
 	}
 	for _, r := range resolvers {
 		res.Reresolved += r.Reresolved()
@@ -176,7 +203,7 @@ type campaign struct {
 	acct      simtime.Runners
 	pilots    []*pilot.Pilot
 	handles   []*core.Service
-	resolvers []*service.Resolver
+	resolvers []inferClient
 	t0        time.Time
 	bg        context.Context
 
@@ -222,7 +249,10 @@ func startBackends(ctx context.Context, sess *core.Session, sc Scenario) ([]*cor
 	handles := make([]*core.Service, 0, sc.Services)
 	uids := make([]string, 0, sc.Services)
 	for i := 0; i < sc.Services; i++ {
-		model := "noop"
+		model := sc.Model
+		if model == "" {
+			model = "noop"
+		}
 		if sc.Kind == KindStraggler && i == 0 {
 			model = sc.StragglerModel
 		}
@@ -231,6 +261,13 @@ func startBackends(ctx context.Context, sess *core.Session, sc Scenario) ([]*cor
 			Model:           model,
 			Concurrency:     sc.Concurrency,
 			QueueCap:        sc.QueueCap,
+			MaxBatch:        sc.MaxBatch,
+			MinReplicas:     sc.MinReplicas,
+			MaxReplicas:     sc.MaxReplicas,
+			ScaleInterval:   sc.ScaleInterval,
+			ScaleUpQueue:    sc.ScaleUpQueue,
+			ScaleDownQueue:  sc.ScaleDownQueue,
+			ScaleStabilize:  sc.ScaleStabilize,
 			StartTimeout:    time.Hour,
 			ProbeInterval:   probeNever,
 		}

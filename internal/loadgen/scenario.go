@@ -52,6 +52,23 @@ type Scenario struct {
 	Alpha float64
 	// MaxTokens bounds generation for non-noop backends.
 	MaxTokens int
+	// Model is the backend model every service hosts (default noop;
+	// KindStraggler still overrides service 0 with StragglerModel).
+	Model string
+	// MaxBatch bounds the per-service dispatcher batch (0/1 = no
+	// batching; >1 needs a batch-capable backend).
+	MaxBatch int
+	// MinReplicas/MaxReplicas bound the session autoscaler. MaxReplicas
+	// > 1 enables it, and requests route through a load-aware Balancer
+	// instead of a single Resolver.
+	MinReplicas int
+	MaxReplicas int
+	// ScaleInterval/ScaleUpQueue/ScaleDownQueue/ScaleStabilize tune the
+	// autoscaler's control loop (zero values take the core defaults).
+	ScaleInterval  time.Duration
+	ScaleUpQueue   float64
+	ScaleDownQueue float64
+	ScaleStabilize int
 
 	// WaveAmp is the diurnal amplitude as a fraction of Rate, in [0, 1).
 	WaveAmp float64
@@ -154,6 +171,12 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.Kind == KindTrace && len(sc.Trace) == 0 {
 		return fmt.Errorf("loadgen: scenario %s has an empty trace", sc.Name)
+	}
+	if sc.MaxBatch < 0 {
+		return fmt.Errorf("loadgen: scenario %s has a negative batch bound", sc.Name)
+	}
+	if sc.MinReplicas < 0 || sc.MaxReplicas < 0 {
+		return fmt.Errorf("loadgen: scenario %s has negative replica bounds", sc.Name)
 	}
 	return nil
 }

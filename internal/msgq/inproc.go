@@ -133,12 +133,12 @@ func (c *inprocClient) Request(ctx context.Context, env proto.Envelope) (proto.E
 	if ctx.Done() == nil {
 		// Fast path: synchronous round trip, zero allocations in the
 		// transport.
-		c.net.hop(c.profile, len(env.Body))
+		c.net.hop(c.profile, wireLen(c.profile, env))
 		if srv.isClosed() {
 			return proto.Envelope{}, ErrClosed
 		}
 		reply := srv.handler(env)
-		c.net.hop(c.profile, len(reply.Body))
+		c.net.hop(c.profile, wireLen(c.profile, reply))
 		return reply, nil
 	}
 
@@ -148,13 +148,13 @@ func (c *inprocClient) Request(ctx context.Context, env proto.Envelope) (proto.E
 	}
 	done := make(chan result, 1)
 	go func() {
-		c.net.hop(c.profile, len(env.Body)) // request traversal
+		c.net.hop(c.profile, wireLen(c.profile, env)) // request traversal
 		if srv.isClosed() {
 			done <- result{err: ErrClosed}
 			return
 		}
 		reply := srv.handler(env)
-		c.net.hop(c.profile, len(reply.Body)) // reply traversal
+		c.net.hop(c.profile, wireLen(c.profile, reply)) // reply traversal
 		done <- result{env: reply}
 	}()
 	select {
@@ -332,7 +332,7 @@ func (p *inprocPublisher) Publish(topic string, env proto.Envelope) {
 		if now.IsZero() {
 			now = p.net.clock.Now()
 		}
-		it := pubItem{env: env, deliverAt: now.Add(p.net.hopDelay(s.profile, len(env.Body)))}
+		it := pubItem{env: env, deliverAt: now.Add(p.net.hopDelay(s.profile, wireLen(s.profile, env)))}
 		select {
 		case s.ring <- it:
 		default: // subscriber's ring full: drop, never block the publisher

@@ -144,3 +144,16 @@ func (n *Network) hop(profile LinkProfile, bodyLen int) {
 		n.clock.Sleep(d)
 	}
 }
+
+// wireLen returns the encoded body size of env when profile charges for
+// bandwidth, and 0 otherwise. Envelope bodies encode lazily: forcing the
+// encode just to measure a size that latency-only links ignore would put
+// json.Marshal back on the in-proc hot path, so the size is materialized
+// only for bandwidth-capped links. env is taken by value so the hot
+// path's envelope never escapes to the heap.
+func wireLen(profile LinkProfile, env proto.Envelope) int {
+	if profile.BytesPerSec <= 0 {
+		return 0
+	}
+	return env.EncodedBodyLen()
+}

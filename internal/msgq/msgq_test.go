@@ -164,7 +164,9 @@ func TestInprocCancellableSlowPathCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reply.Kind != fast.Kind || reply.From != fast.From || string(reply.Body) != string(fast.Body) {
+	rb, _ := reply.WireBody()
+	fb, _ := fast.WireBody()
+	if reply.Kind != fast.Kind || reply.From != fast.From || string(rb) != string(fb) {
 		t.Fatalf("slow-path reply %+v differs from fast-path reply %+v", reply, fast)
 	}
 	// Cancelling after completion must not poison later requests.

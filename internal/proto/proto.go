@@ -42,9 +42,12 @@ const (
 // its payload value in an unexported field. In-process transports hand the
 // envelope to the receiver by value, so Decode can satisfy matching
 // payload types with a struct copy instead of a JSON parse — the dominant
-// per-request CPU and allocation cost on the REQ/REP hot path. The field
-// is invisible to encoding/json: an envelope that crosses a real wire
-// (TCP framing) loses it and Decode falls back to the JSON body.
+// per-request CPU and allocation cost on the REQ/REP hot path. For those
+// fast-path payload types Body stays nil until first wire access
+// (WireBody): an envelope that never leaves the address space never pays
+// json.Marshal either. The snapshot field is invisible to encoding/json:
+// an envelope that crosses a real wire (TCP framing) loses it and Decode
+// falls back to the JSON body.
 type Envelope struct {
 	Kind Kind            `json:"kind"`
 	ID   uint64          `json:"id"`           // per-sender sequence number
@@ -58,24 +61,47 @@ type Envelope struct {
 	typed any
 }
 
-// NewEnvelope marshals body into a fresh envelope. It panics only if body
-// is unmarshalable (a programming error, since all payloads are local
-// structs).
+// NewEnvelope builds a fresh envelope around body.
+//
+// Fast-path payload types (the value-typed snapshots Decode understands)
+// are kept unencoded: the JSON body materializes lazily on first wire
+// access via WireBody, so an envelope that lives and dies inside one
+// address space never pays json.Marshal at all. All other payloads are
+// encoded eagerly — a pointer or map payload must be snapshotted at send
+// time, before its referents can mutate.
 func NewEnvelope(kind Kind, id uint64, from, to string, sent time.Time, body any) (Envelope, error) {
+	env := Envelope{Kind: kind, ID: id, From: from, To: to, Sent: sent}
+	switch body.(type) {
+	// Value-typed payloads with no reference fields are true snapshots
+	// (boxed copies): safe to keep for the in-process decode fast path
+	// and to re-encode later for the wire. Pointer payloads and payloads
+	// holding maps (Control.Args) are deliberately excluded — their
+	// referents could mutate after send.
+	case InferenceRequest, InferenceReply, Heartbeat, StateUpdate, Endpoint, ErrorBody:
+		env.typed = body
+		return env, nil
+	}
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return Envelope{}, fmt.Errorf("proto: marshal %s body: %w", kind, err)
 	}
-	env := Envelope{Kind: kind, ID: id, From: from, To: to, Sent: sent, Body: raw}
-	switch body.(type) {
-	// Value-typed payloads with no reference fields are true snapshots
-	// (boxed copies): safe to keep for the in-process decode fast path.
-	// Pointer payloads and payloads holding maps (Control.Args) are
-	// deliberately excluded — their referents could mutate after send.
-	case InferenceRequest, InferenceReply, Heartbeat, StateUpdate, Endpoint, ErrorBody:
-		env.typed = body
-	}
+	env.Body = raw
 	return env, nil
+}
+
+// WireBody returns the envelope's JSON body, encoding the in-process
+// payload snapshot on first wire access. Transports call it before
+// framing or charging size-dependent link costs; in-process deliveries
+// that decode via the typed snapshot never trigger the encode.
+func (e *Envelope) WireBody() (json.RawMessage, error) {
+	if e.Body == nil && e.typed != nil {
+		raw, err := json.Marshal(e.typed)
+		if err != nil {
+			return nil, fmt.Errorf("proto: marshal %s body: %w", e.Kind, err)
+		}
+		e.Body = raw
+	}
+	return e.Body, nil
 }
 
 // Decode unmarshals the envelope body into out, validating the kind first.
@@ -119,10 +145,30 @@ func (e Envelope) Decode(want Kind, out any) error {
 			}
 		}
 	}
-	if err := json.Unmarshal(e.Body, out); err != nil {
+	raw, err := (&e).WireBody() // lazy body: materialize for the JSON path
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
 		return fmt.Errorf("proto: decode %s body: %w", e.Kind, err)
 	}
 	return nil
+}
+
+// EncodedBodyLen returns the length of the envelope's JSON body, encoding
+// a lazily-held payload snapshot just to measure it (the encode result is
+// not cached — the receiver is a value so hot-path callers' envelopes do
+// not escape to the heap). Transports that charge for bandwidth use it;
+// latency-only links never need a size.
+func (e Envelope) EncodedBodyLen() int {
+	if e.Body == nil && e.typed != nil {
+		raw, err := json.Marshal(e.typed)
+		if err != nil {
+			return 0
+		}
+		return len(raw)
+	}
+	return len(e.Body)
 }
 
 // InferenceRequest is the payload of a KindRequest message: one API call
@@ -134,6 +180,10 @@ type InferenceRequest struct {
 	Model      string `json:"model"` // model name, e.g. "llama-8b" or "noop"
 	Prompt     string `json:"prompt"`
 	MaxTokens  int    `json:"max_tokens,omitempty"`
+	// NoBatch excludes the request from batched inference: a server with
+	// continuous batching enabled serves it alone rather than coalescing
+	// it with compatible queued requests.
+	NoBatch bool `json:"no_batch,omitempty"`
 	// SentAt is the client clock time immediately before the request
 	// entered the transport; used for RT decomposition.
 	SentAt time.Time `json:"sent_at"`
@@ -222,11 +272,17 @@ type StateUpdate struct {
 	Detail    string    `json:"detail,omitempty"`
 }
 
-// Heartbeat is the payload of a KindHeartbeat message.
+// Heartbeat is the payload of a KindHeartbeat message. QueueDepth is the
+// compatibility sum of the two honest gauges: Queued (admitted, waiting
+// for a worker) and InFlight (currently executing). Busy means the
+// service is executing at least one request — a deep queue alone does
+// not set it.
 type Heartbeat struct {
 	ServiceUID string    `json:"service_uid"`
 	At         time.Time `json:"at"`
 	QueueDepth int       `json:"queue_depth"`
+	Queued     int       `json:"queued"`
+	InFlight   int       `json:"in_flight"`
 	Busy       bool      `json:"busy"`
 }
 
@@ -255,8 +311,12 @@ const MaxFrameSize = 16 << 20
 // ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
 var ErrFrameTooLarge = errors.New("proto: frame exceeds maximum size")
 
-// WriteFrame writes env as a length-prefixed JSON frame.
+// WriteFrame writes env as a length-prefixed JSON frame, materializing a
+// lazily-encoded body first (the snapshot does not cross the wire).
 func WriteFrame(w io.Writer, env Envelope) error {
+	if _, err := env.WireBody(); err != nil {
+		return err
+	}
 	raw, err := json.Marshal(env)
 	if err != nil {
 		return fmt.Errorf("proto: marshal envelope: %w", err)

@@ -45,7 +45,9 @@ type Health struct {
 	ServiceUID string `json:"service_uid"`
 	Model      string `json:"model"`
 	Ready      bool   `json:"ready"`
-	QueueDepth int    `json:"queue_depth"`
+	Queued     int    `json:"queued"`
+	InFlight   int    `json:"in_flight"`
+	QueueDepth int    `json:"queue_depth"` // Queued + InFlight
 	Processed  int64  `json:"processed"`
 }
 
@@ -130,6 +132,8 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 		ServiceUID: g.srv.UID(),
 		Model:      g.srv.Model(),
 		Ready:      g.srv.Ready(),
+		Queued:     g.srv.Queued(),
+		InFlight:   g.srv.InFlight(),
 		QueueDepth: g.srv.QueueDepth(),
 		Processed:  g.srv.Processed(),
 	})

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/proto"
+)
+
+// Balancer is an inference client for a logical service UID that may be
+// backed by several replicas: the base instance plus whatever replica
+// members the session autoscaler currently lists in the EndpointRegistry
+// group. Each request reads the live membership, picks the member with
+// the least reported load (queued + in-flight, ties broken round-robin),
+// and delegates to that member's Resolver — so every replica request
+// still gets the resolvers' generation-aware failover machinery. With no
+// members the Balancer degrades to a plain Resolver on the base UID.
+//
+// Membership and load reports come from the autoscaler's control loop,
+// so balancing decisions lag reality by at most one scale interval; the
+// round-robin tie-break spreads the burst that lands inside one interval.
+type Balancer struct {
+	reg  *EndpointRegistry
+	uid  string
+	dial DialFn
+	rr   atomic.Uint64
+
+	mu     sync.Mutex
+	res    map[string]*Resolver
+	closed bool
+}
+
+// NewBalancer returns a Balancer for the logical service uid.
+func NewBalancer(reg *EndpointRegistry, uid string, dial DialFn) (*Balancer, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("service: balancer %s: nil registry", uid)
+	}
+	if dial == nil {
+		return nil, fmt.Errorf("service: balancer %s: nil dial", uid)
+	}
+	return &Balancer{reg: reg, uid: uid, dial: dial, res: make(map[string]*Resolver)}, nil
+}
+
+// Infer routes one request to the least-loaded group member and blocks
+// for its reply.
+func (b *Balancer) Infer(ctx context.Context, prompt string, maxTokens int) (proto.InferenceReply, metrics.Breakdown, error) {
+	target := b.uid
+	if members := b.reg.Members(b.uid); len(members) > 0 {
+		target = b.pick(members)
+	}
+	r, err := b.resolver(target)
+	if err != nil {
+		return proto.InferenceReply{}, metrics.Breakdown{}, err
+	}
+	return r.Infer(ctx, prompt, maxTokens)
+}
+
+// pick selects the least-loaded of the base UID and the replica members,
+// breaking ties with a rotating counter so equally-idle replicas share
+// the burst that arrives between two load reports.
+func (b *Balancer) pick(members []string) string {
+	best := []string{b.uid}
+	bestLoad := b.load(b.uid)
+	for _, m := range members {
+		switch l := b.load(m); {
+		case l < bestLoad:
+			best = append(best[:0], m)
+			bestLoad = l
+		case l == bestLoad:
+			best = append(best, m)
+		}
+	}
+	if len(best) == 1 {
+		return best[0]
+	}
+	return best[int(b.rr.Add(1)-1)%len(best)]
+}
+
+func (b *Balancer) load(uid string) int {
+	l := b.reg.LoadOf(uid)
+	return l.Queued + l.InFlight
+}
+
+// resolver returns (creating on first use) the member's Resolver.
+func (b *Balancer) resolver(uid string) (*Resolver, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("service: balancer %s closed", b.uid)
+	}
+	if r, ok := b.res[uid]; ok {
+		return r, nil
+	}
+	r, err := NewResolver(b.reg, uid, b.dial, 0)
+	if err != nil {
+		return nil, err
+	}
+	b.res[uid] = r
+	return r, nil
+}
+
+// Reresolved sums the re-resolution counts of every member resolver.
+func (b *Balancer) Reresolved() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, r := range b.res {
+		n += r.Reresolved()
+	}
+	return n
+}
+
+// Close closes every member resolver. Subsequent Infer calls fail.
+func (b *Balancer) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for _, r := range b.res {
+		_ = r.Close()
+	}
+	return nil
+}

@@ -70,6 +70,22 @@ type endpointEntry struct {
 	live      bool
 	withdrawn bool
 	waiters   []chan struct{}
+	// members are replica service UIDs grouped under this logical UID by
+	// the session autoscaler; balancing clients spread requests across
+	// them. Membership is routing state, not a publication: it does not
+	// move the generation.
+	members []string
+	// load is the endpoint's last reported load gauge pair.
+	load Load
+}
+
+// Load is a per-endpoint load report: the honest queue split surfaced by
+// serving.Server. Whoever observes the instance (the session autoscaler's
+// control loop) pushes reports; balancing clients read them to pick the
+// least-loaded replica.
+type Load struct {
+	Queued   int // admitted, waiting for a worker
+	InFlight int // currently executing
 }
 
 // NewEndpointRegistry returns an empty registry.
@@ -272,6 +288,80 @@ func (r *EndpointRegistry) AwaitNewer(ctx context.Context, uid string, after uin
 	return r.await(ctx, uid, after)
 }
 
+// AddMember records member (a replica service UID) under the logical
+// group UID. Adding an already-present member is a no-op. The group's
+// entry is created if the group was never published — membership may
+// precede the base publication during recovery replays.
+func (r *EndpointRegistry) AddMember(group, member string) {
+	r.mu.Lock()
+	e := r.entries[group]
+	if e == nil {
+		e = &endpointEntry{}
+		r.entries[group] = e
+	}
+	for _, m := range e.members {
+		if m == member {
+			r.mu.Unlock()
+			return
+		}
+	}
+	e.members = append(e.members, member)
+	r.mu.Unlock()
+}
+
+// RemoveMember drops member from the logical group UID. Removing an
+// absent member is a no-op.
+func (r *EndpointRegistry) RemoveMember(group, member string) {
+	r.mu.Lock()
+	if e := r.entries[group]; e != nil {
+		for i, m := range e.members {
+			if m == member {
+				e.members = append(e.members[:i], e.members[i+1:]...)
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Members returns the replica UIDs grouped under the logical UID, in
+// membership order (nil when the group has none — the common, unscaled
+// case). The base UID itself is not listed; balancing clients treat the
+// group as base plus members.
+func (r *EndpointRegistry) Members(group string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[group]
+	if e == nil || len(e.members) == 0 {
+		return nil
+	}
+	out := make([]string, len(e.members))
+	copy(out, e.members)
+	return out
+}
+
+// ReportLoad records uid's latest load gauges. Reports for unknown UIDs
+// are dropped — a retired replica's straggling report must not
+// resurrect its entry.
+func (r *EndpointRegistry) ReportLoad(uid string, l Load) {
+	r.mu.Lock()
+	if e := r.entries[uid]; e != nil {
+		e.load = l
+	}
+	r.mu.Unlock()
+}
+
+// LoadOf returns uid's last reported load gauges (zero when never
+// reported or unknown).
+func (r *EndpointRegistry) LoadOf(uid string) Load {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.entries[uid]; e != nil {
+		return e.load
+	}
+	return Load{}
+}
+
 func (r *EndpointRegistry) await(ctx context.Context, uid string, after uint64) (proto.Endpoint, uint64, error) {
 	for {
 		r.mu.Lock()
@@ -307,7 +397,7 @@ func (r *EndpointRegistry) await(ctx context.Context, uid string, after uint64) 
 					break
 				}
 			}
-			if e.gen == 0 && !e.live && !e.withdrawn && len(e.waiters) == 0 {
+			if e.gen == 0 && !e.live && !e.withdrawn && len(e.waiters) == 0 && len(e.members) == 0 {
 				delete(r.entries, uid)
 			}
 			r.mu.Unlock()

@@ -175,7 +175,8 @@ func (s *Instance) Bootstrap() metrics.Breakdown {
 	}}
 }
 
-// QueueDepth returns the server's live queue depth (0 when not active).
+// QueueDepth returns the server's live queue depth — queued plus
+// executing requests (0 when not active).
 func (s *Instance) QueueDepth() int {
 	s.mu.Lock()
 	srv := s.server
@@ -184,6 +185,31 @@ func (s *Instance) QueueDepth() int {
 		return 0
 	}
 	return srv.QueueDepth()
+}
+
+// Queued returns requests admitted to the server's queue but not yet
+// being executed (0 when not active) — the backlog signal autoscaling
+// and balancing read.
+func (s *Instance) Queued() int {
+	s.mu.Lock()
+	srv := s.server
+	s.mu.Unlock()
+	if srv == nil {
+		return 0
+	}
+	return srv.Queued()
+}
+
+// InFlight returns requests the server is currently executing (0 when
+// not active).
+func (s *Instance) InFlight() int {
+	s.mu.Lock()
+	srv := s.server
+	s.mu.Unlock()
+	if srv == nil {
+		return 0
+	}
+	return srv.InFlight()
 }
 
 // Processed returns the number of requests the instance's server completed
@@ -261,7 +287,21 @@ func (m *Manager) Submit(d spec.ServiceDescription) (*Instance, error) {
 	m.services[d.UID] = inst
 	m.mu.Unlock()
 
-	go m.bootstrap(inst)
+	// Register the bootstrap goroutine with a runnability-accounting clock
+	// (the clock.Go rule): mid-session service spawns — the autoscaler's
+	// replicas — sleep for real model-load time, and an unregistered
+	// sleeper would let the auto-advancing clock move time while the
+	// bootstrap is still runnable, destroying determinism. On real/scaled
+	// clocks RunnersOf is nil and this is a plain goroutine as before.
+	if run := simtime.RunnersOf(m.cfg.Clock); run != nil {
+		run.AddRunner()
+		go func() {
+			defer run.DoneRunner()
+			m.bootstrap(inst)
+		}()
+	} else {
+		go m.bootstrap(inst)
+	}
 	return inst, nil
 }
 
@@ -408,6 +448,7 @@ func (m *Manager) bootstrap(inst *Instance) {
 		Src:         m.cfg.Src.Derive(d.UID + ".server"),
 		Concurrency: d.Concurrency,
 		QueueCap:    d.QueueCap,
+		MaxBatch:    d.MaxBatch,
 	})
 	if err != nil {
 		fail(err)
@@ -490,8 +531,12 @@ func (m *Manager) controlHandler(inst *Instance) msgq.Handler {
 			inst.mu.Unlock()
 			hb := proto.Heartbeat{ServiceUID: inst.UID(), At: m.cfg.Clock.Now()}
 			if srv != nil && !killed {
-				hb.QueueDepth = srv.QueueDepth()
-				hb.Busy = srv.QueueDepth() > 0
+				hb.Queued = srv.Queued()
+				hb.InFlight = srv.InFlight()
+				hb.QueueDepth = hb.Queued + hb.InFlight
+				// Busy means "executing", not "has work somewhere": a
+				// backlogged-but-stalled replica must not look busy.
+				hb.Busy = hb.InFlight > 0
 			}
 			if killed || srv == nil || !srv.Ready() {
 				out, _ := proto.NewEnvelope(proto.KindError, env.ID, inst.UID(), env.From, m.cfg.Clock.Now(),

@@ -1,11 +1,16 @@
 // Package serving implements the model server a runtime service wraps —
 // the Go analogue of Ollama in the paper's prototype. A Server owns one
-// model backend, accepts inference requests through a msgq handler, and —
-// matching the paper's stated simplification — is single-threaded by
-// default: "services are single-threaded, and, as such, they only handle
-// one request at a time, queuing further incoming requests." The
-// concurrency knob exists because lifting that simplification is the
-// paper's declared future work, and the ablation benchmarks exercise it.
+// model backend and accepts inference requests through a msgq handler.
+// By default it matches the paper's stated simplification — "services are
+// single-threaded, and, as such, they only handle one request at a time,
+// queuing further incoming requests" — but lifting that simplification is
+// the paper's declared future work, and this package implements it: a
+// worker pool (Config.Concurrency) feeds a continuous-batching dispatcher
+// (Config.MaxBatch) that coalesces compatible queued requests into one
+// batched backend invocation whenever a worker frees up. Batches are not
+// fixed windows: each batch is sized by whatever happens to be queued at
+// dequeue time, so an idle server still serves single requests with no
+// added latency.
 package serving
 
 import (
@@ -43,6 +48,17 @@ type Backend interface {
 	MemGB() float64
 }
 
+// BatchBackend is optionally implemented by backends that can serve
+// several compatible requests in one model invocation (continuous
+// batching). InferBatch blocks for the whole batch and returns one result
+// per item, in order. A batch of one must be indistinguishable from Infer
+// — same randomness draws, same result bytes — so enabling batching never
+// perturbs an unbatched workload.
+type BatchBackend interface {
+	Backend
+	InferBatch(items []llm.BatchItem) []llm.Result
+}
+
 // LLMBackend adapts an llm.Instance to Backend.
 type LLMBackend struct{ M *llm.Instance }
 
@@ -60,6 +76,11 @@ func (b LLMBackend) Infer(prompt string, maxTokens int) llm.Result {
 // MemGB implements Backend.
 func (b LLMBackend) MemGB() float64 { return b.M.Spec().MemGB }
 
+// InferBatch implements BatchBackend via the llm batch cost model.
+func (b LLMBackend) InferBatch(items []llm.BatchItem) []llm.Result {
+	return b.M.InferBatch(items)
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// UID identifies the server (usually the owning service task UID).
@@ -75,6 +96,11 @@ type Config struct {
 	Concurrency int
 	// QueueCap bounds the request queue. Default 4096.
 	QueueCap int
+	// MaxBatch bounds how many compatible queued requests (same model,
+	// none flagged NoBatch) one worker coalesces into a single batched
+	// inference. Effective only when Backend implements BatchBackend;
+	// 0 or 1 disables batching (the paper's request-at-a-time service).
+	MaxBatch int
 	// ParseOverhead is the per-request deserialize/parse/serialize cost
 	// (the paper's `service` RT component). Default ≈ 30µs ± 10µs of
 	// modelled cost; at real-time clock scales the host's genuine
@@ -116,6 +142,10 @@ type Server struct {
 	// run is the clock's runnability accounting (nil on real/scaled
 	// clocks, where parks and wakes need no bookkeeping).
 	run simtime.Runners
+	// batch is non-nil when batching is enabled (MaxBatch > 1 and the
+	// backend implements BatchBackend); workers then dispatch through
+	// dequeueBatch/serveBatch instead of the single-request path.
+	batch BatchBackend
 
 	mu       sync.Mutex
 	jobs     []*job      // queued, not yet picked up by a worker
@@ -128,7 +158,13 @@ type Server struct {
 	loadTime time.Duration
 	workers  sync.WaitGroup
 
-	depth     atomic.Int64 // queued + executing requests
+	// queued counts requests admitted to the queue (or in handoff to a
+	// worker) but not yet being served; inflight counts requests a worker
+	// is executing. They are split so load signals can tell a fully-busy-
+	// but-empty-queue replica from a backlogged one — the autoscaler and
+	// balancer read Queued, liveness probes read InFlight.
+	queued    atomic.Int64
+	inflight  atomic.Int64
 	processed atomic.Int64
 	rejected  atomic.Int64
 	deduped   atomic.Int64
@@ -151,17 +187,38 @@ type dedupEntry struct {
 	reply proto.InferenceReply
 }
 
+// Drop-box states for job.state: the single-word handoff protocol between
+// the worker's reply and a Submit caller abandoning the wait on ctx
+// expiry. Exactly one side wins the CAS out of jobWaiting; the loser
+// takes the cleanup duty the winner left behind (see reply and Submit).
+const (
+	jobWaiting   int32 = iota // Submit caller is (or will be) parked on done
+	jobReplied                // worker committed the reply; wake token issued
+	jobAbandoned              // caller left; worker recycles on reply
+)
+
 type job struct {
 	req      proto.InferenceRequest
 	received time.Time
 	done     chan proto.InferenceReply
+	state    atomic.Int32 // jobWaiting | jobReplied | jobAbandoned
 }
 
-// jobPool recycles jobs and their reply channels across requests. A job
-// returns to the pool only on paths where the worker's single reply has
-// been consumed (or the job never reached the queue); the context-expiry
-// path abandons the job to the garbage collector because the worker may
-// still send into done.
+// recycle resets the job and returns it to the pool. Callers must own the
+// job outright: either the reply has been consumed, the job never reached
+// the queue, or the worker observed jobAbandoned (so no send into done is
+// outstanding or ever will be).
+func (j *job) recycle() {
+	j.req = proto.InferenceRequest{}
+	j.state.Store(jobWaiting)
+	jobPool.Put(j)
+}
+
+// jobPool recycles jobs and their reply channels across requests. Every
+// path returns its job: completed submissions recycle after consuming the
+// reply, rejected ones before parking, and abandoned ones (ctx expiry)
+// are recycled by the worker when its reply hits the jobAbandoned
+// drop-box state.
 var jobPool = sync.Pool{
 	New: func() any { return &job{done: make(chan proto.InferenceReply, 1)} },
 }
@@ -190,6 +247,11 @@ func New(cfg Config) (*Server, error) {
 		cfg.DedupWindow = DefaultDedupWindow
 	}
 	s := &Server{cfg: cfg, run: simtime.RunnersOf(cfg.Clock)}
+	if cfg.MaxBatch > 1 {
+		if bb, ok := cfg.Backend.(BatchBackend); ok {
+			s.batch = bb
+		}
+	}
 	if cfg.DedupWindow > 0 {
 		s.dedupDone = make(map[string]int, cfg.DedupWindow)
 		s.dedupRing = make([]dedupEntry, cfg.DedupWindow)
@@ -257,8 +319,15 @@ func (s *Server) LoadTime() time.Duration {
 	return s.loadTime
 }
 
-// QueueDepth returns queued plus executing requests.
-func (s *Server) QueueDepth() int { return int(s.depth.Load()) }
+// Queued returns requests admitted but not yet picked up by a worker.
+func (s *Server) Queued() int { return int(s.queued.Load()) }
+
+// InFlight returns requests currently being executed by workers.
+func (s *Server) InFlight() int { return int(s.inflight.Load()) }
+
+// QueueDepth returns queued plus executing requests — the compatibility
+// sum of the Queued and InFlight gauges.
+func (s *Server) QueueDepth() int { return int(s.queued.Load() + s.inflight.Load()) }
 
 // Processed returns the number of completed requests.
 func (s *Server) Processed() int64 { return s.processed.Load() }
@@ -311,28 +380,67 @@ func (s *Server) worker() {
 		// spawned — see the register-before-spawn comment there.
 		defer s.run.DoneRunner()
 	}
+	if s.batch != nil {
+		s.batchWorker()
+		return
+	}
 	for {
 		j, ok := s.dequeue()
 		if !ok {
 			return
 		}
+		s.queued.Add(-1)
+		s.inflight.Add(1)
 		s.mu.Lock()
 		stopped := s.stopped
 		s.mu.Unlock()
 		if stopped {
 			// Immediate termination: flush queued jobs with error replies so
 			// their Submit callers unblock.
-			s.depth.Add(-1)
-			s.rejected.Add(1)
-			s.reply(j, proto.InferenceReply{
-				RequestUID: j.req.RequestUID,
-				ServiceUID: s.cfg.UID,
-				Err:        ErrStopped.Error(),
-			})
+			s.flushStopped(j)
 			continue
 		}
 		s.serve(j)
 	}
+}
+
+// batchWorker is the dispatcher loop of a batching server: each time the
+// worker frees up it takes whatever compatible requests are queued (up to
+// MaxBatch) and serves them as one backend invocation — continuous
+// batching, no forming windows and no added idle latency.
+func (s *Server) batchWorker() {
+	buf := make([]*job, 0, s.cfg.MaxBatch)
+	for {
+		batch, ok := s.dequeueBatch(buf[:0])
+		if !ok {
+			return
+		}
+		buf = batch[:0]
+		s.queued.Add(-int64(len(batch)))
+		s.inflight.Add(int64(len(batch)))
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			for _, j := range batch {
+				s.flushStopped(j)
+			}
+			continue
+		}
+		s.serveBatch(batch)
+	}
+}
+
+// flushStopped replies ErrStopped for a dequeued job of a stopped server.
+// The caller has already moved the job's count from queued to inflight.
+func (s *Server) flushStopped(j *job) {
+	s.inflight.Add(-1)
+	s.rejected.Add(1)
+	s.reply(j, proto.InferenceReply{
+		RequestUID: j.req.RequestUID,
+		ServiceUID: s.cfg.UID,
+		Err:        ErrStopped.Error(),
+	})
 }
 
 // dequeue returns the next job, parking the worker when the queue is
@@ -362,6 +470,47 @@ func (s *Server) dequeue() (*job, bool) {
 		s.mu.Unlock()
 		if j := <-ch; j != nil {
 			return j, true
+		}
+		// nil wakeup: the queue closed while we were parked; loop to
+		// observe qclosed under the lock.
+	}
+}
+
+// dequeueBatch returns the next batch of compatible jobs, appending into
+// buf: the head of the queue plus every immediately following request for
+// the same model that is not flagged NoBatch, up to MaxBatch. A NoBatch
+// head forms a batch of one. Like dequeue, it parks the worker when the
+// queue is empty — a direct handoff then yields a batch of one, which is
+// exactly continuous batching's idle behavior.
+func (s *Server) dequeueBatch(buf []*job) ([]*job, bool) {
+	for {
+		s.mu.Lock()
+		if len(s.jobs) > 0 {
+			n := 1
+			head := s.jobs[0]
+			if !head.req.NoBatch {
+				for n < len(s.jobs) && n < s.cfg.MaxBatch &&
+					!s.jobs[n].req.NoBatch && s.jobs[n].req.Model == head.req.Model {
+					n++
+				}
+			}
+			buf = append(buf, s.jobs[:n]...)
+			s.jobs = s.jobs[n:]
+			s.mu.Unlock()
+			return buf, true
+		}
+		if s.qclosed {
+			s.mu.Unlock()
+			return nil, false
+		}
+		ch := make(chan *job, 1)
+		s.waiters = append(s.waiters, ch)
+		if s.run != nil {
+			s.run.Block()
+		}
+		s.mu.Unlock()
+		if j := <-ch; j != nil {
+			return append(buf, j), true
 		}
 		// nil wakeup: the queue closed while we were parked; loop to
 		// observe qclosed under the lock.
@@ -403,8 +552,17 @@ func (s *Server) closeQueueLocked() {
 
 // reply delivers the worker's single reply for j, issuing the requester's
 // wake token first so a runnability-accounting clock cannot advance while
-// the Submit caller's wakeup is in flight.
+// the Submit caller's wakeup is in flight. If the Submit caller abandoned
+// the wait (ctx expiry), the jobAbandoned drop-box state redirects the
+// reply: the worker consumes it on the caller's behalf — recycling the
+// job, issuing no wake token (nobody is parked) — so the runner
+// accounting stays exact at every instant and cancellation is
+// deterministic on the auto-advancing virtual clock.
 func (s *Server) reply(j *job, r proto.InferenceReply) {
+	if !j.state.CompareAndSwap(jobWaiting, jobReplied) {
+		j.recycle()
+		return
+	}
 	if s.run != nil {
 		s.run.Unblock()
 	}
@@ -412,7 +570,7 @@ func (s *Server) reply(j *job, r proto.InferenceReply) {
 }
 
 func (s *Server) serve(j *job) {
-	defer s.depth.Add(-1)
+	defer s.inflight.Add(-1)
 	clock := s.cfg.Clock
 	timing := proto.Timing{ReceivedAt: j.received, DequeuedAt: clock.Now()}
 
@@ -446,6 +604,61 @@ func (s *Server) serve(j *job) {
 	s.reply(j, reply)
 }
 
+// serveBatch executes one coalesced batch as a single backend invocation
+// and fans the results back out to every member's Submit caller. The
+// per-request parse overhead is still charged — batching amortizes model
+// compute, not request deserialization — with the summed overhead split
+// half before inference (request parsing) and half after (reply
+// serialization), mirroring the sequential path. Batch members share the
+// dequeue/infer/reply timestamps: they ride one forward pass.
+func (s *Server) serveBatch(batch []*job) {
+	defer s.inflight.Add(-int64(len(batch)))
+	clock := s.cfg.Clock
+	dequeued := clock.Now()
+
+	var overhead time.Duration
+	for range batch {
+		overhead += s.cfg.ParseOverhead.Sample(s.cfg.Src)
+	}
+	if overhead > 0 {
+		clock.Sleep(overhead / 2)
+	}
+
+	items := make([]llm.BatchItem, len(batch))
+	for i, j := range batch {
+		items[i] = llm.BatchItem{Prompt: j.req.Prompt, MaxTokens: j.req.MaxTokens}
+	}
+	inferStart := clock.Now()
+	results := s.batch.InferBatch(items)
+	inferEnd := clock.Now()
+
+	if overhead > 0 {
+		clock.Sleep(overhead - overhead/2)
+	}
+	replied := clock.Now()
+
+	for i, j := range batch {
+		s.processed.Add(1)
+		reply := proto.InferenceReply{
+			RequestUID:   j.req.RequestUID,
+			ServiceUID:   s.cfg.UID,
+			Model:        s.cfg.Backend.Name(),
+			Text:         results[i].Text,
+			PromptTokens: results[i].PromptTokens,
+			OutputTokens: results[i].OutputTokens,
+			Timing: proto.Timing{
+				ReceivedAt:   j.received,
+				DequeuedAt:   dequeued,
+				InferStartAt: inferStart,
+				InferEndAt:   inferEnd,
+				RepliedAt:    replied,
+			},
+		}
+		s.remember(j.req.RequestUID, reply)
+		s.reply(j, reply)
+	}
+}
+
 // Submit enqueues one request and blocks until its reply (or ctx expiry).
 // This is the synchronous request path a msgq handler invokes.
 //
@@ -454,10 +667,13 @@ func (s *Server) serve(j *job) {
 // accepted request can never race the close. On a runnability-accounting
 // clock the caller parks as Block'd while it waits; the worker's reply
 // carries the matching wake token. A caller that abandons the wait on ctx
-// expiry resumes unaccounted until that token lands — cancellation paths
-// trade a transient undercount (and with it strict determinism) for not
-// leaking the count, which is why deterministic campaigns submit with a
-// non-cancellable context.
+// expiry settles accounts through the job's drop-box state: it rebalances
+// its own Block with an Unblock the moment it leaves, and the worker's
+// eventual reply — seeing jobAbandoned — recycles the job without issuing
+// a token. Both sides stay exact at every instant, so cancellation is
+// deterministic on the auto-advancing virtual clock. If the reply commits
+// first (its token already in flight), the caller loses the CAS and takes
+// the completed reply instead of the ctx error.
 func (s *Server) Submit(ctx context.Context, req proto.InferenceRequest) (proto.InferenceReply, error) {
 	j := jobPool.Get().(*job)
 	j.req = req
@@ -482,12 +698,11 @@ func (s *Server) Submit(ctx context.Context, req proto.InferenceRequest) (proto.
 		if reply, ok := s.lookupDedup(req.RequestUID); ok {
 			s.mu.Unlock()
 			s.deduped.Add(1)
-			j.req = proto.InferenceRequest{}
-			jobPool.Put(j)
+			j.recycle()
 			return reply, nil
 		}
 		if s.enqueueLocked(j) {
-			s.depth.Add(1)
+			s.queued.Add(1)
 		} else {
 			rejection = ErrQueueFull
 		}
@@ -496,8 +711,7 @@ func (s *Server) Submit(ctx context.Context, req proto.InferenceRequest) (proto.
 
 	if rejection != nil {
 		s.rejected.Add(1)
-		j.req = proto.InferenceRequest{}
-		jobPool.Put(j)
+		j.recycle()
 		return proto.InferenceReply{}, rejection
 	}
 	if s.run != nil {
@@ -505,11 +719,24 @@ func (s *Server) Submit(ctx context.Context, req proto.InferenceRequest) (proto.
 	}
 	select {
 	case reply := <-j.done:
-		j.req = proto.InferenceRequest{}
-		jobPool.Put(j)
+		j.recycle()
 		return reply, nil
 	case <-ctx.Done():
-		return proto.InferenceReply{}, ctx.Err()
+		if j.state.CompareAndSwap(jobWaiting, jobAbandoned) {
+			// We own the abandonment: rebalance our own Block token now.
+			// The worker's reply will observe jobAbandoned and recycle the
+			// job without issuing a token — see reply.
+			if s.run != nil {
+				s.run.Unblock()
+			}
+			return proto.InferenceReply{}, ctx.Err()
+		}
+		// Lost the race: the reply committed first and its wake token is
+		// already in flight for us. Take the reply — the request did
+		// complete.
+		reply := <-j.done
+		j.recycle()
+		return reply, nil
 	}
 }
 

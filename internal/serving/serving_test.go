@@ -3,7 +3,10 @@ package serving
 import (
 	"context"
 	"errors"
+	"fmt"
+	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -518,5 +521,285 @@ func TestDedupDisabled(t *testing.T) {
 	}
 	if s.Processed() != 2 || s.Deduped() != 0 {
 		t.Fatalf("disabled dedup intercepted: processed=%d deduped=%d", s.Processed(), s.Deduped())
+	}
+}
+
+// --- Continuous batching (PR 8) ----------------------------------------------
+
+// recordingBackend is a BatchBackend that records every batch it serves.
+// The entered/gate channels let tests hold the worker mid-inference so
+// the queue contents at the next dequeue are exactly known.
+type recordingBackend struct {
+	entered chan struct{} // one signal per InferBatch entry (after recording)
+	gate    chan struct{} // each InferBatch waits for one token before returning
+
+	mu      sync.Mutex
+	batches [][]llm.BatchItem
+}
+
+func (b *recordingBackend) Name() string        { return "rec" }
+func (b *recordingBackend) Load() time.Duration { return 0 }
+func (b *recordingBackend) MemGB() float64      { return 0 }
+
+func (b *recordingBackend) Infer(prompt string, maxTokens int) llm.Result {
+	return b.InferBatch([]llm.BatchItem{{Prompt: prompt, MaxTokens: maxTokens}})[0]
+}
+
+func (b *recordingBackend) InferBatch(items []llm.BatchItem) []llm.Result {
+	b.mu.Lock()
+	b.batches = append(b.batches, append([]llm.BatchItem(nil), items...))
+	b.mu.Unlock()
+	if b.entered != nil {
+		b.entered <- struct{}{}
+	}
+	if b.gate != nil {
+		<-b.gate
+	}
+	return make([]llm.Result, len(items))
+}
+
+func (b *recordingBackend) recorded() [][]string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([][]string, len(b.batches))
+	for i, batch := range b.batches {
+		for _, it := range batch {
+			out[i] = append(out[i], it.Prompt)
+		}
+	}
+	return out
+}
+
+func newBatchServer(t *testing.T, b Backend, maxBatch int) *Server {
+	t.Helper()
+	s, err := New(Config{
+		UID:         "service.0001",
+		Backend:     b,
+		Clock:       simtime.NewScaled(100000, origin),
+		Src:         rng.New(42),
+		Concurrency: 1,
+		MaxBatch:    maxBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// plugAndQueue occupies the single worker with a plug request (direct
+// handoff: always a batch of one) and then queues reqs in order, using
+// the Queued gauge to serialize the concurrent submits.
+func plugAndQueue(t *testing.T, s *Server, b *recordingBackend, wg *sync.WaitGroup, reqs []proto.InferenceRequest) {
+	t.Helper()
+	submit := func(r proto.InferenceRequest) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), r); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	submit(req("plug", "plug", 1))
+	<-b.entered // worker holds the plug batch until the test releases it
+	for i, r := range reqs {
+		submit(r)
+		waitQueued(t, s, i+1)
+	}
+}
+
+func waitQueued(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Queued() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", n, s.Queued())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// drainBatches releases the gated backend until every submitted request
+// has been served, consuming one entered signal per subsequent batch.
+func drainBatches(t *testing.T, b *recordingBackend, wg *sync.WaitGroup, more int) {
+	t.Helper()
+	b.gate <- struct{}{} // release the plug
+	for i := 0; i < more; i++ {
+		<-b.entered
+		b.gate <- struct{}{}
+	}
+	wg.Wait()
+}
+
+func batchReq(uid, model string, noBatch bool) proto.InferenceRequest {
+	r := req(uid, uid, 1)
+	r.Model = model
+	r.NoBatch = noBatch
+	return r
+}
+
+// TestBatchFormationGroupsByModel: a dequeue takes the head plus every
+// consecutive queued request for the same model, stopping at the first
+// incompatible one — and picks the remainder up as later batches.
+func TestBatchFormationGroupsByModel(t *testing.T) {
+	b := &recordingBackend{entered: make(chan struct{}), gate: make(chan struct{})}
+	s := newBatchServer(t, b, 4)
+	start(t, s)
+	defer s.Stop()
+	var wg sync.WaitGroup
+	plugAndQueue(t, s, b, &wg, []proto.InferenceRequest{
+		batchReq("r0", "a", false),
+		batchReq("r1", "a", false),
+		batchReq("r2", "a", false),
+		batchReq("r3", "b", false),
+		batchReq("r4", "a", false),
+	})
+	drainBatches(t, b, &wg, 3)
+	want := [][]string{{"plug"}, {"r0", "r1", "r2"}, {"r3"}, {"r4"}}
+	if got := b.recorded(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("batches = %v, want %v", got, want)
+	}
+	if s.Processed() != 6 {
+		t.Fatalf("Processed = %d, want 6", s.Processed())
+	}
+}
+
+// TestBatchFormationHonorsMaxBatch: six compatible queued requests under
+// MaxBatch 4 dequeue as a batch of four, then a batch of two.
+func TestBatchFormationHonorsMaxBatch(t *testing.T) {
+	b := &recordingBackend{entered: make(chan struct{}), gate: make(chan struct{})}
+	s := newBatchServer(t, b, 4)
+	start(t, s)
+	defer s.Stop()
+	var wg sync.WaitGroup
+	var reqs []proto.InferenceRequest
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, batchReq(fmt.Sprintf("r%d", i), "a", false))
+	}
+	plugAndQueue(t, s, b, &wg, reqs)
+	drainBatches(t, b, &wg, 2)
+	want := [][]string{{"plug"}, {"r0", "r1", "r2", "r3"}, {"r4", "r5"}}
+	if got := b.recorded(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("batches = %v, want %v", got, want)
+	}
+}
+
+// TestBatchFormationHonorsNoBatch: a NoBatch head dequeues alone even
+// with compatible followers, and a NoBatch follower stops the extension.
+func TestBatchFormationHonorsNoBatch(t *testing.T) {
+	b := &recordingBackend{entered: make(chan struct{}), gate: make(chan struct{})}
+	s := newBatchServer(t, b, 4)
+	start(t, s)
+	defer s.Stop()
+	var wg sync.WaitGroup
+	plugAndQueue(t, s, b, &wg, []proto.InferenceRequest{
+		batchReq("n0", "a", true),
+		batchReq("r1", "a", false),
+		batchReq("n2", "a", true),
+		batchReq("r3", "a", false),
+	})
+	drainBatches(t, b, &wg, 4)
+	want := [][]string{{"plug"}, {"n0"}, {"r1"}, {"n2"}, {"r3"}}
+	if got := b.recorded(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("batches = %v, want %v", got, want)
+	}
+}
+
+// TestCancellationDeterministicOnVirtualClock pins the drop-box
+// cancellation protocol's determinism: on an auto-advancing virtual
+// clock, a plug inference occupies the single worker while ten requests
+// queue behind it; half carry contexts canceled at 10ms of virtual time
+// — far inside the plug's ~1s inference, so exactly those five abandon
+// — and half run to completion. Counts are exact, the worker still
+// executes abandoned jobs (abandonment is client-side), and two runs
+// finish at the identical virtual instant.
+func TestCancellationDeterministicOnVirtualClock(t *testing.T) {
+	run := func() (completed, canceled int64, end time.Time) {
+		clock := simtime.NewVirtualAuto(origin)
+		spec, err := llm.Lookup("vit-base")
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(7)
+		s, err := New(Config{
+			UID:         "service.0001",
+			Backend:     LLMBackend{M: llm.NewInstance(spec, clock, src.Derive("model"))},
+			Clock:       clock,
+			Src:         src.Derive("server"),
+			Concurrency: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var done, ctxErr atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(1)
+		clock.Go(func() {
+			defer wg.Done()
+			// ~1s inference (vit-base generates ~2000 tok/s).
+			wg.Add(1)
+			clock.Go(func() {
+				defer wg.Done()
+				if _, err := s.Submit(context.Background(), req("plug", "plug", 2048)); err == nil {
+					done.Add(1)
+				}
+			})
+			clock.Sleep(time.Millisecond) // the plug is in flight now
+			for i := 0; i < 10; i++ {
+				r := req(fmt.Sprintf("r%d", i), "payload", 8)
+				cancelable := i%2 == 1
+				ctx, cancel := context.WithCancel(context.Background())
+				var ret chan struct{}
+				if cancelable {
+					ret = make(chan struct{}, 1)
+					retOut := ret
+					wg.Add(1)
+					clock.Go(func() {
+						defer wg.Done()
+						clock.Sleep(10 * time.Millisecond)
+						cancel()
+						// Hold the clock (registered, parked on a plain
+						// channel) until the abandonment commits, so
+						// virtual time cannot jump to the plug's end and
+						// let the reply win the drop-box race.
+						<-retOut
+					})
+				}
+				wg.Add(1)
+				clock.Go(func() {
+					defer wg.Done()
+					defer cancel() // idempotent; releases the non-cancelable contexts
+					_, err := s.Submit(ctx, r)
+					if ret != nil {
+						ret <- struct{}{}
+					}
+					switch {
+					case err == nil:
+						done.Add(1)
+					case errors.Is(err, context.Canceled):
+						ctxErr.Add(1)
+					default:
+						t.Errorf("unexpected error: %v", err)
+					}
+				})
+			}
+		})
+		wg.Wait()
+		s.Drain() // the worker finishes the abandoned leftovers
+		return done.Load(), ctxErr.Load(), clock.Now()
+	}
+	c1, x1, e1 := run()
+	c2, x2, e2 := run()
+	if c1 != 6 || x1 != 5 {
+		t.Fatalf("run 1: completed=%d canceled=%d, want 6/5", c1, x1)
+	}
+	if c2 != c1 || x2 != x1 {
+		t.Fatalf("runs disagree: %d/%d vs %d/%d", c1, x1, c2, x2)
+	}
+	if !e1.Equal(e2) {
+		t.Fatalf("virtual end times diverge: %v vs %v", e1, e2)
 	}
 }

@@ -122,6 +122,32 @@ type ServiceDescription struct {
 	Concurrency int
 	// QueueCap bounds the service request queue (default 4096).
 	QueueCap int
+	// MaxBatch bounds how many compatible queued requests one serving
+	// worker coalesces into a single batched inference (continuous
+	// batching). 0 or 1 disables batching.
+	MaxBatch int
+	// MinReplicas and MaxReplicas bound the session autoscaler. A
+	// MaxReplicas above 1 enables demand-driven scaling: the session
+	// watches the service's queue depth over the session clock and
+	// spawns/retires replica instances under this logical service UID.
+	// MinReplicas defaults to 1; zero values leave the service unscaled.
+	MinReplicas int
+	MaxReplicas int
+	// ScaleInterval is the autoscaler evaluation period on the session
+	// clock (default 2s).
+	ScaleInterval time.Duration
+	// ScaleUpQueue is the mean queued-requests-per-replica threshold at
+	// or above which the autoscaler adds a replica (default 4).
+	ScaleUpQueue float64
+	// ScaleDownQueue is the mean queued-requests-per-replica threshold at
+	// or below which an evaluation counts toward retiring a replica
+	// (default 1).
+	ScaleDownQueue float64
+	// ScaleStabilize is the number of consecutive at-or-below-
+	// ScaleDownQueue evaluations required before a replica is retired —
+	// the scale-down hysteresis that keeps a bursty trough from thrashing
+	// replicas (default 3).
+	ScaleStabilize int
 	// ProbeInterval is the liveness-probe period of the ServiceManager
 	// (default 5s).
 	ProbeInterval time.Duration
@@ -140,6 +166,19 @@ func (d ServiceDescription) Validate() error {
 	}
 	if d.Concurrency < 0 || d.QueueCap < 0 {
 		return fmt.Errorf("spec: service %q: negative concurrency/queue", d.Name)
+	}
+	if d.MaxBatch < 0 {
+		return fmt.Errorf("spec: service %q: negative max batch", d.Name)
+	}
+	if d.MinReplicas < 0 || d.MaxReplicas < 0 {
+		return fmt.Errorf("spec: service %q: negative replica bound", d.Name)
+	}
+	if d.MaxReplicas > 0 && d.MinReplicas > d.MaxReplicas {
+		return fmt.Errorf("spec: service %q: min replicas %d above max %d",
+			d.Name, d.MinReplicas, d.MaxReplicas)
+	}
+	if d.ScaleUpQueue < 0 || d.ScaleDownQueue < 0 || d.ScaleStabilize < 0 {
+		return fmt.Errorf("spec: service %q: negative autoscaler threshold", d.Name)
 	}
 	// service tasks hold resources for the serving process itself; a
 	// zero-resource service is legal (noop service on a shared core).
