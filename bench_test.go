@@ -882,3 +882,36 @@ func BenchmarkAblationScale(b *testing.B) {
 		b.ReportMetric(float64(fixed.P99.Milliseconds()), "fixed-p99-ms")
 	}
 }
+
+// --- Multi-process sessions (PR 9) -------------------------------------------
+
+// BenchmarkAblationXproc runs the cross-process ablation: the route and
+// service-failover scenarios with every pilot as a real OS process
+// (re-executions of this test binary, see TestMain) reached over the
+// pooled TCP transport, next to their in-proc twins. The determinism
+// contract is asserted on every run: outcome counts must be identical
+// across the transport swap — the wire changes timing, never results.
+func BenchmarkAblationXproc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunXproc(context.Background(), experiments.DefaultXprocConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, row := range res.Route {
+			if row != res.RouteInproc[j] {
+				b.Fatalf("route %s diverged: os-process %+v, in-proc %+v", row.Router, row, res.RouteInproc[j])
+			}
+		}
+		post := res.Cfg.Requests - res.Cfg.KillAfter
+		for j, row := range res.SvcFail {
+			in := res.SvcFailInproc[j]
+			if row.PreKill != in.PreKill || row.Recovered != in.Recovered || row.Failed != in.Failed {
+				b.Fatalf("svcfail %s diverged: os-process %+v, in-proc %+v", row.Client, row, in)
+			}
+			if row.Client == experiments.SvcFailClientResolving && row.Recovered != post {
+				b.Fatalf("resolving client lost %d/%d post-failover requests", post-row.Recovered, post)
+			}
+		}
+		b.ReportMetric(float64(len(res.Route)+len(res.SvcFail)), "xproc-rows")
+	}
+}

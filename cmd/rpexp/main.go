@@ -19,6 +19,7 @@
 //	rpexp -exp crashrec
 //	rpexp -exp load -scenarios steady,churn
 //	rpexp -exp scale
+//	rpexp -exp xproc
 package main
 
 import (
@@ -33,10 +34,15 @@ import (
 	"repro/internal/router"
 	"repro/internal/scheduler"
 	"repro/internal/usecases"
+	"repro/internal/xproc"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|crashrec|load|scale|table1|table2|all")
+	// When re-executed as a pilot agent (RPPILOT_AGENT set), become one
+	// before anything else; never returns in that case.
+	xproc.MaybeRunAgent()
+
+	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|crashrec|load|scale|xproc|table1|table2|all")
 	deploy := flag.String("deploy", "both", "deployment for exp 2/3: local|remote|both")
 	scaling := flag.String("scaling", "both", "scaling for exp 2/3: strong|weak|both")
 	counts := flag.String("counts", "", "comma-separated instance counts for exp 1 (default: paper sweep)")
@@ -208,6 +214,25 @@ func main() {
 				return err
 			}
 			fmt.Print(res.Table().Render())
+			return nil
+		})
+	}
+	if want("xproc") {
+		run("Cross-process ablation (pilots as OS processes over TCP)", func() error {
+			cfg := experiments.DefaultXprocConfig()
+			cfg.Platform = *plat
+			if *requests > 0 {
+				cfg.Requests = *requests
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			res, err := experiments.RunXproc(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.RouteTable().Render())
+			fmt.Print(res.SvcFailTable().Render())
 			return nil
 		})
 	}

@@ -1,0 +1,54 @@
+// Command rppilot is a standalone pilot-agent process: it launches one
+// pilot on the TCP transport, prints "RPPILOT_READY <host:port>" on
+// stdout, and serves control RPCs (task submission, service bootstrap,
+// scheduler snapshots) as binary proto frames until it is told to shut
+// down or its stdin reaches EOF.
+//
+// It runs in two modes:
+//
+//   - Spawned: a driver (xproc.Spawn, `rpexp -exp xproc`, the experiments
+//     tests) re-executes a binary with the agent config JSON in the
+//     RPPILOT_AGENT environment variable. MaybeRunAgent detects it and
+//     never returns.
+//
+//   - Manual: flags assemble the same config for foreground use, e.g.
+//
+//     rppilot -uid pilot.0000 -platform hetero -nodes 32
+//
+// See README "Multi-process sessions" and ARCHITECTURE.md Flow 8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/xproc"
+)
+
+func main() {
+	xproc.MaybeRunAgent()
+
+	uid := flag.String("uid", "pilot.0000", "pilot UID")
+	plat := flag.String("platform", "hetero", "catalog platform to carve the pilot from")
+	nodes := flag.Int("nodes", 0, "pilot node count (0: whole platform)")
+	skip := flag.Int("skip", 0, "nodes to pre-allocate before acquiring (partition carving)")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	scale := flag.Float64("scale", 2000, "clock compression factor")
+	sched := flag.String("sched", "", "pilot scheduling policy (default strict)")
+	flag.Parse()
+
+	err := xproc.RunAgent(xproc.AgentConfig{
+		UID:         *uid,
+		Platform:    *plat,
+		SkipNodes:   *skip,
+		Nodes:       *nodes,
+		Seed:        *seed,
+		Scale:       *scale,
+		SchedPolicy: *sched,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rppilot: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -76,6 +76,11 @@ type SessionConfig struct {
 	// JournalFlushEvery overrides the journal's fsync batching interval on
 	// the session clock (default journal.DefaultFlushEvery).
 	JournalFlushEvery time.Duration
+	// Transport selects the msgq transport for service endpoints
+	// (msgq.TransportInproc, the default, or msgq.TransportTCP for real
+	// loopback sockets with dialable published addresses — the transport
+	// multi-process sessions run on).
+	Transport string
 }
 
 // Session is one runtime instance.
@@ -96,6 +101,7 @@ type Session struct {
 	jw          *journal.Writer
 	incarnation uint64
 	routerName  string
+	transport   string
 
 	mu       sync.Mutex
 	closed   bool
@@ -135,6 +141,9 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	}
 	src := rng.New(cfg.Seed)
 	net := msgq.NewNetwork(cfg.Clock, src.Derive("net"), cfg.Topology.Resolver())
+	if err := net.SetTransport(cfg.Transport); err != nil {
+		return nil, err
+	}
 	s := &Session{
 		uid:      fmt.Sprintf("session.%08x", src.Derive("uid").Uint64()&0xffffffff),
 		clock:    cfg.Clock,
@@ -148,6 +157,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		schedPol: cfg.SchedPolicy,
 
 		routerName: cfg.Router,
+		transport:  cfg.Transport,
 	}
 	pub, err := net.BindPub(UpdatesAddr)
 	if err != nil {
@@ -455,6 +465,7 @@ func (pm *PilotManager) Submit(desc spec.PilotDescription) (*pilot.Pilot, error)
 		PilotStateCallback:   pm.sess.publishState("pilot"),
 		ServiceStateCallback: pm.sess.publishState("service"),
 		Attach:               pm.sess.jw != nil,
+		Transport:            pm.sess.transport,
 		// Mirror every service endpoint publication into the session
 		// EndpointRegistry as part of the publish bootstrap phase, so a
 		// ready service is already resolvable session-wide. The pilot UID

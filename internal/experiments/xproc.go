@@ -1,0 +1,459 @@
+package experiments
+
+// Cross-process ablation: every other experiment in this repo runs its
+// pilots as goroutines inside one process, where the in-proc msgq
+// transport hides serialization, framing and socket failure modes. This
+// ablation re-runs the route and service-failover scenarios with each
+// pilot as a real OS process (xproc agents reached over the pooled TCP
+// transport) and asserts outcome-count equality against the in-proc
+// baselines — the determinism contract of the transport seam: swapping
+// the wire under the session changes timing, not outcomes. RunXproc
+// drives both scenario families and is the `rpexp -exp xproc` table.
+//
+// Outcome counts (not placements or latencies) are the comparable
+// quantity: the drivers submit identical workloads in identical order to
+// identically carved pilots, and the routers compared here (round-robin,
+// capacity-fit) decide from submission order and static shapes only, so
+// the done/failed/rejected tallies are timing-independent. least-loaded
+// is deliberately excluded — it reads live queue-depth snapshots, which
+// real-clock agent processes cannot reproduce deterministically.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/msgq"
+	"repro/internal/platform"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/router"
+	"repro/internal/service"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+	"repro/internal/states"
+	"repro/internal/xproc"
+)
+
+// XprocConfig parameterizes the cross-process ablation.
+type XprocConfig struct {
+	// Platform names the mixed-shape catalog platform carved into one
+	// agent process per node-shape partition (default "hetero").
+	Platform string
+	// Routers are the strategies compared in the route scenario (default:
+	// round-robin, capacity-fit — the deterministic ones; least-loaded
+	// depends on live snapshots and is excluded, see the package comment).
+	Routers []string
+	// FatTasks / ThinTasks size the route workload (defaults 8 / 16 — the
+	// route ablation at smoke scale; the in-proc baseline runs the same).
+	FatTasks, ThinTasks int
+	// TaskTime is the simulated task duration (default 5s).
+	TaskTime time.Duration
+	// Requests / KillAfter shape the failover request stream (defaults
+	// 16 / 8).
+	Requests, KillAfter int
+	// Scale is the agents' clock compression (default 2000).
+	Scale float64
+	// Seed drives determinism.
+	Seed uint64
+}
+
+// DefaultXprocConfig returns the figure-scale parameterization.
+func DefaultXprocConfig() XprocConfig {
+	return XprocConfig{
+		Platform:  "hetero",
+		Routers:   []string{router.NameRoundRobin, router.NameCapacityFit},
+		FatTasks:  8,
+		ThinTasks: 16,
+		TaskTime:  5 * time.Second,
+		Requests:  16,
+		KillAfter: 8,
+		Scale:     2000,
+		Seed:      11,
+	}
+}
+
+// XprocResult is the cross-process ablation dataset: each scenario's
+// cross-process rows next to its in-proc baseline rows.
+type XprocResult struct {
+	Cfg XprocConfig
+	// Route / RouteInproc are the routing outcomes, one row per router.
+	Route, RouteInproc []RouteRow
+	// SvcFail / SvcFailInproc are the failover outcomes, one row per
+	// client style.
+	SvcFail, SvcFailInproc []SvcFailRow
+	// FatCores/FatGPUs/ThinCores echo the per-task demands.
+	FatCores, FatGPUs, ThinCores int
+}
+
+// RunXproc executes the cross-process ablation: the route and failover
+// scenarios once with pilots as OS processes over TCP, once in-proc, on
+// identical workloads.
+func RunXproc(ctx context.Context, cfg XprocConfig) (*XprocResult, error) {
+	def := DefaultXprocConfig()
+	if cfg.Platform == "" {
+		cfg.Platform = def.Platform
+	}
+	if len(cfg.Routers) == 0 {
+		cfg.Routers = def.Routers
+	}
+	if cfg.FatTasks <= 0 {
+		cfg.FatTasks = def.FatTasks
+	}
+	if cfg.ThinTasks <= 0 {
+		cfg.ThinTasks = def.ThinTasks
+	}
+	if cfg.TaskTime <= 0 {
+		cfg.TaskTime = def.TaskTime
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = def.Requests
+	}
+	if cfg.KillAfter <= 0 || cfg.KillAfter >= cfg.Requests {
+		cfg.KillAfter = cfg.Requests / 2
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = def.Scale
+	}
+	plat := platform.DefaultTopology().Platform(cfg.Platform)
+	if plat == nil {
+		return nil, fmt.Errorf("experiments: xproc: unknown platform %q", cfg.Platform)
+	}
+	shapes := plat.Shapes()
+	if len(shapes) < 2 {
+		return nil, fmt.Errorf("experiments: xproc: platform %q is homogeneous (%s); the ablation needs mismatched pilots",
+			cfg.Platform, platform.FormatShapes(shapes))
+	}
+	thin, fat := thinAndFat(shapes)
+	res := &XprocResult{
+		Cfg:       cfg,
+		FatCores:  fat.Spec.Cores,
+		FatGPUs:   fat.Spec.GPUs,
+		ThinCores: thin.Spec.Cores,
+	}
+
+	// In-proc baselines on the identical workloads.
+	inRoute, err := RunRoute(ctx, RouteConfig{
+		Platform: cfg.Platform, Routers: cfg.Routers,
+		FatTasks: cfg.FatTasks, ThinTasks: cfg.ThinTasks,
+		TaskTime: cfg.TaskTime, Scale: cfg.Scale, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: xproc in-proc route baseline: %w", err)
+	}
+	res.RouteInproc = inRoute.Rows
+	inSvc, err := RunSvcFail(ctx, SvcFailConfig{
+		Platform: cfg.Platform, Requests: cfg.Requests, KillAfter: cfg.KillAfter,
+		Scale: cfg.Scale, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: xproc in-proc svcfail baseline: %w", err)
+	}
+	res.SvcFailInproc = inSvc.Rows
+
+	// Cross-process route scenario, one fresh agent pair per router.
+	for _, rt := range cfg.Routers {
+		row, err := runXprocRoutePoint(ctx, cfg, rt)
+		if err != nil {
+			return res, fmt.Errorf("experiments: xproc route %s: %w", rt, err)
+		}
+		res.Route = append(res.Route, row)
+	}
+	// Cross-process failover scenario, one fresh agent pair per style.
+	for _, client := range []string{SvcFailClientCaching, SvcFailClientResolving} {
+		row, err := runXprocSvcFailPoint(ctx, cfg, client)
+		if err != nil {
+			return res, fmt.Errorf("experiments: xproc svcfail %s: %w", client, err)
+		}
+		res.SvcFail = append(res.SvcFail, row)
+	}
+	return res, nil
+}
+
+// spawnAgents starts one pilot-agent process per node-shape partition of
+// the platform, carving consecutive partitions exactly as the in-proc
+// experiments' consecutive pilot submissions do.
+func spawnAgents(ctx context.Context, cfg XprocConfig) ([]*xproc.Proc, func(), error) {
+	plat := platform.DefaultTopology().Platform(cfg.Platform)
+	var procs []*xproc.Proc
+	cleanup := func() {
+		for _, p := range procs {
+			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_ = p.Shutdown(sctx)
+			cancel()
+		}
+	}
+	skip := 0
+	for i, g := range plat.Shapes() {
+		p, err := xproc.Spawn(ctx, xproc.AgentConfig{
+			UID:       fmt.Sprintf("pilot.%04d", i),
+			Platform:  cfg.Platform,
+			SkipNodes: skip,
+			Nodes:     g.Count,
+			Seed:      cfg.Seed + uint64(i),
+			Scale:     cfg.Scale,
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		procs = append(procs, p)
+		skip += g.Count
+	}
+	return procs, cleanup, nil
+}
+
+// runXprocRoutePoint replays the route workload with the router running
+// driver-side over agent processes as targets.
+func runXprocRoutePoint(ctx context.Context, cfg XprocConfig, rt string) (RouteRow, error) {
+	procs, cleanup, err := spawnAgents(ctx, cfg)
+	if err != nil {
+		return RouteRow{}, err
+	}
+	defer cleanup()
+
+	r, err := router.ByName(rt)
+	if err != nil {
+		return RouteRow{}, err
+	}
+	targets := make([]router.Target, len(procs))
+	for i, p := range procs {
+		targets[i] = p
+	}
+
+	row := RouteRow{Router: rt}
+	thin, fat := thinAndFat(platform.DefaultTopology().Platform(cfg.Platform).Shapes())
+	dur := rng.ConstDuration(cfg.TaskTime)
+	// Per-agent UID lists, fat and thin tracked separately so the final
+	// tallies split by class like the in-proc rows do.
+	fatUIDs := make([][]string, len(procs))
+	thinUIDs := make([][]string, len(procs))
+	submit := func(d spec.TaskDescription, uids [][]string) error {
+		idx, err := r.Route(targets, d)
+		if err != nil {
+			var un router.ErrUnroutable
+			if errors.As(err, &un) {
+				row.Rejected++
+				return nil
+			}
+			return err
+		}
+		uid, err := procs[idx].SubmitTask(ctx, d)
+		if err != nil {
+			return err
+		}
+		uids[idx] = append(uids[idx], uid)
+		return nil
+	}
+	for i := 0; i < cfg.FatTasks; i++ {
+		d := spec.TaskDescription{
+			Name:  fmt.Sprintf("fat-%04d", i),
+			Cores: fat.Spec.Cores, GPUs: fat.Spec.GPUs, Duration: dur,
+		}
+		if err := submit(d, fatUIDs); err != nil {
+			return row, err
+		}
+	}
+	for i := 0; i < cfg.ThinTasks; i++ {
+		d := spec.TaskDescription{
+			Name:  fmt.Sprintf("thin-%04d", i),
+			Cores: thin.Spec.Cores, Duration: dur,
+		}
+		if err := submit(d, thinUIDs); err != nil {
+			return row, err
+		}
+	}
+
+	// One blocking wait RPC per agent for its whole UID set.
+	waitCtx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	count := func(p *xproc.Proc, uids []string) (done, failed int, err error) {
+		if len(uids) == 0 {
+			return 0, 0, nil
+		}
+		st, err := p.WaitTasks(waitCtx, uids)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, s := range st {
+			if s.State == string(states.TaskDone) {
+				done++
+			} else {
+				failed++
+			}
+		}
+		return done, failed, nil
+	}
+	for i, p := range procs {
+		d, f, err := count(p, fatUIDs[i])
+		if err != nil {
+			return row, err
+		}
+		row.FatDone += d
+		row.FatFailed += f
+		if d, f, err = count(p, thinUIDs[i]); err != nil {
+			return row, err
+		}
+		row.ThinDone += d
+		row.ThinFailed += f
+	}
+	return row, nil
+}
+
+// runXprocSvcFailPoint replays the failover scenario with the service
+// hosted in an agent process that is SIGKILLed mid-stream — a harder kill
+// than the in-proc pilot shutdown — and the registry/re-placement loop
+// running driver-side.
+func runXprocSvcFailPoint(ctx context.Context, cfg XprocConfig, client string) (SvcFailRow, error) {
+	procs, cleanup, err := spawnAgents(ctx, cfg)
+	if err != nil {
+		return SvcFailRow{}, err
+	}
+	defer cleanup()
+	if len(procs) < 2 {
+		return SvcFailRow{}, fmt.Errorf("platform %q yields %d agents; the failover needs a survivor", cfg.Platform, len(procs))
+	}
+
+	desc := spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{UID: "svc.0", Name: "svc", Cores: 1},
+		Model:           "noop",
+		ProbeInterval:   time.Hour,
+		StartTimeout:    time.Hour,
+	}
+	svcUID, err := procs[0].SubmitService(ctx, desc)
+	if err != nil {
+		return SvcFailRow{}, err
+	}
+	ep, err := procs[0].AwaitService(ctx, svcUID)
+	if err != nil {
+		return SvcFailRow{}, err
+	}
+	row := SvcFailRow{Client: client, HostBefore: procs[0].UID()}
+
+	// The driver owns the registry: agents publish dialable tcp://
+	// endpoints, the driver records them under the stable service UID.
+	reg := service.NewEndpointRegistry()
+	genBefore, err := reg.Publish(ep)
+	if err != nil {
+		return row, err
+	}
+	clock := simtime.NewReal()
+	net := msgq.NewNetwork(clock, rng.New(cfg.Seed).Derive("xproc-driver"), nil)
+	defer net.Close()
+	dial := func(ep proto.Endpoint) (service.Caller, error) {
+		return service.Dial(net, clock, "xproc-client", ep)
+	}
+	var caller service.Caller
+	var resolver *service.Resolver
+	switch client {
+	case SvcFailClientCaching:
+		caller, err = dial(ep)
+	case SvcFailClientResolving:
+		resolver, err = service.NewResolver(reg, svcUID, dial, 0)
+		caller = resolver
+	default:
+		return row, fmt.Errorf("unknown client style %q", client)
+	}
+	if err != nil {
+		return row, err
+	}
+	defer caller.Close()
+
+	for i := 0; i < cfg.KillAfter; i++ {
+		if _, _, err := caller.Infer(ctx, fmt.Sprintf("pre-%d", i), 0); err != nil {
+			return row, fmt.Errorf("pre-kill request %d: %w", i, err)
+		}
+		row.PreKill++
+	}
+
+	// SIGKILL the hosting process, then re-place the service on the
+	// survivor and re-publish its endpoint under the same UID.
+	if err := procs[0].Kill(); err != nil {
+		return row, err
+	}
+	reg.Suspend(svcUID)
+	if _, err := procs[1].SubmitService(ctx, desc); err != nil {
+		return row, err
+	}
+	ep2, err := procs[1].AwaitService(ctx, svcUID)
+	if err != nil {
+		return row, err
+	}
+	gen, err := reg.Publish(ep2)
+	if err != nil {
+		return row, err
+	}
+	if gen <= genBefore {
+		return row, fmt.Errorf("re-publication did not advance the generation: %d -> %d", genBefore, gen)
+	}
+	row.Generation = gen
+	row.Replacements = 1
+	row.HostAfter = procs[1].UID()
+
+	for i := 0; i < cfg.Requests-cfg.KillAfter; i++ {
+		if _, _, err := caller.Infer(ctx, fmt.Sprintf("post-%d", i), 0); err != nil {
+			row.Failed++
+		} else {
+			row.Recovered++
+		}
+	}
+	if resolver != nil {
+		row.Reresolved = resolver.Reresolved()
+	}
+	return row, nil
+}
+
+// RouteTable renders the route scenario, cross-process and in-proc rows
+// interleaved per router.
+func (r *XprocResult) RouteTable() metrics.Table {
+	t := metrics.Table{
+		Title: fmt.Sprintf(
+			"Cross-process route ablation — %s carved into per-shape agent processes over TCP, %d fat tasks (%dc/%dg) + %d thin tasks (%dc)",
+			r.Cfg.Platform, r.Cfg.FatTasks, r.FatCores, r.FatGPUs, r.Cfg.ThinTasks, r.ThinCores),
+		Header: []string{"router", "variant", "fat done", "fat failed", "thin done", "thin failed", "rejected"},
+	}
+	add := func(variant string, row RouteRow) {
+		t.AddRow(row.Router, variant,
+			fmt.Sprintf("%d/%d", row.FatDone, r.Cfg.FatTasks),
+			fmt.Sprintf("%d", row.FatFailed),
+			fmt.Sprintf("%d/%d", row.ThinDone, r.Cfg.ThinTasks),
+			fmt.Sprintf("%d", row.ThinFailed),
+			fmt.Sprintf("%d", row.Rejected))
+	}
+	for i, row := range r.Route {
+		add("os-process", row)
+		if i < len(r.RouteInproc) {
+			add("in-proc", r.RouteInproc[i])
+		}
+	}
+	return t
+}
+
+// SvcFailTable renders the failover scenario, cross-process and in-proc
+// rows interleaved per client style.
+func (r *XprocResult) SvcFailTable() metrics.Table {
+	post := r.Cfg.Requests - r.Cfg.KillAfter
+	t := metrics.Table{
+		Title: fmt.Sprintf(
+			"Cross-process failover ablation — hosting agent SIGKILLed after %d/%d requests (%d post-failover)",
+			r.Cfg.KillAfter, r.Cfg.Requests, post),
+		Header: []string{"client", "variant", "pre-kill ok", "recovered", "failed", "re-resolved", "endpoint gen"},
+	}
+	add := func(variant string, row SvcFailRow) {
+		t.AddRow(row.Client, variant,
+			fmt.Sprintf("%d/%d", row.PreKill, r.Cfg.KillAfter),
+			fmt.Sprintf("%d/%d", row.Recovered, post),
+			fmt.Sprintf("%d", row.Failed),
+			fmt.Sprintf("%d", row.Reresolved),
+			fmt.Sprintf("%d", row.Generation))
+	}
+	for i, row := range r.SvcFail {
+		add("os-process", row)
+		if i < len(r.SvcFailInproc) {
+			add("in-proc", r.SvcFailInproc[i])
+		}
+	}
+	return t
+}

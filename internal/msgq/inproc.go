@@ -71,10 +71,11 @@ type inprocClient struct {
 	closed atomic.Bool
 }
 
-// Dial connects a client at address from to the server bound at to. The
-// link profile and the server endpoint are resolved once at dial time,
-// mirroring a connected socket.
-func (n *Network) Dial(from, to string) (Client, error) {
+// dialInproc connects a client at address from to the in-process server
+// bound at to (the transport-dispatching entry point is Network.Dial in
+// transport.go). The link profile and the server endpoint are resolved
+// once at dial time, mirroring a connected socket.
+func (n *Network) dialInproc(from, to string) (Client, error) {
 	n.mu.Lock()
 	closed := n.closed
 	n.mu.Unlock()

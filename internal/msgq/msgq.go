@@ -74,10 +74,12 @@ type Network struct {
 	src     *rng.Source
 	resolve Resolver
 
-	mu     sync.Mutex // guards closed; serializes registry writes
-	closed bool
-	reps   sync.Map // addr → *inprocServer
-	pubs   sync.Map // addr → *inprocPublisher
+	mu        sync.Mutex // guards closed and transport; serializes registry writes
+	closed    bool
+	transport string   // default transport for BindVia(""); zero value = inproc
+	reps      sync.Map // addr → *inprocServer
+	pubs      sync.Map // addr → *inprocPublisher
+	tcpBinds  sync.Map // addr → *tcpBind (logical name → TCP listener)
 }
 
 // NewNetwork returns an empty in-process network. resolve may be nil, in
@@ -115,11 +117,19 @@ func (n *Network) Close() error {
 		pubs = append(pubs, v.(*inprocPublisher))
 		return true
 	})
+	var tcps []*tcpBind
+	n.tcpBinds.Range(func(_, v any) bool {
+		tcps = append(tcps, v.(*tcpBind))
+		return true
+	})
 	for _, s := range reps {
 		_ = s.Close()
 	}
 	for _, p := range pubs {
 		_ = p.Close()
+	}
+	for _, b := range tcps {
+		_ = b.Close()
 	}
 	return nil
 }

@@ -1,0 +1,238 @@
+package msgq
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// This file preserves the pre-PR-9 TCP transport verbatim (goroutine per
+// request, JSON envelope framing, map-and-mutex pending table) as the
+// benchmark baseline for BenchmarkTCPRoundTripSeed. It is not wired into
+// sessions; the pooled transport in tcp.go replaced it.
+
+// seedTCPServer is the seed REQ/REP endpoint over real TCP sockets,
+// speaking length-prefixed JSON proto frames. Multiple requests may be in
+// flight on one connection; replies are matched to requests by envelope ID.
+type seedTCPServer struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ListenTCPSeed binds the seed REQ/REP server on addr ("host:port"; ":0"
+// picks a free port). Each request runs in its own goroutine. Kept only as
+// the pre-PR-9 performance baseline.
+func ListenTCPSeed(addr string, h Handler) (Server, error) {
+	if h == nil {
+		return nil, fmt.Errorf("msgq: listen %s: nil handler", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("msgq: listen %s: %w", addr, err)
+	}
+	s := &seedTCPServer{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr implements Server.
+func (s *seedTCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close implements Server.
+func (s *seedTCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *seedTCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *seedTCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	var wmu sync.Mutex // serialize frame writes across request goroutines
+	for {
+		env, err := proto.ReadFrame(conn)
+		if err != nil {
+			return // io.EOF on clean close; any error tears the conn down
+		}
+		// Handler goroutines are deliberately not tracked by s.wg: Close
+		// must not block on a stuck handler. The closed connection makes
+		// their reply writes fail harmlessly.
+		go func(env proto.Envelope) {
+			reply := s.handler(env)
+			reply.ID = env.ID // replies are matched by request ID
+			wmu.Lock()
+			err := proto.WriteFrame(conn, reply)
+			wmu.Unlock()
+			if err != nil {
+				_ = conn.Close()
+			}
+		}(env)
+	}
+}
+
+// seedTCPClient is the seed REQ/REP client over one TCP connection with an
+// ID-matched reply mux, allowing concurrent Request calls.
+type seedTCPClient struct {
+	conn net.Conn
+
+	wmu sync.Mutex // frame write serialization
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  uint64
+	pending map[uint64]chan proto.Envelope
+	readErr error
+}
+
+// DialTCPSeed connects to a seed TCP server. Kept only as the pre-PR-9
+// performance baseline.
+func DialTCPSeed(addr string) (Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("msgq: dial %s: %w", addr, err)
+	}
+	c := &seedTCPClient{conn: conn, pending: make(map[uint64]chan proto.Envelope)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *seedTCPClient) readLoop() {
+	for {
+		env, err := proto.ReadFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			if c.readErr == nil {
+				if err == io.EOF {
+					err = ErrClosed
+				}
+				c.readErr = err
+			}
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.ID]
+		if ok {
+			delete(c.pending, env.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env
+		}
+	}
+}
+
+// Request implements Client. The envelope's ID field is overwritten with a
+// connection-unique sequence number.
+func (c *seedTCPClient) Request(ctx context.Context, env proto.Envelope) (proto.Envelope, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return proto.Envelope{}, ErrClosed
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return proto.Envelope{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan proto.Envelope, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	env.ID = id
+	c.wmu.Lock()
+	err := proto.WriteFrame(c.conn, env)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return proto.Envelope{}, fmt.Errorf("msgq: send request: %w", err)
+	}
+
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return proto.Envelope{}, err
+		}
+		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return proto.Envelope{}, ctx.Err()
+	}
+}
+
+// Close implements Client.
+func (c *seedTCPClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

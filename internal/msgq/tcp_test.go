@@ -1,0 +1,343 @@
+package msgq
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTCPCancelLosesToReply pins the reply-wins interleaving of the
+// cancel/reply race: once the read loop's CAS has moved the waiter to
+// delivered, a racing cancel must collect and return that reply instead of
+// dropping it (white-box at the waiter-table level, where the interleaving
+// can be forced deterministically).
+func TestTCPCancelLosesToReply(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	w, id, si, slot, err := c.acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reply lands first: deliver wins the CAS.
+	c.deliver(proto.Envelope{Kind: proto.KindReply, ID: id, Body: []byte(`{"x":1}`)})
+	if w.state.Load() != waiterDelivered {
+		t.Fatalf("state = %d, want delivered", w.state.Load())
+	}
+	// The cancel path now loses the CAS and must surface the reply.
+	if w.state.CompareAndSwap(waiterArmed, waiterCancelled) {
+		t.Fatal("cancel CAS won against a delivered reply")
+	}
+	reply, err := c.collect(si, slot, w)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if string(reply.Body) != `{"x":1}` {
+		t.Fatalf("reply body = %q", reply.Body)
+	}
+	if got := c.LateReplies(); got != 0 {
+		t.Fatalf("LateReplies = %d, want 0 (reply was consumed)", got)
+	}
+}
+
+// TestTCPCancelBeatsReply pins the cancel-wins interleaving end to end:
+// Request returns ctx.Err() while the handler still runs, and the reply,
+// when it lands, is counted by LateReplies instead of vanishing.
+func TestTCPCancelBeatsReply(t *testing.T) {
+	release := make(chan struct{})
+	srv, err := ListenTCP("127.0.0.1:0", func(env proto.Envelope) proto.Envelope {
+		<-release
+		return echoHandler(env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		env, _ := proto.NewEnvelope(proto.KindRequest, 0, "cli", "srv", t0, proto.InferenceRequest{Prompt: "p"})
+		_, err := c.Request(ctx, env)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // request reaches the blocked handler
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Request after cancel: %v, want context.Canceled", err)
+	}
+	close(release)
+	waitFor(t, "late reply accounting", func() bool { return c.LateReplies() == 1 })
+}
+
+// TestTCPServerCloseDropsLateReplies pins the S2 contract: a handler still
+// running at Close writes its reply into a torn-down connection; the write
+// is refused cleanly (no panic, no double close) and counted.
+func TestTCPServerCloseDropsLateReplies(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := ListenTCP("127.0.0.1:0", func(env proto.Envelope) proto.Envelope {
+		close(entered)
+		<-release
+		return echoHandler(env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		env, _ := proto.NewEnvelope(proto.KindRequest, 0, "cli", "srv", t0, proto.InferenceRequest{Prompt: "p"})
+		_, err := c.Request(context.Background(), env)
+		errCh <- err
+	}()
+	<-entered
+	if err := srv.Close(); err != nil { // must not block on the stuck handler
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-errCh; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Request after server close: %v, want ErrClosed", err)
+	}
+	close(release)
+	waitFor(t, "dropped reply accounting", func() bool { return srv.DroppedReplies() == 1 })
+}
+
+// TestTCPServerGarbageTearsConn sends raw garbage at the server: the
+// connection must be torn down without a panic, and the listener must keep
+// serving fresh connections.
+func TestTCPServerGarbageTearsConn(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plausible length prefix, garbage payload.
+	if _, err := raw.Write([]byte{0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server kept the connection alive after a corrupt frame")
+	}
+	raw.Close()
+
+	// The server survives and serves the next connection.
+	c, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	env, _ := proto.NewEnvelope(proto.KindRequest, 0, "cli", "srv", t0, proto.InferenceRequest{Prompt: "ok"})
+	if _, err := c.Request(context.Background(), env); err != nil {
+		t.Fatalf("request after garbage conn: %v", err)
+	}
+}
+
+// TestTCPClientGarbageReplyFailsTyped points the client at a server that
+// answers with a corrupt frame: pending requests fail with the typed frame
+// error, not a hang or panic.
+func TestTCPClientGarbageReplyFailsTyped(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		_, _ = conn.Write([]byte{0, 0, 0, 2, 0xff, 0xff}) // bad version
+	}()
+
+	c, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	env, _ := proto.NewEnvelope(proto.KindRequest, 0, "cli", "srv", t0, proto.InferenceRequest{Prompt: "p"})
+	if _, err := c.Request(context.Background(), env); !errors.Is(err, proto.ErrBadFrame) {
+		t.Fatalf("Request: %v, want proto.ErrBadFrame", err)
+	}
+}
+
+// TestTCPInlineServer exercises the inline dispatch mode (handler on the
+// read loop) through a concurrent client load.
+func TestTCPInlineServer(t *testing.T) {
+	srv, err := ListenTCPOpts("127.0.0.1:0", echoHandler, TCPServerOptions{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			for j := 0; j < 50; j++ {
+				env, _ := proto.NewEnvelope(proto.KindRequest, 0, "cli", "srv", t0,
+					proto.InferenceRequest{Prompt: "p", MaxTokens: i*100 + j})
+				reply, err := c.Request(context.Background(), env)
+				if err != nil {
+					done <- err
+					return
+				}
+				var req proto.InferenceRequest
+				if err := reply.Decode(proto.KindReply, &req); err != nil {
+					done <- err
+					return
+				}
+				if req.MaxTokens != i*100+j {
+					done <- errors.New("reply mismatched request")
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestNetworkBindViaTCP exercises the transport seam: a TCP bind is
+// reachable by logical name in-process and by its published tcp:// address
+// from a completely separate Network (standing in for another process).
+func TestNetworkBindViaTCP(t *testing.T) {
+	clock := simtime.NewReal()
+	n := NewNetwork(clock, rng.New(1).Derive("net"), nil)
+	defer n.Close()
+
+	srv, err := n.BindVia(TransportTCP, "plat/node/svc", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if len(addr) < len(tcpScheme) || addr[:len(tcpScheme)] != tcpScheme {
+		t.Fatalf("TCP bind Addr = %q, want %s prefix", addr, tcpScheme)
+	}
+
+	// Same-process dial by logical name.
+	c1, err := n.Dial("cli", "plat/node/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	env, _ := proto.NewEnvelope(proto.KindRequest, 0, "cli", "svc", t0, proto.InferenceRequest{Prompt: "a"})
+	if _, err := c1.Request(context.Background(), env); err != nil {
+		t.Fatalf("logical-name dial request: %v", err)
+	}
+
+	// Cross-process dial by socket address via an unrelated Network.
+	other := NewNetwork(clock, rng.New(2).Derive("net"), nil)
+	defer other.Close()
+	c2, err := other.Dial("cli2", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Request(context.Background(), env); err != nil {
+		t.Fatalf("tcp:// dial request: %v", err)
+	}
+
+	// Double bind of the logical name is refused.
+	if _, err := n.BindVia(TransportTCP, "plat/node/svc", echoHandler); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("double bind: %v, want ErrAddrInUse", err)
+	}
+	// Closing frees the logical name.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("bind close: %v", err)
+	}
+	if _, err := n.BindVia(TransportTCP, "plat/node/svc", echoHandler); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+}
+
+func TestSetTransport(t *testing.T) {
+	n := NewNetwork(simtime.NewReal(), rng.New(1).Derive("net"), nil)
+	defer n.Close()
+	if err := n.SetTransport("carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	if err := n.SetTransport(TransportTCP); err != nil {
+		t.Fatal(err)
+	}
+	// Default-transport binds now land on TCP.
+	srv, err := n.BindVia("", "a/b/c", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if addr := srv.Addr(); addr[:len(tcpScheme)] != tcpScheme {
+		t.Fatalf("default bind Addr = %q, want TCP", addr)
+	}
+}
+
+// TestNetworkCloseClosesTCPBinds ensures Close tears TCP listeners down
+// with the rest of the endpoints.
+func TestNetworkCloseClosesTCPBinds(t *testing.T) {
+	n := NewNetwork(simtime.NewReal(), rng.New(1).Derive("net"), nil)
+	srv, err := n.BindVia(TransportTCP, "x/y/z", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	real := srv.Addr()[len(tcpScheme):]
+	if _, err := net.DialTimeout("tcp", real, time.Second); err == nil {
+		t.Fatal("TCP listener survived Network.Close")
+	}
+}

@@ -81,6 +81,11 @@ type Config struct {
 	// model remote machines that outlive a client crash; attachable pilots
 	// must carry session-scoped UIDs to avoid cross-session collisions.
 	Attach bool
+	// Transport selects the msgq transport this pilot's services bind
+	// their endpoints on (msgq.TransportInproc / msgq.TransportTCP; empty
+	// = the network default). A pilot-agent process uses TCP so its
+	// services are reachable from the driver process.
+	Transport string
 }
 
 // Hooks is the rebindable set of session-side observers of a pilot. A
@@ -291,6 +296,7 @@ func Launch(cfg Config, desc spec.PilotDescription) (*Pilot, error) {
 		Registry: p.reg, OnPublish: onPublish, Stopped: p.stopped,
 		Platform:  cfg.Platform.Name(),
 		UIDPrefix: desc.UID + ".",
+		Transport: cfg.Transport,
 		StateCallback: func(uid string, from, to states.State, at time.Time) {
 			if cb := p.hooks.Load().ServiceState; cb != nil {
 				cb(uid, from, to, at)

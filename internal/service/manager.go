@@ -80,6 +80,12 @@ type Config struct {
 	// transition (registered on each instance machine at submission). The
 	// session hooks its state Updater and journal here.
 	StateCallback states.Callback
+	// Transport selects the msgq transport service endpoints bind on
+	// (msgq.TransportInproc / msgq.TransportTCP; empty = the network's
+	// default). Over TCP, published endpoint addresses take the dialable
+	// "tcp://host:port" form so clients in other processes can reach the
+	// service directly.
+	Transport string
 }
 
 // Manager is the ServiceManager: it owns the lifecycle of every service
@@ -472,23 +478,26 @@ func (m *Manager) bootstrap(inst *Instance) {
 	}
 	node := pl.Alloc.Node().Name()
 	addr := platform.Addr(m.cfg.Platform, node, d.UID)
-	apiSrv, err := m.cfg.Net.Bind(addr, server.Handler())
+	apiSrv, err := m.cfg.Net.BindVia(m.cfg.Transport, addr, server.Handler())
 	if err != nil {
 		server.Stop()
 		fail(err)
 		return
 	}
-	ctlSrv, err := m.cfg.Net.Bind(addr+".ctl", m.controlHandler(inst))
+	ctlSrv, err := m.cfg.Net.BindVia(m.cfg.Transport, addr+".ctl", m.controlHandler(inst))
 	if err != nil {
 		_ = apiSrv.Close()
 		server.Stop()
 		fail(err)
 		return
 	}
+	// Publish the server's own address: identical to the logical addr on
+	// the in-process transport, "tcp://host:port" over TCP so the endpoint
+	// is dialable from other processes.
 	publishDur := m.cfg.Registry.Publish(proto.Endpoint{
 		ServiceUID: d.UID,
 		Model:      d.Model,
-		Address:    addr,
+		Address:    apiSrv.Addr(),
 		Protocol:   "msgq",
 		Node:       node,
 	})

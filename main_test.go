@@ -1,0 +1,17 @@
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/xproc"
+)
+
+// TestMain lets the root test binary double as a pilot-agent executable:
+// the cross-process benchmarks (BenchmarkAblationXproc) spawn agents by
+// re-executing os.Executable() with RPPILOT_AGENT set, and MaybeRunAgent
+// turns those children into agents before any test or benchmark runs.
+func TestMain(m *testing.M) {
+	xproc.MaybeRunAgent()
+	os.Exit(m.Run())
+}
