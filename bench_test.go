@@ -915,3 +915,53 @@ func BenchmarkAblationXproc(b *testing.B) {
 		b.ReportMetric(float64(len(res.Route)+len(res.SvcFail)), "xproc-rows")
 	}
 }
+
+// --- Load-aware balancing + warm standbys (PR 10) ----------------------------
+
+// BenchmarkAblationHotspot runs the hotspot-balancing ablation: the
+// identical 80%-skewed seeded stream against p2c, blind round-robin and
+// the full-scan least-loaded oracle, plus the warm-vs-cold failover
+// contrast. The headline claims are asserted on every run: load-aware p2c
+// beats blind selection strictly at p99 while staying within 2x of the
+// full-scan oracle, and promoting a warm standby is faster than a cold
+// re-bootstrap.
+func BenchmarkAblationHotspot(b *testing.B) {
+	cfg := experiments.DefaultHotspotConfig()
+	cfg.Requests = 4000
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHotspot(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := make(map[string]experiments.HotspotRow, len(res.Rows))
+		for _, row := range res.Rows {
+			if row.Completed+row.Failed != row.Offered || row.Offered != int64(cfg.Requests) {
+				b.Fatalf("%s: offered=%d completed=%d failed=%d",
+					row.Balancer, row.Offered, row.Completed, row.Failed)
+			}
+			rows[row.Balancer] = row
+		}
+		p2c, rr, least := rows["p2c"], rows["round-robin"], rows["least-loaded"]
+		if p2c.P99 >= rr.P99 {
+			b.Fatalf("p2c p99 %v not strictly under blind round-robin %v", p2c.P99, rr.P99)
+		}
+		if p2c.P99 > 2*least.P99 {
+			b.Fatalf("p2c p99 %v outside 2x band of least-loaded %v", p2c.P99, least.P99)
+		}
+		fo := make(map[string]experiments.FailoverRow, len(res.Failover))
+		for _, row := range res.Failover {
+			fo[row.Mode] = row
+		}
+		warm, cold := fo[experiments.FailoverWarm], fo[experiments.FailoverCold]
+		if warm.Generations != 1 || warm.Promotions != 1 || warm.Replacements != 0 {
+			b.Fatalf("warm failover: gens=%d promotions=%d replacements=%d, want 1/1/0",
+				warm.Generations, warm.Promotions, warm.Replacements)
+		}
+		if warm.Latency >= cold.Latency {
+			b.Fatalf("warm failover %v not under cold re-bootstrap %v", warm.Latency, cold.Latency)
+		}
+		b.ReportMetric(float64(rr.P99.Microseconds())/float64(p2c.P99.Microseconds()), "p99-vs-rr")
+		b.ReportMetric(float64(cold.Latency.Milliseconds())/float64(warm.Latency.Milliseconds()), "failover-speedup")
+		b.ReportMetric(float64(p2c.P99.Microseconds()), "p2c-p99-us")
+	}
+}

@@ -19,6 +19,7 @@
 //	rpexp -exp crashrec
 //	rpexp -exp load -scenarios steady,churn
 //	rpexp -exp scale
+//	rpexp -exp hotspot -balance p2c,round-robin
 //	rpexp -exp xproc
 package main
 
@@ -42,7 +43,7 @@ func main() {
 	// before anything else; never returns in that case.
 	xproc.MaybeRunAgent()
 
-	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|crashrec|load|scale|xproc|table1|table2|all")
+	exp := flag.String("exp", "all", "experiment: 1|2|3|frag|route|svcfail|crashrec|load|scale|hotspot|xproc|table1|table2|all")
 	deploy := flag.String("deploy", "both", "deployment for exp 2/3: local|remote|both")
 	scaling := flag.String("scaling", "both", "scaling for exp 2/3: strong|weak|both")
 	counts := flag.String("counts", "", "comma-separated instance counts for exp 1 (default: paper sweep)")
@@ -53,6 +54,7 @@ func main() {
 	plat := flag.String("platform", "hetero", "mixed-shape platform for the frag/route ablations")
 	churn := flag.Bool("churn", false, "steady-state fragmentation ablation: transient holders + arrival waves")
 	scenarios := flag.String("scenarios", "", "comma-separated scenario name filter for -exp load (default: full catalog)")
+	balance := flag.String("balance", "", "comma-separated picker list for -exp hotspot: p2c|round-robin|least-loaded (default: all three)")
 	flag.Parse()
 
 	if _, err := scheduler.PolicyByName(*sched); err != nil {
@@ -214,6 +216,32 @@ func main() {
 				return err
 			}
 			fmt.Print(res.Table().Render())
+			return nil
+		})
+	}
+	if want("hotspot") {
+		run("Hotspot-balancing ablation (p2c vs blind vs full-scan)", func() error {
+			cfg := experiments.DefaultHotspotConfig()
+			if *balance != "" {
+				cfg.Balancers = nil
+				for _, b := range strings.Split(*balance, ",") {
+					if b = strings.TrimSpace(b); b != "" {
+						cfg.Balancers = append(cfg.Balancers, b)
+					}
+				}
+			}
+			if *requests > 0 {
+				cfg.Requests = *requests
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			res, err := experiments.RunHotspot(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table().Render())
+			fmt.Print(res.FailoverTable().Render())
 			return nil
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/pilot"
 	"repro/internal/service"
 	"repro/internal/simtime"
@@ -46,6 +47,17 @@ type replicaRef struct {
 	p        *pilot.Pilot
 	member   bool // admitted to the registry balancing group (seen ACTIVE)
 	draining bool // removed from balancing; terminated once empty
+}
+
+// standbyRef tracks one warm standby: a fully bootstrapped instance of
+// the service, named <uid>.sN and hosted on a pilot distinct from the
+// base instance's where the topology allows, held suspended in the
+// registry until a failover promotes it.
+type standbyRef struct {
+	uid  string
+	inst *service.Instance
+	p    *pilot.Pilot
+	held bool // seen ACTIVE and suspended: ready for promotion
 }
 
 // applyScaleDefaults fills the autoscaler knobs of a scaled description.
@@ -138,12 +150,14 @@ func (sm *ServiceManager) scaleTick(h *Service) {
 	}
 
 	// Phase 2 — read the load signal and publish it for balancing
-	// clients. Serving set: the base instance plus admitted,
+	// clients, stamped with the session-clock read so pickers can bound
+	// staleness. Serving set: the base instance plus admitted,
 	// non-draining replicas.
+	now := sm.sess.clock.Now()
 	queued, serving := 0, 1
 	if base != nil {
 		queued = base.Queued()
-		sm.reg.ReportLoad(h.uid, service.Load{Queued: base.Queued(), InFlight: base.InFlight()})
+		sm.reg.ReportLoad(h.uid, service.Load{Queued: base.Queued(), InFlight: base.InFlight(), At: now})
 	}
 	pending := 0
 	for _, r := range kept {
@@ -152,7 +166,7 @@ func (sm *ServiceManager) scaleTick(h *Service) {
 		case r.member:
 			queued += r.inst.Queued()
 			serving++
-			sm.reg.ReportLoad(r.uid, service.Load{Queued: r.inst.Queued(), InFlight: r.inst.InFlight()})
+			sm.reg.ReportLoad(r.uid, service.Load{Queued: r.inst.Queued(), InFlight: r.inst.InFlight(), At: now})
 		default:
 			pending++ // bootstrap in flight: counts against the max, not the mean
 		}
@@ -169,10 +183,21 @@ func (sm *ServiceManager) scaleTick(h *Service) {
 		return
 	}
 
-	// Phase 3 — the scaling decision. Mean queued requests per serving
-	// replica against the up/down thresholds; scale-down waits for
-	// ScaleStabilize consecutive quiet evaluations (hysteresis) and
-	// retires the newest replica, never the base instance.
+	// Reconcile the warm-standby pool: reap dead standbys and refill the
+	// deficit. Submit is non-blocking (the standby bootstraps on its own
+	// clock-registered goroutine), so this keeps the tick sleep-free.
+	if d.WarmStandbys > 0 {
+		sm.fillStandbys(h)
+	}
+
+	// Phase 3 — the scaling decision (demand-scaled services only). Mean
+	// queued requests per serving replica against the up/down thresholds;
+	// scale-down waits for ScaleStabilize consecutive quiet evaluations
+	// (hysteresis) and retires the newest replica, never the base
+	// instance.
+	if d.MaxReplicas <= 1 {
+		return
+	}
 	mean := float64(queued) / float64(serving)
 	minReps := d.MinReplicas
 	if minReps < 1 {
@@ -253,13 +278,16 @@ func (sm *ServiceManager) retireNewest(h *Service) {
 	}
 }
 
-// scaleShutdown tears down every surviving replica after the logical
-// service reached a final state. Best-effort: the hosting pilots may
-// already be gone (session close shuts them down first).
+// scaleShutdown tears down every surviving replica and warm standby
+// after the logical service reached a final state. Best-effort: the
+// hosting pilots may already be gone (session close shuts them down
+// first).
 func (sm *ServiceManager) scaleShutdown(h *Service) {
 	h.mu.Lock()
 	reps := h.reps
 	h.reps = nil
+	standbys := h.standbys
+	h.standbys = nil
 	h.mu.Unlock()
 	for _, r := range reps {
 		if r.member {
@@ -267,5 +295,184 @@ func (sm *ServiceManager) scaleShutdown(h *Service) {
 		}
 		sm.reg.Withdraw(r.uid)
 		_ = r.p.Services().Terminate(r.uid, false)
+	}
+	for _, sb := range standbys {
+		sm.reg.Withdraw(sb.uid)
+		_ = sb.p.Services().Terminate(sb.uid, false)
+	}
+}
+
+// fillStandbys reconciles h's warm-standby pool up to the declared
+// WarmStandbys count: dead standbys (hosting pilot stopped, liveness
+// kill) are reaped, then the deficit is spawned. Each standby is a
+// pilot-level service named <uid>.sN, routed away from the base
+// instance's pilot and the other standbys' pilots when the topology has
+// spares, bootstrapped fire-and-forget and suspended in the registry the
+// moment it reaches ACTIVE (holdStandby). Never blocks: safe from both
+// Submit and the clock-registered autoscale tick.
+func (sm *ServiceManager) fillStandbys(h *Service) {
+	h.mu.Lock()
+	kept := h.standbys[:0]
+	for _, sb := range h.standbys {
+		if sb.inst.Final() {
+			sm.reg.Withdraw(sb.uid)
+			continue
+		}
+		kept = append(kept, sb)
+	}
+	h.standbys = kept
+	deficit := h.desc.WarmStandbys - len(kept)
+	finished := h.finished || h.terminated
+	h.mu.Unlock()
+	if finished {
+		return
+	}
+	for i := 0; i < deficit; i++ {
+		sm.spawnStandby(h)
+	}
+}
+
+// spawnStandby fires off one standby bootstrap for h. Routing or
+// dispatch failures are dropped — the next autoscale tick refills.
+func (sm *ServiceManager) spawnStandby(h *Service) {
+	h.mu.Lock()
+	h.sbSeq++
+	suid := fmt.Sprintf("%s.s%d", h.uid, h.sbSeq)
+	// Distinct-pilot preference: exclude the base instance's pilot and
+	// every pilot already hosting one of h's standbys, so a single pilot
+	// failure cannot take the service and its spare down together.
+	exclude := map[string]bool{}
+	if h.p != nil {
+		exclude[h.p.UID()] = true
+	}
+	for _, sb := range h.standbys {
+		exclude[sb.p.UID()] = true
+	}
+	h.mu.Unlock()
+
+	d := h.desc
+	d.UID = suid
+	d.WarmStandbys = 0                  // a standby has no standbys of its own
+	d.MinReplicas, d.MaxReplicas = 0, 0 // nor is it demand-scaled
+
+	sm.mu.Lock()
+	if sm.closed {
+		sm.mu.Unlock()
+		return
+	}
+	p, err := sm.routeStandbyLocked(d, exclude)
+	sm.mu.Unlock()
+	if err != nil {
+		return
+	}
+	inst, err := p.Services().Submit(d)
+	if err != nil {
+		return
+	}
+	ref := &standbyRef{uid: suid, inst: inst, p: p}
+	h.mu.Lock()
+	h.standbys = append(h.standbys, ref)
+	h.mu.Unlock()
+	// Plain goroutine on purpose: it blocks on state-change channels,
+	// which a clock-registered goroutine must never do.
+	go sm.holdStandby(h, ref)
+}
+
+// routeStandbyLocked routes a standby description preferring pilots
+// outside the exclusion set, falling back to the full active set when
+// the exclusions exhaust it (a spare on the same pilot still beats no
+// spare). Callers hold sm.mu.
+func (sm *ServiceManager) routeStandbyLocked(d spec.ServiceDescription, exclude map[string]bool) (*pilot.Pilot, error) {
+	if len(exclude) > 0 {
+		var rest []*pilot.Pilot
+		for _, p := range sm.pilots {
+			if !exclude[p.UID()] {
+				rest = append(rest, p)
+			}
+		}
+		if p, err := pickPilot(rest, sm.rt, "service", d.TaskDescription); err == nil {
+			return p, nil
+		}
+	}
+	return pickPilot(sm.pilots, sm.rt, "service", d.TaskDescription)
+}
+
+// holdStandby follows one standby bootstrap until it reaches ACTIVE,
+// then suspends its registry entry: the endpoint publication (ordered
+// before ACTIVE by the pilot publish hook) is retained for Peek but the
+// standby is unresolvable — it serves no traffic until promoted.
+func (sm *ServiceManager) holdStandby(h *Service, ref *standbyRef) {
+	for ref.inst.State() != states.ServiceActive {
+		if ref.inst.Final() {
+			return // reaped by the next fillStandbys
+		}
+		ch := ref.inst.Changed()
+		// re-check after registering the waiter (lost-wakeup race)
+		if ref.inst.State() == states.ServiceActive {
+			break
+		}
+		if ref.inst.Final() {
+			return
+		}
+		<-ch
+	}
+	sm.reg.Suspend(ref.uid)
+	h.mu.Lock()
+	ref.held = true
+	h.mu.Unlock()
+}
+
+// promoteStandby is the watcher's warm failover path: pop a held, live
+// standby whose pilot survives and re-point the logical UID at it with a
+// single generation-bumping publish of the standby's already-live
+// endpoint. No routing, no bootstrap — parked resolvers wake straight
+// into the promoted address. Returns false when no standby is
+// promotable, in which case the watcher falls back to a cold
+// re-placement. The drained pool is refilled in the background.
+func (sm *ServiceManager) promoteStandby(h *Service) bool {
+	for {
+		h.mu.Lock()
+		var ref *standbyRef
+		idx := -1
+		for i, sb := range h.standbys {
+			if sb.held && !sb.inst.Final() && sb.p.State() == states.PilotActive {
+				ref, idx = sb, i
+				break
+			}
+		}
+		if ref == nil {
+			h.mu.Unlock()
+			return false
+		}
+		h.standbys = append(h.standbys[:idx], h.standbys[idx+1:]...)
+		h.mu.Unlock()
+
+		ep, _, ok := sm.reg.Peek(ref.uid)
+		if !ok {
+			// Published record already gone (withdrawn by a racing
+			// teardown): discard this standby and try the next.
+			sm.reg.Withdraw(ref.uid)
+			_ = ref.p.Services().Terminate(ref.uid, false)
+			continue
+		}
+		// Point h at the promoted instance before publishing, so the
+		// mirror guard attributes the new pilot's publications to the
+		// handle and parked resolvers that wake on the publish observe a
+		// consistent handle.
+		h.mu.Lock()
+		h.inst, h.p = ref.inst, ref.p
+		h.instUID = ref.uid
+		h.promotions++
+		close(h.swapped)
+		h.swapped = make(chan struct{})
+		h.mu.Unlock()
+
+		sm.sess.journalAppend(journal.KindBind, journal.BindBody{Entity: "service", UID: h.uid, Pilot: ref.p.UID()})
+		ep.ServiceUID = h.uid
+		ep.Incarnation = sm.sess.Incarnation()
+		ep.PublishedAt = sm.sess.clock.Now()
+		_, _ = sm.reg.Publish(ep)
+		go sm.fillStandbys(h)
+		return true
 	}
 }

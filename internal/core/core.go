@@ -81,6 +81,12 @@ type SessionConfig struct {
 	// loopback sockets with dialable published addresses — the transport
 	// multi-process sessions run on).
 	Transport string
+	// LoadHorizon bounds how old a registry load report may be before
+	// balancing clients treat it as no information and fall back to blind
+	// rotation (default service.DefaultLoadHorizon). It must comfortably
+	// cover the report cadence — the autoscaler's ScaleInterval or a
+	// campaign reporter's interval — or every pick degrades to rotation.
+	LoadHorizon time.Duration
 }
 
 // Session is one runtime instance.
@@ -102,6 +108,7 @@ type Session struct {
 	incarnation uint64
 	routerName  string
 	transport   string
+	loadHorizon time.Duration
 
 	mu       sync.Mutex
 	closed   bool
@@ -156,8 +163,9 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		fastBoot: cfg.FastBoot,
 		schedPol: cfg.SchedPolicy,
 
-		routerName: cfg.Router,
-		transport:  cfg.Transport,
+		routerName:  cfg.Router,
+		transport:   cfg.Transport,
+		loadHorizon: cfg.LoadHorizon,
 	}
 	pub, err := net.BindPub(UpdatesAddr)
 	if err != nil {
@@ -298,10 +306,17 @@ func (s *Session) publishState(entity string) states.Callback {
 // RegisterRemote adds a remote (externally managed, e.g. R3-hosted)
 // service endpoint to the session. Remote models "are usually persistent
 // on dedicated resources and do not need to be bootstrapped" (§IV).
+//
+// The registration is also published into the session EndpointRegistry —
+// the single source of endpoint truth — stamped with the session
+// incarnation, so pooled and resolver clients discover remote endpoints
+// through exactly the same generation-stamped lookup as local ones.
 func (s *Session) RegisterRemote(ep proto.Endpoint) {
 	s.mu.Lock()
 	s.remotes[ep.ServiceUID] = ep
 	s.mu.Unlock()
+	ep.Incarnation = s.incarnation
+	_, _ = s.sm.reg.Publish(ep)
 }
 
 // RemoteEndpoints returns registered remote endpoints (all models when
@@ -330,11 +345,15 @@ func (s *Session) Dial(clientAddr string, ep proto.Endpoint) (service.Caller, er
 	return service.Dial(s.net, s.clock, clientAddr, ep)
 }
 
-// Pool returns a load-balanced Caller over all endpoints of model,
-// re-resolved per request across local pilots and remote registrations.
+// Pool returns a load-balanced Caller over all live endpoints of model in
+// the session EndpointRegistry — local pilot services arrive there via
+// the publish mirror, remote registrations via RegisterRemote. Every
+// pooled request goes through a per-UID generation-aware resolver, so
+// pool clients survive failover re-publications exactly like DialService
+// clients (the old evict-on-error connection cache is gone).
 func (s *Session) Pool(clientAddr, model string, bal loadbal.Balancer) (*service.Pool, error) {
-	return service.NewPool(s.net, s.clock, clientAddr, bal, func() []proto.Endpoint {
-		return s.sm.Endpoints(model)
+	return service.NewPool(s.sm.reg, model, bal, func(ep proto.Endpoint) (service.Caller, error) {
+		return s.Dial(clientAddr, ep)
 	})
 }
 
@@ -356,12 +375,28 @@ func (s *Session) DialService(clientAddr, uid string) (*service.Resolver, error)
 }
 
 // DialBalanced returns a replica-aware inference client for uid: requests
-// spread over the base instance and whatever autoscaled replicas the
-// registry's balancing group currently lists, least-loaded first. For an
-// unscaled service it behaves exactly like DialService.
+// spread over the base instance and whatever replicas the registry's
+// balancing group currently lists, picked by seeded power-of-two-choices
+// over the live load reports (two probes per request, lock-free, with a
+// round-robin fallback when reports age past the session's LoadHorizon).
+// For an unscaled service it behaves exactly like DialService.
 func (s *Session) DialBalanced(clientAddr, uid string) (*service.Balancer, error) {
+	return s.DialBalancedWith(clientAddr, uid, nil)
+}
+
+// DialBalancedWith is DialBalanced with an explicit picker strategy (nil
+// selects the default: power-of-two-choices seeded deterministically from
+// the session seed and uid). The ablation harness uses it to hold the
+// same request stream against p2c, blind round-robin and the full-scan
+// least-loaded baseline.
+func (s *Session) DialBalancedWith(clientAddr, uid string, picker loadbal.Picker) (*service.Balancer, error) {
 	return service.NewBalancer(s.sm.reg, uid, func(ep proto.Endpoint) (service.Caller, error) {
 		return s.Dial(clientAddr, ep)
+	}, service.BalancerOptions{
+		Picker:  picker,
+		Seed:    s.src.Derive("balance." + uid).Uint64(),
+		Now:     s.clock.Now,
+		Horizon: s.loadHorizon,
 	})
 }
 
@@ -1072,6 +1107,17 @@ type Service struct {
 	repSeq   int
 	below    int
 	peakReps int
+
+	// Warm-standby state (see autoscale.go): pre-bootstrapped instances
+	// held suspended in the registry, the standby UID sequence, and the
+	// count of promotions (single-publish failovers). instUID is the
+	// pilot-level UID of the current base instance — h.uid normally, the
+	// promoted standby's <uid>.sN after a promotion, which Terminate and
+	// the agent-facing paths must address the instance by.
+	standbys   []*standbyRef
+	sbSeq      int
+	promotions int
+	instUID    string
 }
 
 // UID returns the stable logical service UID — the key clients resolve
@@ -1209,11 +1255,35 @@ func (h *Service) Pilot() string {
 }
 
 // Replacements counts how many times the session re-placed this service
-// on a new pilot after its previous one stopped.
+// on a new pilot after its previous one stopped — cold failovers that
+// paid a fresh bootstrap. Warm-standby promotions are counted separately
+// by Promotions.
 func (h *Service) Replacements() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.replacements
+}
+
+// Promotions counts how many times a failover was absorbed by promoting
+// a warm standby: a single registry publish, no re-bootstrap.
+func (h *Service) Promotions() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.promotions
+}
+
+// Standbys returns the number of warm standbys currently held ready for
+// promotion (bootstrapped, ACTIVE, suspended in the registry).
+func (h *Service) Standbys() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, sb := range h.standbys {
+		if sb.held && !sb.inst.Final() {
+			n++
+		}
+	}
+	return n
 }
 
 // Done returns a channel closed when the logical service reaches a final
@@ -1363,7 +1433,7 @@ func (sm *ServiceManager) Submit(d spec.ServiceDescription) (*Service, error) {
 		if d.Priority == 0 {
 			d.Priority = spec.ServicePriority
 		}
-		if d.MaxReplicas > 1 {
+		if d.MaxReplicas > 1 || d.WarmStandbys > 0 {
 			applyScaleDefaults(&d)
 		}
 		if _, dup := sm.services[d.UID]; dup {
@@ -1408,7 +1478,14 @@ func (sm *ServiceManager) Submit(d spec.ServiceDescription) (*Service, error) {
 		h.inst = inst
 		h.mu.Unlock()
 		go sm.watch(h)
-		if d.MaxReplicas > 1 {
+		if d.WarmStandbys > 0 {
+			sm.fillStandbys(h)
+		}
+		if d.MaxReplicas > 1 || d.WarmStandbys > 0 {
+			// Standby-only services run the autoscaler too: its tick
+			// reconciles dead standbys, refills the pool, and publishes the
+			// load reports balancing clients steer by (the scaling decision
+			// itself stays gated on MaxReplicas > 1).
 			sm.startAutoscaler(h)
 		}
 		return h, nil
@@ -1504,9 +1581,16 @@ func (sm *ServiceManager) watch(h *Service) {
 			return
 		}
 		// Failure-driven re-placement: suspend resolution (clients park in
-		// AwaitNewer instead of being handed the dead address), route the
-		// description over the survivors, re-bootstrap under the same UID.
+		// AwaitNewer instead of being handed the dead address), then prefer
+		// promoting a warm standby — the instance is already bootstrapped
+		// and ACTIVE on a surviving pilot, so failover is one registry
+		// publish instead of a fresh boot/launch/publish cycle. Only when
+		// no standby survives does the watcher fall back to routing the
+		// description over the survivors and re-bootstrapping.
 		sm.reg.Suspend(h.uid)
+		if sm.promoteStandby(h) {
+			continue
+		}
 		newInst, newP, err := sm.replace(h)
 		if err != nil {
 			sm.reg.Withdraw(h.uid)
@@ -1515,6 +1599,7 @@ func (sm *ServiceManager) watch(h *Service) {
 		}
 		h.mu.Lock()
 		h.inst, h.p = newInst, newP
+		h.instUID = h.uid
 		h.replacements++
 		close(h.swapped)
 		h.swapped = make(chan struct{})
@@ -1611,8 +1696,15 @@ func (sm *ServiceManager) Terminate(uid string, drain bool) error {
 	}
 	h.terminated = true
 	p := h.p
+	// After a warm-standby promotion the pilot-level instance keeps its
+	// standby UID; the agent manager must be addressed by that, not the
+	// logical UID.
+	instUID := h.instUID
+	if instUID == "" {
+		instUID = h.uid
+	}
 	h.mu.Unlock()
-	if err := p.Services().Terminate(uid, drain); err != nil {
+	if err := p.Services().Terminate(instUID, drain); err != nil {
 		h.mu.Lock()
 		finishedMeanwhile := h.finished
 		h.terminated = false

@@ -1,0 +1,325 @@
+package experiments
+
+// Hotspot-balancing ablation: the paper's client-side service selection is
+// a blind assignment — clients are mapped to service instances round-robin
+// at submission time and never react to load. This ablation quantifies
+// what the session's load-aware balancing seam buys under a skewed open
+// stream: 80% of the offered mass targets one logical service while the
+// rest lands directly on the other backends as background load the
+// balancer can only see through registry load reports. The same seeded
+// arrival schedule is replayed against three pickers — seeded
+// power-of-two-choices, blind round-robin, and the full-scan least-loaded
+// oracle — so the p99 spread isolates the selection strategy. A second
+// half contrasts failover cost with and without warm standbys: the same
+// pilot kill is answered either by promoting a pre-bootstrapped spare
+// (one generation bump, no boot) or by a cold re-placement that pays the
+// full launch/init/publish path. RunHotspot is the `rpexp -exp hotspot`
+// table pair.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/spec"
+)
+
+// HotspotConfig parameterizes the hotspot-balancing ablation.
+type HotspotConfig struct {
+	// Requests is the offered arrival count per balancer point.
+	Requests int
+	// Rate is the mean arrival rate in requests per second. The default
+	// drives the background-loaded backends to ~90% utilization, where
+	// blind selection pays for ignoring the skew.
+	Rate float64
+	// Model is the hosted backend model. The default vit-base has a
+	// modelled per-request compute time of a few milliseconds — queueing
+	// is what separates the pickers, and the instant noop model never
+	// queues.
+	Model string
+	// MaxTokens bounds generation (the vit-base default keeps requests at
+	// ~4ms).
+	MaxTokens int
+	// Services is the backend fleet size (≥2; default 4).
+	Services int
+	// HotspotWeight is the probability mass routed through the balancer
+	// (the rest hits services 1..N-1 directly as background load).
+	HotspotWeight float64
+	// Balancers are the picker names compared (default p2c, round-robin,
+	// least-loaded).
+	Balancers []string
+	// Seed drives every stochastic choice; all balancer points replay the
+	// identical arrival and targeting schedule.
+	Seed uint64
+	// Interval is the campaign's time-series bucket width.
+	Interval time.Duration
+	// Standbys is the warm-standby pool size for the failover half
+	// (default 1; negative skips the failover contrast).
+	Standbys int
+	// Scale is the failover half's clock compression (default 2000). The
+	// failover sessions do NOT use FastBoot: the cold path must pay real
+	// bootstrap time, that cost is the measurement.
+	Scale float64
+}
+
+// DefaultHotspotConfig returns the figure-scale parameterization.
+func DefaultHotspotConfig() HotspotConfig {
+	return HotspotConfig{
+		Requests:      16000,
+		Rate:          800,
+		Model:         "vit-base",
+		MaxTokens:     8,
+		Services:      4,
+		HotspotWeight: 0.8,
+		Balancers:     []string{"p2c", "round-robin", "least-loaded"},
+		Seed:          11,
+		Interval:      time.Second,
+		Standbys:      1,
+		Scale:         2000,
+	}
+}
+
+// HotspotRow is one balancer's outcome under the identical skewed stream.
+type HotspotRow struct {
+	Balancer  string
+	Offered   int64
+	Completed int64
+	Failed    int64
+	P50       time.Duration
+	P99       time.Duration
+	Max       time.Duration
+	// SimDuration is the virtual-time makespan; Wall the real time.
+	SimDuration time.Duration
+	Wall        time.Duration
+}
+
+// FailoverRow is one failover mode's outcome for the same pilot kill.
+type FailoverRow struct {
+	Mode string
+	// Latency is the virtual time from the pilot kill to the re-published
+	// endpoint the clients can dial.
+	Latency time.Duration
+	// Generations is how many registry generations the failover cost
+	// (warm promotion: exactly 1).
+	Generations uint64
+	// Promotions and Replacements split the recovery path taken.
+	Promotions   int
+	Replacements int
+}
+
+// Failover modes.
+const (
+	FailoverWarm = "warm-standby"
+	FailoverCold = "cold-replace"
+)
+
+// HotspotResult is the ablation dataset.
+type HotspotResult struct {
+	Cfg      HotspotConfig
+	Rows     []HotspotRow
+	Failover []FailoverRow
+	// Results holds the full campaign results per balancer point.
+	Results []*loadgen.Result
+}
+
+// RunHotspot executes the ablation: one open-loop campaign per picker on
+// the identical seeded schedule, then the warm-vs-cold failover contrast.
+func RunHotspot(ctx context.Context, cfg HotspotConfig) (*HotspotResult, error) {
+	def := DefaultHotspotConfig()
+	if cfg.Requests <= 0 {
+		cfg.Requests = def.Requests
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = def.Rate
+	}
+	if cfg.Model == "" {
+		cfg.Model = def.Model
+	}
+	if cfg.MaxTokens <= 0 {
+		cfg.MaxTokens = def.MaxTokens
+	}
+	if cfg.Services <= 0 {
+		cfg.Services = def.Services
+	}
+	if cfg.HotspotWeight <= 0 {
+		cfg.HotspotWeight = def.HotspotWeight
+	}
+	if len(cfg.Balancers) == 0 {
+		cfg.Balancers = def.Balancers
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = def.Interval
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = def.Scale
+	}
+	if cfg.Standbys == 0 {
+		cfg.Standbys = def.Standbys
+	}
+	res := &HotspotResult{Cfg: cfg}
+	for _, bal := range cfg.Balancers {
+		r, err := loadgen.Run(ctx, loadgen.Scenario{
+			Name:          "hotspot-" + bal,
+			Kind:          loadgen.KindHotspot,
+			Requests:      cfg.Requests,
+			Rate:          cfg.Rate,
+			Model:         cfg.Model,
+			MaxTokens:     cfg.MaxTokens,
+			Services:      cfg.Services,
+			HotspotWeight: cfg.HotspotWeight,
+			Balance:       bal,
+			Seed:          cfg.Seed,
+			Interval:      cfg.Interval,
+		})
+		if err != nil {
+			return res, fmt.Errorf("experiments: hotspot %s: %w", bal, err)
+		}
+		res.Results = append(res.Results, r)
+		res.Rows = append(res.Rows, HotspotRow{
+			Balancer:    bal,
+			Offered:     r.Offered,
+			Completed:   r.Completed,
+			Failed:      r.Failed,
+			P50:         r.Latency.Quantile(0.50),
+			P99:         r.Latency.Quantile(0.99),
+			Max:         r.Latency.Max(),
+			SimDuration: r.Duration,
+			Wall:        r.Wall,
+		})
+	}
+	if cfg.Standbys > 0 {
+		for _, mode := range []string{FailoverWarm, FailoverCold} {
+			row, err := runHotspotFailover(ctx, cfg, mode)
+			if err != nil {
+				return res, fmt.Errorf("experiments: hotspot failover %s: %w", mode, err)
+			}
+			res.Failover = append(res.Failover, row)
+		}
+	}
+	return res, nil
+}
+
+// runHotspotFailover measures the virtual-time cost of one pilot kill
+// under the given recovery mode. The session deliberately boots without
+// FastBoot: a cold re-placement pays the modelled launch/init/publish
+// path, a warm promotion pays only the registry publish — the contrast
+// IS the bootstrap time the standby pre-paid.
+func runHotspotFailover(ctx context.Context, cfg HotspotConfig, mode string) (FailoverRow, error) {
+	row := FailoverRow{Mode: mode}
+	sess, err := core.NewSession(core.SessionConfig{
+		Seed:  cfg.Seed,
+		Clock: simtime.NewScaled(cfg.Scale, core.DefaultOrigin),
+	})
+	if err != nil {
+		return row, err
+	}
+	defer sess.Close()
+	sm := sess.ServiceManager()
+	p1, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Nodes: 2})
+	if err != nil {
+		return row, err
+	}
+	p2, err := sess.PilotManager().Submit(spec.PilotDescription{Platform: "delta", Nodes: 2})
+	if err != nil {
+		return row, err
+	}
+	sm.AddPilot(p1)
+	sm.AddPilot(p2)
+
+	d := spec.ServiceDescription{
+		TaskDescription: spec.TaskDescription{Name: "hot", Cores: 1},
+		Model:           "noop",
+		ProbeInterval:   time.Hour,
+		StartTimeout:    time.Hour,
+	}
+	if mode == FailoverWarm {
+		d.WarmStandbys = cfg.Standbys
+	}
+	h, err := sm.Submit(d)
+	if err != nil {
+		return row, err
+	}
+	if err := sm.WaitReady(ctx, h.UID()); err != nil {
+		return row, err
+	}
+	if mode == FailoverWarm {
+		// the spare must be bootstrapped and held before the kill: that
+		// pre-payment is what the mode is about
+		deadline := time.Now().Add(60 * time.Second)
+		for h.Standbys() < cfg.Standbys {
+			if time.Now().After(deadline) {
+				return row, fmt.Errorf("standby pool never filled")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	var victim = p1
+	if h.Pilot() == p2.UID() {
+		victim = p2
+	}
+	reg := sess.EndpointRegistry()
+	genBefore := reg.Generation(h.UID())
+	t0 := sess.Clock().Now()
+	if err := victim.Shutdown(); err != nil {
+		return row, err
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	_, genAfter, err := reg.AwaitNewer(waitCtx, h.UID(), genBefore)
+	if err != nil {
+		return row, fmt.Errorf("failover re-publication never landed: %w", err)
+	}
+	row.Latency = sess.Clock().Now().Sub(t0)
+	row.Generations = genAfter - genBefore
+	row.Promotions = h.Promotions()
+	row.Replacements = h.Replacements()
+	return row, nil
+}
+
+// Table renders the balancer matrix.
+func (r *HotspotResult) Table() metrics.Table {
+	t := metrics.Table{
+		Title: fmt.Sprintf(
+			"Hotspot-balancing ablation — %.0f%% skewed mass over %d backends at %.0f req/s, identical seeded stream per picker",
+			r.Cfg.HotspotWeight*100, r.Cfg.Services, r.Cfg.Rate),
+		Header: []string{"balancer", "offered", "completed", "failed", "p50", "p99", "max", "sim time", "wall"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Balancer,
+			fmt.Sprintf("%d", row.Offered),
+			fmt.Sprintf("%d", row.Completed),
+			fmt.Sprintf("%d", row.Failed),
+			fmtDur(row.P50),
+			fmtDur(row.P99),
+			fmtDur(row.Max),
+			fmtDur(row.SimDuration),
+			fmtDur(row.Wall))
+	}
+	return t
+}
+
+// FailoverTable renders the warm-vs-cold failover contrast.
+func (r *HotspotResult) FailoverTable() metrics.Table {
+	t := metrics.Table{
+		Title: fmt.Sprintf(
+			"Failover cost — hosting pilot killed, %d warm standby vs cold re-bootstrap (virtual time)",
+			r.Cfg.Standbys),
+		Header: []string{"mode", "failover latency", "generations", "promotions", "replacements"},
+	}
+	for _, row := range r.Failover {
+		t.AddRow(row.Mode,
+			fmtDur(row.Latency),
+			fmt.Sprintf("%d", row.Generations),
+			fmt.Sprintf("%d", row.Promotions),
+			fmt.Sprintf("%d", row.Replacements))
+	}
+	return t
+}

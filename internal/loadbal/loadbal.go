@@ -2,14 +2,19 @@
 // instances. The paper's prototype employs "only a rudimentary load
 // balancing" (round-robin); its future work calls for "dynamically
 // rerouting requests to less used service instances". Both ends of that
-// spectrum are implemented here — round-robin, uniform random, and
-// least-pending (queue-depth-aware) — and compared by the ablation
-// benchmark BenchmarkAblationLoadBalancing.
+// spectrum are implemented here and compared by the ablation benchmarks:
+// the endpoint-slice Balancer interface (round-robin, uniform random,
+// least-pending) for pooled clients, and the index-addressed
+// LoadView/Picker seam for the lock-free replica-group hot path —
+// power-of-two-choices, blind rotation, and the full-scan least-loaded
+// baseline.
 package loadbal
 
 import (
 	"errors"
-	"sync"
+	"fmt"
+	"math"
+	"sync/atomic"
 
 	"repro/internal/proto"
 	"repro/internal/rng"
@@ -23,11 +28,92 @@ type Balancer interface {
 	Pick(eps []proto.Endpoint) (proto.Endpoint, error)
 }
 
+// LoadView is an index-addressed snapshot of one balancing group's
+// candidates with per-candidate load gauges. Implementations must be
+// immutable (membership changes swap in a fresh view) and their Load
+// reads lock-free, so a Picker can run on the request hot path without
+// contention.
+type LoadView interface {
+	Len() int
+	// Load returns candidate i's reported load depth (queued plus
+	// in-flight) and the report's timestamp in nanoseconds on the
+	// caller's clock (0 = never reported).
+	Load(i int) (depth int, at int64)
+}
+
+// Picker selects one candidate index out of a LoadView. minAt is the
+// staleness horizon on the same nanosecond timebase: a report older than
+// minAt carries no information about the present and load-aware pickers
+// must not act on it. Pickers must be allocation-free and lock-free —
+// they run once per request on the balanced hot path.
+type Picker interface {
+	PickIndex(v LoadView, minAt int64) int
+}
+
+// splitmix64 advances and mixes a 64-bit state word (Vigna's SplitMix64
+// finalizer). One atomic add plus this mix is the whole per-pick RNG
+// cost, and the sequence is reproducible for a given seed.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+const splitmixGamma = 0x9E3779B97F4A7C15
+
+// P2C is the power-of-two-choices picker: two seeded random probes, take
+// the less loaded. Constant cost regardless of group size, and within a
+// constant factor of the full-scan least-loaded tail under skew (the
+// classic balanced-allocations result). When either probe's load report
+// is older than the staleness horizon the picker falls back to blind
+// rotation — acting on a stale gauge herds requests onto whichever
+// replica happened to look idle an interval ago.
+type P2C struct {
+	state atomic.Uint64 // seeded splitmix64 walker: one Add per pick
+	rr    atomic.Uint64 // stale-report fallback rotation
+}
+
+// NewP2C returns a power-of-two-choices picker with a seeded probe
+// sequence.
+func NewP2C(seed uint64) *P2C {
+	p := &P2C{}
+	p.state.Store(seed)
+	return p
+}
+
+// PickIndex implements Picker: both probes come from one 64-bit draw
+// (low and high halves), so the cost is one atomic add, one mix and two
+// gauge reads. Identical probes are nudged apart; on a stale report the
+// pick degrades to round-robin rather than trusting dead information.
+func (p *P2C) PickIndex(v LoadView, minAt int64) int {
+	n := v.Len()
+	if n <= 1 {
+		return 0
+	}
+	r := splitmix64(p.state.Add(splitmixGamma))
+	a := int((r & 0xFFFFFFFF) % uint64(n))
+	b := int((r >> 32) % uint64(n))
+	if b == a {
+		b = (b + 1) % n
+	}
+	da, ta := v.Load(a)
+	db, tb := v.Load(b)
+	if ta < minAt || tb < minAt {
+		return int((p.rr.Add(1) - 1) % uint64(n))
+	}
+	if db < da {
+		return b
+	}
+	return a
+}
+
 // RoundRobin cycles through candidates in order — the paper's rudimentary
-// strategy.
+// strategy. As a Picker it is the load-blind baseline of the hotspot
+// ablation.
 type RoundRobin struct {
-	mu sync.Mutex
-	n  uint64
+	n atomic.Uint64
 }
 
 // NewRoundRobin returns a round-robin balancer.
@@ -38,11 +124,64 @@ func (b *RoundRobin) Pick(eps []proto.Endpoint) (proto.Endpoint, error) {
 	if len(eps) == 0 {
 		return proto.Endpoint{}, ErrNoEndpoints
 	}
-	b.mu.Lock()
-	i := b.n % uint64(len(eps))
-	b.n++
-	b.mu.Unlock()
-	return eps[i], nil
+	return eps[(b.n.Add(1)-1)%uint64(len(eps))], nil
+}
+
+// PickIndex implements Picker, ignoring the load gauges entirely.
+func (b *RoundRobin) PickIndex(v LoadView, _ int64) int {
+	n := v.Len()
+	if n <= 1 {
+		return 0
+	}
+	return int((b.n.Add(1) - 1) % uint64(n))
+}
+
+// LeastLoaded is the full-scan argmin Picker: O(group) per pick, the
+// quality ceiling the ablation holds P2C against. Ties break on a
+// rotating offset so equally-idle replicas share bursts that land
+// between two load reports.
+type LeastLoaded struct {
+	n atomic.Uint64
+}
+
+// NewLeastLoaded returns a full-scan least-loaded picker.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// PickIndex implements Picker.
+func (b *LeastLoaded) PickIndex(v LoadView, _ int64) int {
+	n := v.Len()
+	if n <= 1 {
+		return 0
+	}
+	offset := int((b.n.Add(1) - 1) % uint64(n))
+	best, bestDepth := -1, 0
+	for i := 0; i < n; i++ {
+		j := offset + i
+		if j >= n {
+			j -= n
+		}
+		d, _ := v.Load(j)
+		if best == -1 || d < bestDepth {
+			best, bestDepth = j, d
+		}
+	}
+	return best
+}
+
+// PickerByName builds a Picker from its ablation name: "p2c",
+// "round-robin" (alias "rr"), or "least-loaded" (alias "least"). The
+// seed drives P2C's probe sequence and is ignored by the others.
+func PickerByName(name string, seed uint64) (Picker, error) {
+	switch name {
+	case "", "p2c":
+		return NewP2C(seed), nil
+	case "round-robin", "rr":
+		return NewRoundRobin(), nil
+	case "least-loaded", "least":
+		return NewLeastLoaded(), nil
+	default:
+		return nil, fmt.Errorf("loadbal: unknown picker %q (want p2c|round-robin|least-loaded)", name)
+	}
 }
 
 // Random picks uniformly at random.
@@ -62,13 +201,27 @@ func (b *Random) Pick(eps []proto.Endpoint) (proto.Endpoint, error) {
 // DepthFunc reports the live queue depth of a service.
 type DepthFunc func(serviceUID string) int
 
+// depthView adapts an endpoint slice plus a DepthFunc to the LoadView
+// seam. The depth probe is synchronous, so every reading counts as
+// maximally fresh.
+type depthView struct {
+	eps   []proto.Endpoint
+	depth DepthFunc
+}
+
+func (v depthView) Len() int { return len(v.eps) }
+
+func (v depthView) Load(i int) (int, int64) {
+	return v.depth(v.eps[i].ServiceUID), math.MaxInt64
+}
+
 // LeastPending routes to the endpoint with the shallowest queue — the
 // "less used service instances" strategy of the paper's future work. Ties
-// break round-robin to avoid thundering on one instance.
+// break round-robin to avoid thundering on one instance. It is the
+// endpoint-slice adapter over the LeastLoaded picker.
 type LeastPending struct {
 	depth DepthFunc
-	mu    sync.Mutex
-	n     uint64
+	scan  LeastLoaded
 }
 
 // NewLeastPending returns a queue-depth-aware balancer.
@@ -81,18 +234,5 @@ func (b *LeastPending) Pick(eps []proto.Endpoint) (proto.Endpoint, error) {
 	if len(eps) == 0 {
 		return proto.Endpoint{}, ErrNoEndpoints
 	}
-	b.mu.Lock()
-	offset := b.n
-	b.n++
-	b.mu.Unlock()
-	best := -1
-	bestDepth := 0
-	for i := range eps {
-		j := (int(offset) + i) % len(eps)
-		d := b.depth(eps[j].ServiceUID)
-		if best == -1 || d < bestDepth {
-			best, bestDepth = j, d
-		}
-	}
-	return eps[best], nil
+	return eps[b.scan.PickIndex(depthView{eps: eps, depth: b.depth}, 0)], nil
 }

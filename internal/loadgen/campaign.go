@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/loadbal"
 	"repro/internal/metrics"
 	"repro/internal/pilot"
 	"repro/internal/platform"
@@ -110,14 +111,33 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The balanced hotspot shape turns service 0's client into a
+	// load-aware Balancer over the whole fleet: the registry group under
+	// service 0 lists the other services as members, and the driver
+	// publishes load reports each arrival so the picker can steer the
+	// skewed mass away from the direct background traffic.
+	balanced := sc.Kind == KindHotspot && sc.Balance != "direct" && sc.Services > 1
+	if balanced {
+		reg := sess.EndpointRegistry()
+		for _, h := range handles[1:] {
+			reg.AddMember(handles[0].UID(), h.UID())
+		}
+	}
 	resolvers := make([]inferClient, len(handles))
 	for i, h := range handles {
 		addr := platform.Addr("delta", "", fmt.Sprintf("loadgen.client.%02d", i))
 		var r inferClient
 		var err error
-		if sc.MaxReplicas > 1 {
+		switch {
+		case balanced && i == 0:
+			var picker loadbal.Picker
+			picker, err = loadbal.PickerByName(sc.Balance, rng.New(sc.Seed).Derive("balance").Uint64())
+			if err == nil {
+				r, err = sess.DialBalancedWith(addr, h.UID(), picker)
+			}
+		case sc.MaxReplicas > 1:
 			r, err = sess.DialBalanced(addr, h.UID())
-		} else {
+		default:
 			r, err = sess.DialService(addr, h.UID())
 		}
 		if err != nil {
@@ -135,6 +155,7 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 		pilots:    pilots,
 		handles:   handles,
 		resolvers: resolvers,
+		balanced:  balanced,
 		t0:        clock.Now(),
 		bg:        context.Background(),
 	}
@@ -204,6 +225,7 @@ type campaign struct {
 	pilots    []*pilot.Pilot
 	handles   []*core.Service
 	resolvers []inferClient
+	balanced  bool
 	t0        time.Time
 	bg        context.Context
 
@@ -307,6 +329,9 @@ func (c *campaign) drive(ctx context.Context) {
 			c.clock.Sleep(gap)
 		}
 		now := c.clock.Now()
+		if c.balanced {
+			c.reportLoads(now)
+		}
 		svc := c.pickTarget(i, targets)
 		c.offered.Add(1)
 		depth := c.outstanding.Add(1)
@@ -330,6 +355,20 @@ func (c *campaign) drive(ctx context.Context) {
 		defer c.acct.Unblock()
 	}
 	wg.Wait()
+}
+
+// reportLoads publishes each backend's queue gauges into the registry —
+// the load signal the balanced hotspot's picker probes. Reporting rides
+// the driver's own arrival wake-ups, so report freshness equals the
+// inter-arrival gap and the schedule stays a pure function of the seed
+// (no extra clock-registered goroutine to interleave).
+func (c *campaign) reportLoads(now time.Time) {
+	reg := c.sess.EndpointRegistry()
+	for _, h := range c.handles {
+		reg.ReportLoad(h.UID(), service.Load{
+			Queued: h.Queued(), InFlight: h.InFlight(), At: now,
+		})
+	}
 }
 
 // pickTarget maps the i-th arrival to a backend: round-robin by default,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/loadbal"
 	"repro/internal/rng"
 )
 
@@ -78,6 +79,16 @@ type Scenario struct {
 	// HotspotWeight is the probability mass targeted at service 0.
 	HotspotWeight float64
 
+	// Balance selects how KindHotspot routes its skewed mass: "direct"
+	// sends it straight at service 0 (the legacy shape), anything else
+	// forms a registry balancing group over the whole fleet and dials
+	// service 0 through a Session.DialBalanced client with that picker
+	// ("p2c" by default, "round-robin", "least-loaded"). The unskewed
+	// remainder keeps hitting services 1..N-1 directly, so the balancer
+	// only sees that background load through the load reports the driver
+	// publishes each arrival.
+	Balance string
+
 	// StragglerModel is the model hosted by service 0 under KindStraggler
 	// (default vit-base, whose modelled inference takes milliseconds).
 	StragglerModel string
@@ -126,8 +137,13 @@ func (sc Scenario) WithDefaults() Scenario {
 			sc.WavePeriod = 20 * time.Second
 		}
 	}
-	if sc.Kind == KindHotspot && sc.HotspotWeight == 0 {
-		sc.HotspotWeight = 0.8
+	if sc.Kind == KindHotspot {
+		if sc.HotspotWeight == 0 {
+			sc.HotspotWeight = 0.8
+		}
+		if sc.Balance == "" {
+			sc.Balance = "p2c"
+		}
 	}
 	if sc.Kind == KindStraggler {
 		if sc.StragglerModel == "" {
@@ -165,6 +181,11 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.Kind == KindHotspot && (sc.HotspotWeight < 0 || sc.HotspotWeight > 1) {
 		return fmt.Errorf("loadgen: scenario %s hotspot weight %v outside [0, 1]", sc.Name, sc.HotspotWeight)
+	}
+	if sc.Balance != "" && sc.Balance != "direct" {
+		if _, err := loadbal.PickerByName(sc.Balance, 0); err != nil {
+			return fmt.Errorf("loadgen: scenario %s: %w", sc.Name, err)
+		}
 	}
 	if sc.Kind == KindChurn && sc.ChurnAt <= 0 {
 		return fmt.Errorf("loadgen: scenario %s needs a positive churn offset", sc.Name)

@@ -22,6 +22,17 @@ func TestScenarioWithDefaults(t *testing.T) {
 	if h.HotspotWeight != 0.8 {
 		t.Errorf("hotspot default weight %v", h.HotspotWeight)
 	}
+	if h.Balance != "p2c" {
+		t.Errorf("hotspot default balance %q, want p2c", h.Balance)
+	}
+	hd := Scenario{Kind: KindHotspot, Balance: "direct"}.WithDefaults()
+	if hd.Balance != "direct" {
+		t.Errorf("explicit direct balance overridden to %q", hd.Balance)
+	}
+	st := Scenario{Kind: KindSteady}.WithDefaults()
+	if st.Balance != "" {
+		t.Errorf("steady scenario grew balance %q", st.Balance)
+	}
 	s := Scenario{Kind: KindStraggler}.WithDefaults()
 	if s.StragglerModel != "vit-base" || s.MaxTokens != 8 {
 		t.Errorf("straggler defaults: model=%q tokens=%d", s.StragglerModel, s.MaxTokens)
@@ -49,6 +60,9 @@ func TestScenarioValidate(t *testing.T) {
 		{"diurnal-amp-high", Scenario{Kind: KindDiurnal, Requests: 1, Rate: 1, WaveAmp: 1}, false},
 		{"hotspot-weight-high", Scenario{Kind: KindHotspot, Requests: 1, Rate: 1, HotspotWeight: 1.5}, false},
 		{"churn-no-offset", Scenario{Kind: KindChurn, Requests: 1, Rate: 1}, false},
+		{"balance-p2c", Scenario{Kind: KindHotspot, Requests: 1, Rate: 1, Balance: "p2c"}, true},
+		{"balance-direct", Scenario{Kind: KindHotspot, Requests: 1, Rate: 1, Balance: "direct"}, true},
+		{"balance-unknown", Scenario{Kind: KindHotspot, Requests: 1, Rate: 1, Balance: "bogus"}, false},
 		{"trace-empty", Scenario{Kind: KindTrace, Requests: 1, Rate: 1}, false},
 	} {
 		err := tc.sc.Validate()

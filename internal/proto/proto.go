@@ -30,6 +30,7 @@ const (
 	KindStateUpdate   Kind = "state_update"   // any → updater: entity state change
 	KindEndpoint      Kind = "endpoint"       // service → registry: endpoint publication
 	KindHeartbeat     Kind = "heartbeat"      // service → manager: liveness
+	KindLoadReport    Kind = "load_report"    // observer → registry: balancing gauge
 	KindRegister      Kind = "register"       // component → session: registration
 	KindStageRequest  Kind = "stage_request"  // manager → stager: data movement
 	KindStageComplete Kind = "stage_complete" // stager → manager: staging done
@@ -77,7 +78,7 @@ func NewEnvelope(kind Kind, id uint64, from, to string, sent time.Time, body any
 	// and to re-encode later for the wire. Pointer payloads and payloads
 	// holding maps (Control.Args) are deliberately excluded — their
 	// referents could mutate after send.
-	case InferenceRequest, InferenceReply, Heartbeat, StateUpdate, Endpoint, ErrorBody:
+	case InferenceRequest, InferenceReply, Heartbeat, LoadReport, StateUpdate, Endpoint, ErrorBody:
 		env.typed = body
 		return env, nil
 	}
@@ -125,6 +126,11 @@ func (e Envelope) Decode(want Kind, out any) error {
 			}
 		case *Heartbeat:
 			if v, ok := e.typed.(Heartbeat); ok {
+				*dst = v
+				return nil
+			}
+		case *LoadReport:
+			if v, ok := e.typed.(LoadReport); ok {
 				*dst = v
 				return nil
 			}
@@ -284,6 +290,21 @@ type Heartbeat struct {
 	Queued     int       `json:"queued"`
 	InFlight   int       `json:"in_flight"`
 	Busy       bool      `json:"busy"`
+}
+
+// LoadReport is the payload of a KindLoadReport message: one endpoint's
+// balancing gauges, pushed by whoever observes the instance (the session
+// autoscaler's control loop, a campaign's reporter) into the session
+// EndpointRegistry. Unlike Heartbeat — a liveness signal consumed by the
+// ServiceManager — a LoadReport exists only to steer balancing clients,
+// and At is load-bearing: balancers treat a report older than their
+// staleness horizon as no information at all and fall back to blind
+// rotation rather than chase a gauge the world has moved past.
+type LoadReport struct {
+	ServiceUID string    `json:"service_uid"`
+	Queued     int       `json:"queued"`
+	InFlight   int       `json:"in_flight"`
+	At         time.Time `json:"at"`
 }
 
 // StageRequest is the payload of a KindStageRequest message.

@@ -9,12 +9,51 @@ import (
 
 // verifyHeapShape asserts the binary-heap invariant: no element sorts
 // strictly before its parent under (priority desc, seq asc).
-func verifyHeapShape(t *testing.T, h waitHeap) {
+func verifyHeapShape(t *testing.T, h *waitHeap) {
 	t.Helper()
-	for i := 1; i < len(h); i++ {
+	for i := 1; i < h.len(); i++ {
 		if parent := (i - 1) / 2; h.less(i, parent) {
 			t.Fatalf("heap shape violated: h[%d] (prio %d, seq %d) sorts before its parent h[%d] (prio %d, seq %d)",
-				i, h[i].req.Priority, h[i].seq, parent, h[parent].req.Priority, h[parent].seq)
+				i, h.items[i].req.Priority, h.items[i].seq, parent, h.items[parent].req.Priority, h.items[parent].seq)
+		}
+	}
+}
+
+// verifyIndexes asserts the backfill-scan augmentations: the seq→position
+// map points at the right slots, the priority list is strictly
+// descending, and the buckets hold exactly the waiting seqs of their
+// priority in ascending order.
+func verifyIndexes(t *testing.T, h *waitHeap) {
+	t.Helper()
+	if len(h.pos) != h.len() {
+		t.Fatalf("pos map has %d entries for %d items", len(h.pos), h.len())
+	}
+	for i, it := range h.items {
+		if h.pos[it.seq] != i {
+			t.Fatalf("pos[%d] = %d, item sits at %d", it.seq, h.pos[it.seq], i)
+		}
+	}
+	want := map[int][]uint64{}
+	for _, it := range h.items {
+		want[it.req.Priority] = append(want[it.req.Priority], it.seq)
+	}
+	if len(h.prios) != len(want) || len(h.buckets) != len(want) {
+		t.Fatalf("%d prios / %d buckets for %d distinct priorities", len(h.prios), len(h.buckets), len(want))
+	}
+	for i, prio := range h.prios {
+		if i > 0 && h.prios[i-1] <= prio {
+			t.Fatalf("prios not strictly descending: %v", h.prios)
+		}
+		got := h.buckets[prio]
+		exp := want[prio]
+		sort.Slice(exp, func(a, b int) bool { return exp[a] < exp[b] })
+		if len(got) != len(exp) {
+			t.Fatalf("bucket %d has %d seqs, want %d", prio, len(got), len(exp))
+		}
+		for j := range got {
+			if got[j] != exp[j] {
+				t.Fatalf("bucket %d = %v, want %v", prio, got, exp)
+			}
 		}
 	}
 }
@@ -33,15 +72,13 @@ func strictSort(items []waitItem) {
 // TestWaitHeapProperty drives random interleavings of push, head pop
 // (removeAt(0)) and arbitrary-position removeAt — the operation mix the
 // backfill policies produce — and asserts after every step that the
-// heap shape holds, that removeAt returned exactly the item that sat at
-// the requested position, and that the head is always the strict-order
-// minimum of the reference multiset. removeAt had no direct coverage
-// before this test: its vacated-slot replacement must be able to sift
-// in either direction.
+// heap shape and the bucket/position indexes hold, that removeAt
+// returned exactly the item that sat at the requested position, and that
+// the head is always the strict-order minimum of the reference multiset.
 func TestWaitHeapProperty(t *testing.T) {
 	src := rng.New(31)
 	for trial := 0; trial < 40; trial++ {
-		var h waitHeap
+		h := newWaitHeap()
 		var ref []waitItem
 		seq := uint64(0)
 		removeRef := func(it waitItem) {
@@ -55,34 +92,35 @@ func TestWaitHeapProperty(t *testing.T) {
 		}
 		for step := 0; step < 150; step++ {
 			switch {
-			case len(h) == 0 || src.Intn(5) > 1: // push-biased
+			case h.len() == 0 || src.Intn(5) > 1: // push-biased
 				seq++
 				it := waitItem{req: Request{Priority: src.Intn(4) * 10}, seq: seq}
 				h.push(it)
 				ref = append(ref, it)
 			case src.Intn(2) == 0: // head pop
-				want := h[0]
+				want := h.items[0]
 				if got := h.removeAt(0); got != want {
 					t.Fatalf("trial %d step %d: removeAt(0) = %+v, head was %+v", trial, step, got, want)
 				}
 				removeRef(want)
 			default: // remove from an arbitrary backing-array position
-				pos := src.Intn(len(h))
-				want := h[pos]
+				pos := src.Intn(h.len())
+				want := h.items[pos]
 				if got := h.removeAt(pos); got != want {
 					t.Fatalf("trial %d step %d: removeAt(%d) = %+v, slot held %+v", trial, step, pos, got, want)
 				}
 				removeRef(want)
 			}
-			if len(h) != len(ref) {
-				t.Fatalf("trial %d step %d: heap has %d items, reference %d", trial, step, len(h), len(ref))
+			if h.len() != len(ref) {
+				t.Fatalf("trial %d step %d: heap has %d items, reference %d", trial, step, h.len(), len(ref))
 			}
-			verifyHeapShape(t, h)
-			if len(h) > 0 {
+			verifyHeapShape(t, &h)
+			verifyIndexes(t, &h)
+			if h.len() > 0 {
 				want := append([]waitItem{}, ref...)
 				strictSort(want)
-				if h[0] != want[0] {
-					t.Fatalf("trial %d step %d: head = %+v, strict order wants %+v", trial, step, h[0], want[0])
+				if h.items[0] != want[0] {
+					t.Fatalf("trial %d step %d: head = %+v, strict order wants %+v", trial, step, h.items[0], want[0])
 				}
 			}
 		}
@@ -96,10 +134,44 @@ func TestWaitHeapProperty(t *testing.T) {
 				t.Fatalf("trial %d: drain position %d = (prio %d, seq %d), want (prio %d, seq %d)",
 					trial, i, got.req.Priority, got.seq, w.req.Priority, w.seq)
 			}
-			verifyHeapShape(t, h)
+			verifyHeapShape(t, &h)
+			verifyIndexes(t, &h)
 		}
-		if len(h) != 0 {
-			t.Fatalf("trial %d: %d items left after drain", trial, len(h))
+		if h.len() != 0 {
+			t.Fatalf("trial %d: %d items left after drain", trial, h.len())
+		}
+	}
+}
+
+// TestWaitHeapFirstFitMatchesArgminScan pins the backfill-scan
+// equivalence: for random pools and random fit predicates, firstFit
+// returns exactly the position the pre-index policy scan found — the
+// argmin under Before over all fitting non-head positions.
+func TestWaitHeapFirstFitMatchesArgminScan(t *testing.T) {
+	src := rng.New(47)
+	for trial := 0; trial < 200; trial++ {
+		h := newWaitHeap()
+		n := 1 + src.Intn(40)
+		fit := make(map[uint64]bool, n)
+		for i := 0; i < n; i++ {
+			seq := uint64(i + 1)
+			h.push(waitItem{req: Request{Priority: src.Intn(5) * 10}, seq: seq})
+			fit[seq] = src.Intn(3) == 0
+		}
+		fits := func(pos int) bool { return fit[h.items[pos].seq] }
+
+		// the replaced scan: argmin under less over fitting positions 1..n-1
+		want := -1
+		for i := 1; i < h.len(); i++ {
+			if !fits(i) {
+				continue
+			}
+			if want < 0 || h.less(i, want) {
+				want = i
+			}
+		}
+		if got := h.firstFit(fits); got != want {
+			t.Fatalf("trial %d: firstFit = %d, argmin scan = %d", trial, got, want)
 		}
 	}
 }

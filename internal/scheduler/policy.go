@@ -56,15 +56,15 @@ type Policy interface {
 type Pool struct{ s *Scheduler }
 
 // Len returns the number of waiting requests.
-func (p *Pool) Len() int { return len(p.s.waiting) }
+func (p *Pool) Len() int { return p.s.waiting.len() }
 
 // Request returns the waiting request at position i.
-func (p *Pool) Request(i int) Request { return p.s.waiting[i].req }
+func (p *Pool) Request(i int) Request { return p.s.waiting.items[i].req }
 
 // Seq returns the submission sequence number of the request at position
 // i. Sequence numbers are unique and increase in submission order, so
 // they identify a particular head across Grant calls.
-func (p *Pool) Seq(i int) uint64 { return p.s.waiting[i].seq }
+func (p *Pool) Seq(i int) uint64 { return p.s.waiting.items[i].seq }
 
 // Before reports whether position i precedes position j in strict
 // (priority descending, submission order ascending) terms.
@@ -73,12 +73,23 @@ func (p *Pool) Before(i, j int) bool { return p.s.waiting.less(i, j) }
 // Fits reports whether some node's current free capacity covers the
 // request at position i, without allocating. Like placement itself it
 // re-syncs the capacity index when an out-of-band release is detected.
-func (p *Pool) Fits(i int) bool { return p.s.fits(p.s.waiting[i].req) }
+func (p *Pool) Fits(i int) bool { return p.s.fits(p.s.waiting.items[i].req) }
+
+// FirstFit returns the position of the request that strict (priority
+// desc, submission asc) order ranks first among the non-head requests
+// whose demand currently fits free capacity, or -1 when none does — the
+// backfill policies' bypass query. It walks the wait pool's per-priority
+// bucket index in strict order and stops at the first fit, so a grant
+// near the front of a deep pool no longer pays a capacity probe per
+// waiting request.
+func (p *Pool) FirstFit() int {
+	return p.s.waiting.firstFit(func(i int) bool { return p.s.fits(p.s.waiting.items[i].req) })
+}
 
 // Place attempts first-fit placement (lowest fitting node index) of the
 // request at position i, returning nil when no node currently fits it.
 func (p *Pool) Place(i int) *platform.Allocation {
-	return p.s.tryPlace(p.s.waiting[i].req, false)
+	return p.s.tryPlace(p.s.waiting.items[i].req, false)
 }
 
 // PlaceBestFit places the request at position i on the fitting node with
@@ -89,7 +100,7 @@ func (p *Pool) Place(i int) *platform.Allocation {
 // scores are highly diverse — so fragmentation avoidance on
 // heterogeneous pools no longer carries a per-grant cost premium.
 func (p *Pool) PlaceBestFit(i int) *platform.Allocation {
-	return p.s.tryPlace(p.s.waiting[i].req, true)
+	return p.s.tryPlace(p.s.waiting.items[i].req, true)
 }
 
 // Now returns the scheduler clock's current time. Schedulers created
@@ -302,17 +313,10 @@ func (b *backfillPolicy) Grant(p *Pool) (int, *platform.Allocation) {
 	}
 
 	// Backfill scan: the highest-priority fitting request among the rest.
-	// The pool is a heap, not a sorted list, so this is an argmin under
-	// Before over all fitting positions — O(waiting · log nodes).
-	best := -1
-	for i := 1; i < p.Len(); i++ {
-		if !p.Fits(i) {
-			continue
-		}
-		if best < 0 || p.Before(i, best) {
-			best = i
-		}
-	}
+	// FirstFit walks the pool's per-priority bucket index in strict order
+	// and stops at its first fit — sublinear when a fitting request ranks
+	// early, instead of the pre-index O(waiting · log nodes) argmin.
+	best := p.FirstFit()
 	if best < 0 {
 		return 0, nil
 	}

@@ -24,6 +24,7 @@ package scheduler
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -147,6 +148,7 @@ func New(nodes []*platform.Node, place PlaceFn, opts ...Option) *Scheduler {
 		clock:     simtime.NewReal(),
 		index:     newNodeIndex(nodes),
 		nodeOf:    make(map[*platform.Node]int, len(nodes)),
+		waiting:   newWaitHeap(),
 		kick:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
 		seenEpoch: platform.ReleaseEpoch(),
@@ -236,7 +238,7 @@ func (s *Scheduler) Policy() Policy { return s.policy }
 func (s *Scheduler) Waiting() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.waiting)
+	return s.waiting.len()
 }
 
 // Scheduled returns the count of granted placements.
@@ -292,7 +294,7 @@ func (s *Scheduler) schedule() {
 		s.mu.Lock()
 		pool := Pool{s: s}
 		s.batch = s.batch[:0]
-		for !s.closed && len(s.waiting) > 0 {
+		for !s.closed && s.waiting.len() > 0 {
 			pos, alloc := s.policy.Grant(&pool)
 			if alloc == nil {
 				break // nothing grantable: wait for a release
@@ -378,67 +380,160 @@ type waitItem struct {
 	seq uint64
 }
 
-// waitHeap is a hand-rolled binary heap ordered by (priority desc, seq
-// asc). Avoiding container/heap keeps push/pop free of interface boxing —
-// one less allocation on every submit.
-type waitHeap []waitItem
+// waitHeap is the scheduler's wait pool: a hand-rolled binary heap
+// ordered by (priority desc, seq asc) — avoiding container/heap keeps
+// push/pop free of interface boxing — augmented with a per-priority
+// bucket index for the backfill policies' highest-priority-fitting
+// query. The heap answers "who is the strict head" in O(1); the buckets
+// enumerate the pool in exact strict order without sorting, so the
+// backfill scan stops at its first fit instead of testing every waiting
+// request (the pre-index scan was O(waiting · log nodes) per grant,
+// which ROADMAP carried as a deep-pool perf debt since PR 2).
+type waitHeap struct {
+	items []waitItem
+	// pos maps a request's seq to its current items position, maintained
+	// across every sift swap, so a bucket hit translates to a pool
+	// position in O(1).
+	pos map[uint64]int
+	// prios lists the distinct priorities present, descending; buckets
+	// holds each priority's waiting seqs in ascending (submission) order.
+	// Walking prios outer, buckets inner therefore visits the pool in
+	// exactly the strict (priority desc, seq asc) grant order.
+	prios   []int
+	buckets map[int][]uint64
+}
 
-func (h waitHeap) less(i, j int) bool {
-	if h[i].req.Priority != h[j].req.Priority {
-		return h[i].req.Priority > h[j].req.Priority
+func newWaitHeap() waitHeap {
+	return waitHeap{pos: make(map[uint64]int), buckets: make(map[int][]uint64)}
+}
+
+func (h *waitHeap) len() int { return len(h.items) }
+
+func (h *waitHeap) less(i, j int) bool {
+	if h.items[i].req.Priority != h.items[j].req.Priority {
+		return h.items[i].req.Priority > h.items[j].req.Priority
 	}
-	return h[i].seq < h[j].seq
+	return h.items[i].seq < h.items[j].seq
+}
+
+func (h *waitHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].seq] = i
+	h.pos[h.items[j].seq] = j
 }
 
 func (h *waitHeap) push(it waitItem) {
-	*h = append(*h, it)
-	h.siftUp(len(*h) - 1)
+	h.items = append(h.items, it)
+	h.pos[it.seq] = len(h.items) - 1
+	h.siftUp(len(h.items) - 1)
+	h.bucketInsert(it.req.Priority, it.seq)
 }
 
 // removeAt deletes and returns the item at backing-array position pos
 // (0 = head). Backfill policies grant from arbitrary positions, so the
 // vacated slot's replacement may need to move either direction.
 func (h *waitHeap) removeAt(pos int) waitItem {
-	q := *h
-	it := q[pos]
-	last := len(q) - 1
-	q[pos] = q[last]
-	q[last] = waitItem{} // release references held by the vacated slot
-	*h = q[:last]
+	it := h.items[pos]
+	last := len(h.items) - 1
+	h.items[pos] = h.items[last]
+	h.items[last] = waitItem{} // release references held by the vacated slot
+	h.items = h.items[:last]
+	delete(h.pos, it.seq)
 	if pos < last {
+		h.pos[h.items[pos].seq] = pos
 		h.siftDown(pos)
 		h.siftUp(pos)
 	}
+	h.bucketRemove(it.req.Priority, it.seq)
 	return it
 }
 
 func (h *waitHeap) siftUp(i int) {
-	q := *h
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !h.less(i, parent) {
 			break
 		}
-		q[i], q[parent] = q[parent], q[i]
+		h.swap(i, parent)
 		i = parent
 	}
 }
 
 func (h *waitHeap) siftDown(i int) {
-	q := *h
 	for {
 		l, r := 2*i+1, 2*i+2
 		first := i
-		if l < len(q) && q.less(l, first) {
+		if l < len(h.items) && h.less(l, first) {
 			first = l
 		}
-		if r < len(q) && q.less(r, first) {
+		if r < len(h.items) && h.less(r, first) {
 			first = r
 		}
 		if first == i {
 			return
 		}
-		q[i], q[first] = q[first], q[i]
+		h.swap(i, first)
 		i = first
 	}
+}
+
+// bucketInsert files seq under prio, keeping the bucket ascending and
+// the priority list descending. Seqs usually arrive in increasing order
+// (fresh submissions), making the common insert an append; the binary
+// search covers re-pushes of old seqs.
+func (h *waitHeap) bucketInsert(prio int, seq uint64) {
+	b := h.buckets[prio]
+	if len(b) == 0 {
+		i := sort.Search(len(h.prios), func(i int) bool { return h.prios[i] <= prio })
+		h.prios = append(h.prios, 0)
+		copy(h.prios[i+1:], h.prios[i:])
+		h.prios[i] = prio
+	}
+	i := sort.Search(len(b), func(i int) bool { return b[i] >= seq })
+	b = append(b, 0)
+	copy(b[i+1:], b[i:])
+	b[i] = seq
+	h.buckets[prio] = b
+}
+
+// bucketRemove unfiles seq from prio's bucket, dropping the priority
+// from the walk list when its bucket empties.
+func (h *waitHeap) bucketRemove(prio int, seq uint64) {
+	b := h.buckets[prio]
+	i := sort.Search(len(b), func(i int) bool { return b[i] >= seq })
+	if i >= len(b) || b[i] != seq {
+		return // not present: tolerated for robustness, never expected
+	}
+	b = append(b[:i], b[i+1:]...)
+	if len(b) == 0 {
+		delete(h.buckets, prio)
+		j := sort.Search(len(h.prios), func(j int) bool { return h.prios[j] <= prio })
+		h.prios = append(h.prios[:j], h.prios[j+1:]...)
+		return
+	}
+	h.buckets[prio] = b
+}
+
+// firstFit walks the pool in strict (priority desc, seq asc) order —
+// skipping the head, which the caller already failed to place — and
+// returns the pool position of the first request fits accepts, or -1.
+// This is exactly the argmin under Before over all fitting non-head
+// positions that the backfill policies need, but it stops at the first
+// fit instead of testing the whole pool.
+func (h *waitHeap) firstFit(fits func(pos int) bool) int {
+	if len(h.items) == 0 {
+		return -1
+	}
+	headSeq := h.items[0].seq
+	for _, prio := range h.prios {
+		for _, seq := range h.buckets[prio] {
+			if seq == headSeq {
+				continue
+			}
+			if i := h.pos[seq]; fits(i) {
+				return i
+			}
+		}
+	}
+	return -1
 }

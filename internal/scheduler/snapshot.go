@@ -61,7 +61,7 @@ func (s *Scheduler) Snapshot() Snapshot {
 	}
 	s.mu.Lock()
 	sn := Snapshot{
-		Waiting:   len(s.waiting),
+		Waiting:   s.waiting.len(),
 		Scheduled: s.scheduled,
 		Shapes:    append([]ShapeCapacity(nil), s.index.shapes...),
 	}

@@ -3,112 +3,174 @@ package service
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/loadbal"
 	"repro/internal/metrics"
 	"repro/internal/proto"
 )
 
+// DefaultLoadHorizon is the load-report staleness horizon balancing
+// clients apply when the session does not configure one: reports older
+// than this are treated as no information and load-aware pickers fall
+// back to blind rotation. 10s comfortably covers the autoscaler's 2s
+// default report cadence and a campaign reporter's coarser intervals.
+const DefaultLoadHorizon = 10 * time.Second
+
+// BalancerOptions tune a Balancer. The zero value selects a
+// power-of-two-choices picker with seed 0, the default staleness horizon,
+// and no clock (every report counts as stale, so picks degrade to
+// rotation until a Now source is supplied).
+type BalancerOptions struct {
+	// Picker selects among the group candidates per request. nil selects
+	// power-of-two-choices seeded with Seed.
+	Picker loadbal.Picker
+	// Seed drives the default picker's probe sequence.
+	Seed uint64
+	// Now supplies the current session-clock time for the staleness
+	// check. nil disables load awareness: with no timebase every report
+	// is stale and load-aware pickers fall back to rotation.
+	Now func() time.Time
+	// Horizon is the load-report staleness bound (default
+	// DefaultLoadHorizon).
+	Horizon time.Duration
+	// Retries bounds re-resolutions per request in the member resolvers
+	// (default DefaultResolverRetries).
+	Retries int
+}
+
 // Balancer is an inference client for a logical service UID that may be
 // backed by several replicas: the base instance plus whatever replica
 // members the session autoscaler currently lists in the EndpointRegistry
-// group. Each request reads the live membership, picks the member with
-// the least reported load (queued + in-flight, ties broken round-robin),
-// and delegates to that member's Resolver — so every replica request
-// still gets the resolvers' generation-aware failover machinery. With no
-// members the Balancer degrades to a plain Resolver on the base UID.
+// group. Each request picks one member and delegates to that member's
+// Resolver — so every replica request still gets the resolvers'
+// generation-aware failover machinery. With no members the Balancer
+// degrades to a plain Resolver on the base UID.
 //
-// Membership and load reports come from the autoscaler's control loop,
-// so balancing decisions lag reality by at most one scale interval; the
-// round-robin tie-break spreads the burst that lands inside one interval.
+// The pick path is constant-time and contention-free: the registry keeps
+// the group membership in an atomically-swapped immutable view holding
+// entry pointers, the per-entry load gauges are atomics, and the default
+// power-of-two-choices picker probes exactly two members per request
+// from a seeded splitmix64 walker. No lock is taken and nothing is
+// allocated between a request arriving and its target UID being known,
+// however many replicas the group holds. When either probe's load report
+// is older than the configured horizon the pick falls back to blind
+// round-robin rather than trusting dead information.
 type Balancer struct {
-	reg  *EndpointRegistry
-	uid  string
-	dial DialFn
-	rr   atomic.Uint64
+	reg     *EndpointRegistry
+	uid     string
+	dial    DialFn
+	picker  loadbal.Picker
+	now     func() time.Time
+	horizon int64 // staleness bound in nanoseconds
+	retries int
+	// entry is the pinned registry entry of the logical UID; its group
+	// field holds the current immutable balancing view.
+	entry *endpointEntry
 
+	// res is the copy-on-write member-resolver map: reads are one atomic
+	// load, misses take mu and swap in a grown copy.
+	res    atomic.Pointer[map[string]*Resolver]
 	mu     sync.Mutex
-	res    map[string]*Resolver
-	closed bool
+	closed atomic.Bool
 }
 
 // NewBalancer returns a Balancer for the logical service uid.
-func NewBalancer(reg *EndpointRegistry, uid string, dial DialFn) (*Balancer, error) {
+func NewBalancer(reg *EndpointRegistry, uid string, dial DialFn, opts BalancerOptions) (*Balancer, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("service: balancer %s: nil registry", uid)
 	}
 	if dial == nil {
 		return nil, fmt.Errorf("service: balancer %s: nil dial", uid)
 	}
-	return &Balancer{reg: reg, uid: uid, dial: dial, res: make(map[string]*Resolver)}, nil
+	if opts.Picker == nil {
+		opts.Picker = loadbal.NewP2C(opts.Seed)
+	}
+	if opts.Horizon <= 0 {
+		opts.Horizon = DefaultLoadHorizon
+	}
+	return &Balancer{
+		reg:     reg,
+		uid:     uid,
+		dial:    dial,
+		picker:  opts.Picker,
+		now:     opts.Now,
+		horizon: int64(opts.Horizon),
+		retries: opts.Retries,
+		entry:   reg.groupEntry(uid),
+	}, nil
 }
 
-// Infer routes one request to the least-loaded group member and blocks
-// for its reply.
+// Infer routes one request to the picked group member and blocks for its
+// reply.
 func (b *Balancer) Infer(ctx context.Context, prompt string, maxTokens int) (proto.InferenceReply, metrics.Breakdown, error) {
-	target := b.uid
-	if members := b.reg.Members(b.uid); len(members) > 0 {
-		target = b.pick(members)
-	}
-	r, err := b.resolver(target)
+	r, err := b.resolver(b.Pick())
 	if err != nil {
 		return proto.InferenceReply{}, metrics.Breakdown{}, err
 	}
 	return r.Infer(ctx, prompt, maxTokens)
 }
 
-// pick selects the least-loaded of the base UID and the replica members,
-// breaking ties with a rotating counter so equally-idle replicas share
-// the burst that arrives between two load reports.
-func (b *Balancer) pick(members []string) string {
-	best := []string{b.uid}
-	bestLoad := b.load(b.uid)
-	for _, m := range members {
-		switch l := b.load(m); {
-		case l < bestLoad:
-			best = append(best[:0], m)
-			bestLoad = l
-		case l == bestLoad:
-			best = append(best, m)
-		}
+// Pick returns the member UID the next request goes to: one atomic view
+// load plus the picker's probes (two for power-of-two-choices), zero
+// locks and zero allocations regardless of group size. With no replica
+// members it returns the base UID without consulting the picker.
+func (b *Balancer) Pick() string {
+	view := b.entry.group.Load()
+	if view == nil || view.Len() <= 1 {
+		return b.uid
 	}
-	if len(best) == 1 {
-		return best[0]
+	minAt := int64(math.MaxInt64) // no timebase: every report is stale
+	if b.now != nil {
+		minAt = b.now().UnixNano() - b.horizon
 	}
-	return best[int(b.rr.Add(1)-1)%len(best)]
-}
-
-func (b *Balancer) load(uid string) int {
-	l := b.reg.LoadOf(uid)
-	return l.Queued + l.InFlight
+	return view.UID(b.picker.PickIndex(view, minAt))
 }
 
 // resolver returns (creating on first use) the member's Resolver.
 func (b *Balancer) resolver(uid string) (*Resolver, error) {
+	if m := b.res.Load(); m != nil {
+		if r, ok := (*m)[uid]; ok {
+			return r, nil
+		}
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.closed {
+	if b.closed.Load() {
 		return nil, fmt.Errorf("service: balancer %s closed", b.uid)
 	}
-	if r, ok := b.res[uid]; ok {
-		return r, nil
+	cur := b.res.Load()
+	if cur != nil {
+		if r, ok := (*cur)[uid]; ok {
+			return r, nil
+		}
 	}
-	r, err := NewResolver(b.reg, uid, b.dial, 0)
+	r, err := NewResolver(b.reg, uid, b.dial, b.retries)
 	if err != nil {
 		return nil, err
 	}
-	b.res[uid] = r
+	next := make(map[string]*Resolver, 1)
+	if cur != nil {
+		next = make(map[string]*Resolver, len(*cur)+1)
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[uid] = r
+	b.res.Store(&next)
 	return r, nil
 }
 
 // Reresolved sums the re-resolution counts of every member resolver.
 func (b *Balancer) Reresolved() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	n := 0
-	for _, r := range b.res {
-		n += r.Reresolved()
+	if m := b.res.Load(); m != nil {
+		for _, r := range *m {
+			n += r.Reresolved()
+		}
 	}
 	return n
 }
@@ -117,12 +179,13 @@ func (b *Balancer) Reresolved() int {
 func (b *Balancer) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.closed {
+	if b.closed.Swap(true) {
 		return nil
 	}
-	b.closed = true
-	for _, r := range b.res {
-		_ = r.Close()
+	if m := b.res.Load(); m != nil {
+		for _, r := range *m {
+			_ = r.Close()
+		}
 	}
 	return nil
 }

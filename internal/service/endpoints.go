@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/proto"
 )
@@ -77,15 +79,60 @@ type endpointEntry struct {
 	members []string
 	// load is the endpoint's last reported load gauge pair.
 	load Load
+	// depth and loadAt are the lock-free mirrors of load: total depth
+	// (queued+in-flight) and the report stamp in nanoseconds. Balancing
+	// pickers read them on the request hot path without taking r.mu.
+	depth  atomic.Int64
+	loadAt atomic.Int64
+	// group is the atomically-swapped immutable balancing view of this
+	// logical UID (base plus members), rebuilt under r.mu on every
+	// membership change. Balancers cache the entry pointer once and load
+	// the view per pick — no lock, no allocation.
+	group atomic.Pointer[GroupView]
+	// pinned marks entries referenced by a balancing view (a group base
+	// or one of its members). The await placeholder cleanup must not
+	// delete them: a balancer holds their pointers.
+	pinned bool
 }
 
 // Load is a per-endpoint load report: the honest queue split surfaced by
-// serving.Server. Whoever observes the instance (the session autoscaler's
-// control loop) pushes reports; balancing clients read them to pick the
-// least-loaded replica.
+// serving.Server, stamped with the session-clock time it was taken.
+// Whoever observes the instance (the session autoscaler's control loop, a
+// campaign's reporter) pushes reports; balancing clients read them to
+// pick less-loaded replicas, and treat a stamp older than their staleness
+// horizon as no information at all.
 type Load struct {
-	Queued   int // admitted, waiting for a worker
-	InFlight int // currently executing
+	Queued   int       // admitted, waiting for a worker
+	InFlight int       // currently executing
+	At       time.Time // session-clock stamp of the observation
+}
+
+// LoadFromReport converts the wire form into the registry's gauge record.
+func LoadFromReport(lr proto.LoadReport) Load {
+	return Load{Queued: lr.Queued, InFlight: lr.InFlight, At: lr.At}
+}
+
+// GroupView is the immutable balancing view of one logical service UID:
+// the base entry at index 0 plus the current replica members. It
+// implements loadbal.LoadView; Load reads the per-entry atomic gauges, so
+// a pick costs two atomic loads per probe and never blocks a registry
+// mutation.
+type GroupView struct {
+	uids    []string
+	entries []*endpointEntry
+}
+
+// Len returns the candidate count (base plus members).
+func (g *GroupView) Len() int { return len(g.uids) }
+
+// UID returns candidate i's service UID.
+func (g *GroupView) UID(i int) string { return g.uids[i] }
+
+// Load returns candidate i's reported depth and report stamp
+// (nanoseconds; 0 = never reported).
+func (g *GroupView) Load(i int) (int, int64) {
+	e := g.entries[i]
+	return int(e.depth.Load()), e.loadAt.Load()
 }
 
 // NewEndpointRegistry returns an empty registry.
@@ -231,6 +278,20 @@ func (r *EndpointRegistry) Resolve(uid string) (proto.Endpoint, uint64, bool) {
 	return e.ep, e.gen, true
 }
 
+// Peek returns the last-published endpoint of uid and its generation
+// even while the entry is suspended — the warm-standby promotion path
+// reads the held standby's endpoint to re-publish it under the base UID.
+// A never-published or withdrawn UID reports false.
+func (r *EndpointRegistry) Peek(uid string) (proto.Endpoint, uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[uid]
+	if e == nil || e.withdrawn || e.gen == 0 {
+		return proto.Endpoint{}, 0, false
+	}
+	return e.ep, e.gen, true
+}
+
 // Generation returns the publication count of uid (0 when never
 // published). Unlike Resolve it also reports suspended entries, so
 // clients can cheaply check staleness without resolving.
@@ -306,6 +367,7 @@ func (r *EndpointRegistry) AddMember(group, member string) {
 		}
 	}
 	e.members = append(e.members, member)
+	r.rebuildGroupLocked(group, e)
 	r.mu.Unlock()
 }
 
@@ -317,11 +379,53 @@ func (r *EndpointRegistry) RemoveMember(group, member string) {
 		for i, m := range e.members {
 			if m == member {
 				e.members = append(e.members[:i], e.members[i+1:]...)
+				r.rebuildGroupLocked(group, e)
 				break
 			}
 		}
 	}
 	r.mu.Unlock()
+}
+
+// rebuildGroupLocked swaps in a fresh immutable balancing view for the
+// group after a membership change. Member entries are created eagerly
+// (membership can precede publication) and pinned along with the base:
+// balancers hold view entry pointers, so the await placeholder cleanup
+// must never delete them. Caller holds r.mu.
+func (r *EndpointRegistry) rebuildGroupLocked(group string, e *endpointEntry) {
+	view := &GroupView{
+		uids:    make([]string, 0, len(e.members)+1),
+		entries: make([]*endpointEntry, 0, len(e.members)+1),
+	}
+	e.pinned = true
+	view.uids = append(view.uids, group)
+	view.entries = append(view.entries, e)
+	for _, m := range e.members {
+		me := r.entries[m]
+		if me == nil {
+			me = &endpointEntry{}
+			r.entries[m] = me
+		}
+		me.pinned = true
+		view.uids = append(view.uids, m)
+		view.entries = append(view.entries, me)
+	}
+	e.group.Store(view)
+}
+
+// groupEntry returns (creating and pinning if absent) the entry a
+// balancer caches for its logical UID: the per-pick view load goes
+// through the returned pointer, not the registry map.
+func (r *EndpointRegistry) groupEntry(uid string) *endpointEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[uid]
+	if e == nil {
+		e = &endpointEntry{}
+		r.entries[uid] = e
+	}
+	e.pinned = true
+	return e
 }
 
 // Members returns the replica UIDs grouped under the logical UID, in
@@ -342,11 +446,15 @@ func (r *EndpointRegistry) Members(group string) []string {
 
 // ReportLoad records uid's latest load gauges. Reports for unknown UIDs
 // are dropped — a retired replica's straggling report must not
-// resurrect its entry.
+// resurrect its entry. Besides the locked record (LoadOf), the report is
+// mirrored into the entry's atomic depth/stamp pair so balancing pickers
+// read it lock-free.
 func (r *EndpointRegistry) ReportLoad(uid string, l Load) {
 	r.mu.Lock()
 	if e := r.entries[uid]; e != nil {
 		e.load = l
+		e.depth.Store(int64(l.Queued + l.InFlight))
+		e.loadAt.Store(l.At.UnixNano())
 	}
 	r.mu.Unlock()
 }
@@ -397,7 +505,7 @@ func (r *EndpointRegistry) await(ctx context.Context, uid string, after uint64) 
 					break
 				}
 			}
-			if e.gen == 0 && !e.live && !e.withdrawn && len(e.waiters) == 0 && len(e.members) == 0 {
+			if e.gen == 0 && !e.live && !e.withdrawn && !e.pinned && len(e.waiters) == 0 && len(e.members) == 0 {
 				delete(r.entries, uid)
 			}
 			r.mu.Unlock()

@@ -7,9 +7,7 @@ import (
 
 	"repro/internal/loadbal"
 	"repro/internal/metrics"
-	"repro/internal/msgq"
 	"repro/internal/proto"
-	"repro/internal/simtime"
 )
 
 // Caller is the client-side inference interface, satisfied by the msgq
@@ -23,98 +21,90 @@ type Caller interface {
 	Close() error
 }
 
-// EndpointsFn supplies the current candidate endpoints (re-evaluated per
-// request, so services joining or leaving are picked up live).
-type EndpointsFn func() []proto.Endpoint
-
-// Pool is a load-balanced Caller over a dynamic set of service endpoints:
-// the "dynamically rerouting requests to less used service instances" of
-// the paper's future work, layered client-side over any Balancer.
+// Pool is a load-balanced Caller over every live endpoint of one model,
+// resolved through the session EndpointRegistry — the "dynamically
+// rerouting requests to less used service instances" of the paper's
+// future work, layered client-side over any Balancer.
+//
+// The registry is the single source of endpoint truth: the candidate set
+// is re-read per request (services joining, leaving, or failing over are
+// picked up live), and each candidate is called through a per-UID
+// Resolver, so pooled clients get exactly the generation-stamped
+// stale-endpoint detection Resolver clients have. The pre-registry
+// design cached raw connections and dropped one whenever a request
+// errored; that heuristic raced endpoint re-publication — an error
+// observed against generation G could evict the already-republished G+1
+// connection — and is gone: staleness is now decided by comparing the
+// failed generation against the registry, never inferred from an error.
 type Pool struct {
-	net        *msgq.Network
-	clock      simtime.Clock
-	clientAddr string
-	bal        loadbal.Balancer
-	endpoints  EndpointsFn
+	reg   *EndpointRegistry
+	model string
+	bal   loadbal.Balancer
+	dial  DialFn
 
-	mu      sync.Mutex
-	clients map[string]*Client // by service UID, dialed lazily
-	closed  bool
+	mu     sync.Mutex
+	res    map[string]*Resolver // by service UID, created lazily
+	closed bool
 }
 
-// NewPool builds a Pool. bal defaults to round-robin when nil.
-func NewPool(net *msgq.Network, clock simtime.Clock, clientAddr string, bal loadbal.Balancer, endpoints EndpointsFn) (*Pool, error) {
-	if net == nil || clock == nil || endpoints == nil {
-		return nil, fmt.Errorf("service: pool needs network, clock and endpoints")
+// NewPool builds a Pool over the registry's live endpoints for model.
+// bal defaults to round-robin when nil.
+func NewPool(reg *EndpointRegistry, model string, bal loadbal.Balancer, dial DialFn) (*Pool, error) {
+	if reg == nil || dial == nil {
+		return nil, fmt.Errorf("service: pool needs a registry and a dial function")
 	}
 	if bal == nil {
 		bal = loadbal.NewRoundRobin()
 	}
 	return &Pool{
-		net:        net,
-		clock:      clock,
-		clientAddr: clientAddr,
-		bal:        bal,
-		endpoints:  endpoints,
-		clients:    make(map[string]*Client),
+		reg:   reg,
+		model: model,
+		bal:   bal,
+		dial:  dial,
+		res:   make(map[string]*Resolver),
 	}, nil
 }
 
-// Infer implements Caller: pick an endpoint, reuse (or dial) its
-// connection, and forward the call.
+// Infer implements Caller: pick a live endpoint and forward the call
+// through its generation-aware resolver.
 func (p *Pool) Infer(ctx context.Context, prompt string, maxTokens int) (proto.InferenceReply, metrics.Breakdown, error) {
-	eps := p.endpoints()
+	eps := p.reg.ByModel(p.model)
 	ep, err := p.bal.Pick(eps)
 	if err != nil {
 		return proto.InferenceReply{}, metrics.Breakdown{}, err
 	}
-	cl, err := p.client(ep)
+	r, err := p.resolver(ep.ServiceUID)
 	if err != nil {
 		return proto.InferenceReply{}, metrics.Breakdown{}, err
 	}
-	reply, bd, err := cl.Infer(ctx, prompt, maxTokens)
-	if err != nil {
-		// a dead endpoint may have been withdrawn between Pick and Infer:
-		// drop the cached connection so the next call re-dials
-		p.evict(ep.ServiceUID)
-	}
-	return reply, bd, err
+	return r.Infer(ctx, prompt, maxTokens)
 }
 
-func (p *Pool) client(ep proto.Endpoint) (*Client, error) {
+func (p *Pool) resolver(uid string) (*Resolver, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return nil, msgq.ErrClosed
+		return nil, fmt.Errorf("service: pool for %s closed", p.model)
 	}
-	if cl, ok := p.clients[ep.ServiceUID]; ok {
-		return cl, nil
+	if r, ok := p.res[uid]; ok {
+		return r, nil
 	}
-	cl, err := Dial(p.net, p.clock, p.clientAddr, ep)
+	r, err := NewResolver(p.reg, uid, p.dial, 0)
 	if err != nil {
 		return nil, err
 	}
-	p.clients[ep.ServiceUID] = cl
-	return cl, nil
+	p.res[uid] = r
+	return r, nil
 }
 
-func (p *Pool) evict(uid string) {
-	p.mu.Lock()
-	if cl, ok := p.clients[uid]; ok {
-		delete(p.clients, uid)
-		_ = cl.Close()
-	}
-	p.mu.Unlock()
-}
-
-// Close implements Caller: releases every pooled connection.
+// Close implements Caller: releases every member resolver.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.closed = true
-	for uid, cl := range p.clients {
-		_ = cl.Close()
-		delete(p.clients, uid)
+	for uid, r := range p.res {
+		_ = r.Close()
+		delete(p.res, uid)
 	}
 	return nil
 }

@@ -2,34 +2,71 @@ package service
 
 import (
 	"context"
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/loadbal"
+	"repro/internal/metrics"
+	"repro/internal/msgq"
 	"repro/internal/proto"
-	"repro/internal/spec"
 )
 
+// poolCaller is a scripted in-memory backend for pool tests: it answers
+// with the endpoint identity it was dialed for, optionally parks on a
+// gate before answering, and fails with the transport's endpoint-gone
+// error once its address is marked dead.
+type poolCaller struct {
+	uid, addr string
+	dead      *atomic.Value // current dead address (string), may be nil
+	gate      chan struct{} // when non-nil, Infer blocks here first
+	entered   chan struct{} // signaled once per Infer before the gate
+}
+
+func (f *poolCaller) Infer(ctx context.Context, prompt string, maxTokens int) (proto.InferenceReply, metrics.Breakdown, error) {
+	if f.entered != nil {
+		f.entered <- struct{}{}
+	}
+	if f.gate != nil {
+		<-f.gate
+	}
+	if f.dead != nil {
+		if d, _ := f.dead.Load().(string); d == f.addr {
+			return proto.InferenceReply{}, metrics.Breakdown{}, fmt.Errorf("%w: %s", msgq.ErrClosed, f.addr)
+		}
+	}
+	return proto.InferenceReply{ServiceUID: f.uid, Model: "noop", Text: f.addr}, metrics.Breakdown{}, nil
+}
+
+func (f *poolCaller) Close() error { return nil }
+
+// poolDial returns a DialFn minting poolCallers and the dial counter.
+func poolDial(dead *atomic.Value) (DialFn, *atomic.Int64) {
+	var dials atomic.Int64
+	return func(e proto.Endpoint) (Caller, error) {
+		dials.Add(1)
+		return &poolCaller{uid: e.ServiceUID, addr: e.Address, dead: dead}, nil
+	}, &dials
+}
+
 func TestPoolValidation(t *testing.T) {
-	if _, err := NewPool(nil, nil, "c", nil, nil); err == nil {
-		t.Fatal("NewPool accepted nil inputs")
+	dial, _ := poolDial(nil)
+	if _, err := NewPool(nil, "noop", nil, dial); err == nil {
+		t.Fatal("NewPool accepted a nil registry")
+	}
+	if _, err := NewPool(NewEndpointRegistry(), "noop", nil, nil); err == nil {
+		t.Fatal("NewPool accepted a nil dial function")
 	}
 }
 
 func TestPoolRoundRobinAcrossServices(t *testing.T) {
-	r := newRig(t, 100000)
-	var uids []string
+	reg := NewEndpointRegistry()
 	for i := 0; i < 3; i++ {
-		inst, err := r.mgr.Submit(noopDesc("svc"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		uids = append(uids, inst.UID())
+		reg.Publish(ep(fmt.Sprintf("svc-%d", i), fmt.Sprintf("addr-%d", i)))
 	}
-	waitReady(t, r, uids...)
-
-	pool, err := NewPool(r.net, r.clock, "delta//pool-client", loadbal.NewRoundRobin(),
-		func() []proto.Endpoint { return r.reg.ByModel("noop") })
+	dial, _ := poolDial(nil)
+	pool, err := NewPool(reg, "noop", loadbal.NewRoundRobin(), dial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,8 +91,11 @@ func TestPoolRoundRobinAcrossServices(t *testing.T) {
 }
 
 func TestPoolNoEndpoints(t *testing.T) {
-	r := newRig(t, 100000)
-	pool, _ := NewPool(r.net, r.clock, "c", nil, func() []proto.Endpoint { return nil })
+	dial, _ := poolDial(nil)
+	pool, err := NewPool(NewEndpointRegistry(), "noop", nil, dial)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer pool.Close()
 	if _, _, err := pool.Infer(context.Background(), "x", 0); err == nil {
 		t.Fatal("Infer succeeded with no endpoints")
@@ -63,18 +103,19 @@ func TestPoolNoEndpoints(t *testing.T) {
 }
 
 func TestPoolPicksUpNewServices(t *testing.T) {
-	r := newRig(t, 100000)
-	a, _ := r.mgr.Submit(noopDesc("a"))
-	waitReady(t, r, a.UID())
-	pool, _ := NewPool(r.net, r.clock, "c", loadbal.NewRoundRobin(),
-		func() []proto.Endpoint { return r.reg.ByModel("noop") })
+	reg := NewEndpointRegistry()
+	reg.Publish(ep("a", "addr-a"))
+	dial, _ := poolDial(nil)
+	pool, err := NewPool(reg, "noop", loadbal.NewRoundRobin(), dial)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer pool.Close()
 	if _, _, err := pool.Infer(context.Background(), "x", 0); err != nil {
 		t.Fatal(err)
 	}
 	// a second service joins; the pool must route to it without re-creation
-	b, _ := r.mgr.Submit(noopDesc("b"))
-	waitReady(t, r, b.UID())
+	reg.Publish(ep("b", "addr-b"))
 	served := map[string]bool{}
 	for i := 0; i < 8; i++ {
 		reply, _, err := pool.Infer(context.Background(), "x", 0)
@@ -88,13 +129,15 @@ func TestPoolPicksUpNewServices(t *testing.T) {
 	}
 }
 
-func TestPoolEvictsDeadEndpoints(t *testing.T) {
-	r := newRig(t, 100000)
-	a, _ := r.mgr.Submit(noopDesc("a"))
-	b, _ := r.mgr.Submit(noopDesc("b"))
-	waitReady(t, r, a.UID(), b.UID())
-	pool, _ := NewPool(r.net, r.clock, "c", loadbal.NewRoundRobin(),
-		func() []proto.Endpoint { return r.reg.ByModel("noop") })
+func TestPoolFollowsWithdrawal(t *testing.T) {
+	reg := NewEndpointRegistry()
+	reg.Publish(ep("a", "addr-a"))
+	reg.Publish(ep("b", "addr-b"))
+	dial, _ := poolDial(nil)
+	pool, err := NewPool(reg, "noop", loadbal.NewRoundRobin(), dial)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer pool.Close()
 	// warm both connections
 	for i := 0; i < 2; i++ {
@@ -102,92 +145,127 @@ func TestPoolEvictsDeadEndpoints(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// terminate a: registry shrinks to b; subsequent requests must succeed
-	if err := r.mgr.Terminate(a.UID(), false); err != nil {
-		t.Fatal(err)
-	}
+	// a leaves the registry: its endpoint vanishes from ByModel, so every
+	// subsequent request lands on b
+	reg.Withdraw("a")
 	for i := 0; i < 4; i++ {
 		reply, _, err := pool.Infer(context.Background(), "x", 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if reply.ServiceUID != b.UID() {
-			t.Fatalf("request served by %s after termination of %s", reply.ServiceUID, a.UID())
+		if reply.ServiceUID != "b" {
+			t.Fatalf("request served by %s after withdrawal of a", reply.ServiceUID)
 		}
 	}
 }
 
 func TestPoolLeastPendingPrefersIdleService(t *testing.T) {
-	// one llama service gets saturated; a least-pending pool must steer new
-	// requests to the idle one
-	r := newRig(t, 2000)
-	busy, _ := r.mgr.Submit(llamaDesc("busy"))
-	idle, _ := r.mgr.Submit(llamaDesc("idle"))
-	waitReady(t, r, busy.UID(), idle.UID())
-
-	depth := func(uid string) int {
-		inst, ok := r.mgr.Get(uid)
-		if !ok {
-			return 0
-		}
-		return inst.QueueDepth()
-	}
-	pool, _ := NewPool(r.net, r.clock, "c", loadbal.NewLeastPending(depth),
-		func() []proto.Endpoint {
-			// fixed order: busy first, so a naive picker would choose it
-			eb, _ := r.reg.Lookup(busy.UID())
-			ei, _ := r.reg.Lookup(idle.UID())
-			return []proto.Endpoint{eb, ei}
-		})
-	defer pool.Close()
-
-	// saturate busy directly with slow requests
-	cl, err := Dial(r.net, r.clock, "delta//saturator", mustEp(t, r, busy.UID()))
+	reg := NewEndpointRegistry()
+	// publication order fixes ByModel order: busy first, so a naive
+	// picker would choose it
+	reg.Publish(ep("busy", "addr-busy"))
+	reg.Publish(ep("idle", "addr-idle"))
+	depths := map[string]int{"busy": 4, "idle": 0}
+	depth := func(uid string) int { return depths[uid] }
+	dial, _ := poolDial(nil)
+	pool, err := NewPool(reg, "noop", loadbal.NewLeastPending(depth), dial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cl.Close()
-	done := make(chan struct{}, 4)
-	for i := 0; i < 4; i++ {
-		go func() {
-			_, _, _ = cl.Infer(context.Background(), "slow", 2048)
-			done <- struct{}{}
-		}()
-	}
-	time.Sleep(30 * time.Millisecond) // let the queue build
+	defer pool.Close()
 	reply, _, err := pool.Infer(context.Background(), "quick", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reply.ServiceUID != idle.UID() {
+	if reply.ServiceUID != "idle" {
 		t.Fatalf("least-pending pool routed to the saturated service %s", reply.ServiceUID)
-	}
-	for i := 0; i < 4; i++ {
-		<-done
 	}
 }
 
-func mustEp(t *testing.T, r *rig, uid string) proto.Endpoint {
-	t.Helper()
-	ep, ok := r.reg.Lookup(uid)
-	if !ok {
-		t.Fatalf("no endpoint for %s", uid)
+// TestPoolRepublicationDuringInFlightError pins the evict-on-error race
+// the registry fold removed (satellite bugfix): a request in flight
+// against generation G errors after the endpoint was already republished
+// at G+1 and a fresh connection to G+1 was warmed by another request.
+// The old pool evicted cached connections by UID whenever a request
+// errored, which here would have torn down the healthy G+1 connection
+// and forced a third dial; generation-aware staleness keeps it.
+func TestPoolRepublicationDuringInFlightError(t *testing.T) {
+	reg := NewEndpointRegistry()
+	var dead atomic.Value
+	dead.Store("")
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	var dials atomic.Int64
+	dial := func(e proto.Endpoint) (Caller, error) {
+		n := dials.Add(1)
+		c := &poolCaller{uid: e.ServiceUID, addr: e.Address, dead: &dead}
+		if n == 1 {
+			// only the first (generation-1) connection parks on the gate
+			c.gate, c.entered = gate, entered
+		}
+		return c, nil
 	}
-	return ep
+	pool, err := NewPool(reg, "noop", loadbal.NewRoundRobin(), dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	reg.Publish(ep("svc", "gen1-addr"))
+	req1 := make(chan error, 1)
+	go func() {
+		_, _, err := pool.Infer(context.Background(), "x", 0)
+		req1 <- err
+	}()
+	<-entered // request 1 is in flight against the generation-1 connection
+
+	// failover: generation 1 dies, generation 2 is republished, and a
+	// second request warms the generation-2 connection (dial #2)
+	dead.Store("gen1-addr")
+	reg.Suspend("svc")
+	reg.Publish(ep("svc", "gen2-addr"))
+	reply, _, err := pool.Infer(context.Background(), "x", 0)
+	if err != nil || reply.Text != "gen2-addr" {
+		t.Fatalf("post-republish infer = %q err %v", reply.Text, err)
+	}
+	if n := dials.Load(); n != 2 {
+		t.Fatalf("dials = %d after warming generation 2, want 2", n)
+	}
+
+	// request 1's error finally lands, carrying generation 1: the
+	// resolver must retry on the cached generation-2 connection, not
+	// evict it
+	close(gate)
+	select {
+	case err := <-req1:
+		if err != nil {
+			t.Fatalf("in-flight request did not fail over: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never settled")
+	}
+	if n := dials.Load(); n != 2 {
+		t.Fatalf("dials = %d after the stale error, want 2 (gen-2 connection evicted?)", n)
+	}
+	// and the pool keeps serving on the surviving connection
+	if _, _, err := pool.Infer(context.Background(), "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := dials.Load(); n != 2 {
+		t.Fatalf("dials = %d after follow-up request, want 2", n)
+	}
 }
 
 func TestPoolClosedRejects(t *testing.T) {
-	r := newRig(t, 100000)
-	a, _ := r.mgr.Submit(noopDesc("a"))
-	waitReady(t, r, a.UID())
-	pool, _ := NewPool(r.net, r.clock, "c", nil,
-		func() []proto.Endpoint { return r.reg.ByModel("noop") })
+	reg := NewEndpointRegistry()
+	reg.Publish(ep("a", "addr-a"))
+	dial, _ := poolDial(nil)
+	pool, err := NewPool(reg, "noop", nil, dial)
+	if err != nil {
+		t.Fatal(err)
+	}
 	_ = pool.Close()
 	if _, _, err := pool.Infer(context.Background(), "x", 0); err == nil {
 		t.Fatal("Infer succeeded on closed pool")
 	}
 }
-
-// noopDesc/llamaDesc helpers shared with service_test.go; spec import kept
-// explicit for the zero-resource description contract.
-var _ = spec.ServiceDescription{}

@@ -148,6 +148,13 @@ type ServiceDescription struct {
 	// the scale-down hysteresis that keeps a bursty trough from thrashing
 	// replicas (default 3).
 	ScaleStabilize int
+	// WarmStandbys pre-bootstraps this many standby instances on pilots
+	// distinct from the base host, held suspended (published but not
+	// resolvable) in the session endpoint registry. When the hosting pilot
+	// dies, the failure watcher promotes a standby with a single
+	// generation-bump publish instead of a full re-bootstrap, and the
+	// standby pool is re-filled in the background. Zero disables.
+	WarmStandbys int
 	// ProbeInterval is the liveness-probe period of the ServiceManager
 	// (default 5s).
 	ProbeInterval time.Duration
@@ -179,6 +186,9 @@ func (d ServiceDescription) Validate() error {
 	}
 	if d.ScaleUpQueue < 0 || d.ScaleDownQueue < 0 || d.ScaleStabilize < 0 {
 		return fmt.Errorf("spec: service %q: negative autoscaler threshold", d.Name)
+	}
+	if d.WarmStandbys < 0 {
+		return fmt.Errorf("spec: service %q: negative warm-standby count", d.Name)
 	}
 	// service tasks hold resources for the serving process itself; a
 	// zero-resource service is legal (noop service on a shared core).
